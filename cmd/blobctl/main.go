@@ -1,0 +1,150 @@
+// Command blobctl is the remote client for a bsfsd server: put, get,
+// append, list, stat, rename, delete, and snapshot inspection.
+//
+// Usage:
+//
+//	blobctl -addr host:7700 put /data/input < local.txt
+//	blobctl get /data/input > out.txt
+//	blobctl get -version 2 /data/input       # read an old snapshot
+//	blobctl append /data/input < more.txt
+//	blobctl ls /data
+//	blobctl versions /data/input
+//	blobctl stat /data/input
+//	blobctl mv /data/input /data/renamed
+//	blobctl rm /data/renamed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/rpcnet"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: blobctl [-addr host:port] <command> [args]
+commands:
+  put <path>            write stdin to a new file
+  append <path>         append stdin to an existing file
+  get [-version N] <path>  write file (or snapshot) to stdout
+  ls <dir>              list a directory
+  stat <path>           show file metadata
+  versions <path>       list a file's snapshots
+  mkdir <dir>           create a directory
+  mv <old> <new>        rename
+  rm <path>             delete`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "bsfsd address")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	c, err := rpcnet.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	cmd, args := args[0], args[1:]
+	switch cmd {
+	case "put", "append":
+		if len(args) != 1 {
+			usage()
+		}
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		if cmd == "put" {
+			err = c.Put(args[0], data)
+		} else {
+			err = c.Append(args[0], data)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	case "get":
+		fs := flag.NewFlagSet("get", flag.ExitOnError)
+		version := fs.Uint64("version", 0, "snapshot version (0 = latest)")
+		fs.Parse(args)
+		if fs.NArg() != 1 {
+			usage()
+		}
+		data, err := c.Get(fs.Arg(0), *version)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+	case "ls":
+		if len(args) != 1 {
+			usage()
+		}
+		entries, err := c.List(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range entries {
+			kind := "file"
+			if e.IsDir {
+				kind = "dir "
+			}
+			fmt.Printf("%s %12d  %s\n", kind, e.Size, e.Path)
+		}
+	case "stat":
+		if len(args) != 1 {
+			usage()
+		}
+		st, err := c.Stat(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("path: %s\nsize: %d\ndir:  %v\n", st.Path, st.Size, st.IsDir)
+	case "versions":
+		if len(args) != 1 {
+			usage()
+		}
+		vs, err := c.Versions(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range vs {
+			fmt.Println(v)
+		}
+	case "mkdir":
+		if len(args) != 1 {
+			usage()
+		}
+		if err := c.Mkdir(args[0]); err != nil {
+			fatal(err)
+		}
+	case "mv":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := c.Rename(args[0], args[1]); err != nil {
+			fatal(err)
+		}
+	case "rm":
+		if len(args) != 1 {
+			usage()
+		}
+		if err := c.Delete(args[0]); err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "blobctl: %v\n", err)
+	os.Exit(1)
+}

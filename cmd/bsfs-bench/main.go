@@ -1,0 +1,131 @@
+// Command bsfs-bench regenerates the paper's microbenchmark figures
+// (E1-E3), the concurrent-append extension (X1) and the ablation
+// studies (A1-A4) on a simulated Grid'5000-style cluster.
+//
+// Usage:
+//
+//	bsfs-bench                          # run everything at paper scale
+//	bsfs-bench -exp e3                  # one experiment
+//	bsfs-bench -clients 1,50,250        # custom sweep
+//	bsfs-bench -size 256 -nodes 90      # reduced scale (MB per client)
+//	bsfs-bench -replicas 3              # replicated deployments
+//	bsfs-bench -csv                     # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id: e1 e2 e3 x1 a1 a2 a3 a4, or 'all'")
+		clients  = flag.String("clients", "1,20,50,100,150,200,250", "comma-separated client counts")
+		sizeMB   = flag.Int64("size", 1024, "data per client in MB (paper: 1024)")
+		nodes    = flag.Int("nodes", 270, "cluster size (paper: 270)")
+		cacheMB  = flag.Int64("cache", 512, "storage-node RAM cache in MB")
+		replicas = flag.Int("replicas", 1, "data replication factor for both systems")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var counts []int
+	for _, part := range strings.Split(*clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bsfs-bench: bad client count %q\n", part)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+	for _, n := range counts {
+		if n > *nodes-1 {
+			fmt.Fprintf(os.Stderr, "bsfs-bench: %d clients exceed %d storage nodes\n", n, *nodes-1)
+			os.Exit(2)
+		}
+	}
+
+	opts := bench.SweepOpts{
+		Clients:        counts,
+		BytesPerClient: *sizeMB * bench.MB,
+		Spec:           bench.ClusterSpec{Nodes: *nodes},
+		MemCapacity:    *cacheMB * bench.MB,
+		Replication:    *replicas,
+	}
+
+	out := os.Stdout
+	if *csv {
+		// CSV mode wraps every experiment's points; simplest is to run
+		// the sweeps directly for the three core experiments.
+		runCSV(opts)
+		return
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments {
+			fmt.Printf("\n--- %s ---\n", e.Title)
+			if err := e.Run(opts, out); err != nil {
+				fmt.Fprintf(os.Stderr, "bsfs-bench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, ok := bench.FindExperiment(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bsfs-bench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	if err := e.Run(opts, out); err != nil {
+		fmt.Fprintf(os.Stderr, "bsfs-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runCSV emits E1-E3 sweep data for plotting.
+func runCSV(opts bench.SweepOpts) {
+	var all []bench.Point
+	type runner struct {
+		name string
+		fn   func(bench.MicroOpts) (bench.Point, error)
+	}
+	for _, r := range []runner{
+		{"e1", bench.RunReadDistinct},
+		{"e2", bench.RunReadShared},
+		{"e3", bench.RunWriteDistinct},
+	} {
+		for _, kind := range []string{"bsfs", "hdfs"} {
+			for _, n := range opts.Clients {
+				p, err := r.fn(bench.MicroOpts{
+					Clients:        n,
+					BytesPerClient: opts.BytesPerClient,
+					Spec:           opts.Spec,
+					Storage: bench.StorageOpts{
+						Kind:        kind,
+						MemCapacity: opts.MemCapacity,
+						Replication: opts.Replication,
+					},
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bsfs-bench: %s/%s/%d: %v\n", r.name, kind, n, err)
+					os.Exit(1)
+				}
+				all = append(all, p)
+			}
+		}
+	}
+	bench.WritePointsCSV(os.Stdout, all)
+}

@@ -1,0 +1,63 @@
+// Command bsfsd hosts a BSFS deployment (BlobSeer version manager,
+// provider manager, providers, metadata DHT, and the BSFS namespace
+// manager) and serves the file system to remote clients over TCP.
+// Pair it with cmd/blobctl.
+//
+// With -data, provider pages are persisted to write-ahead logs under
+// the given directory and survive restarts.
+//
+// Usage:
+//
+//	bsfsd -listen :7700 -providers 4 -page 262144 -data /var/lib/bsfsd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/bsfs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/rpcnet"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":7700", "TCP listen address")
+		providers = flag.Int("providers", 4, "number of page providers")
+		pageSize  = flag.Int64("page", 256<<10, "blob page size in bytes")
+		blockSize = flag.Int64("block", 64<<20, "BSFS block size in bytes")
+		replicas  = flag.Int("replicas", 1, "page replication factor")
+		dataDir   = flag.String("data", "", "directory for durable page logs (empty = in-memory)")
+	)
+	flag.Parse()
+
+	env := cluster.NewLocal(*providers+1, 0)
+	nodes := make([]cluster.NodeID, *providers)
+	for i := range nodes {
+		nodes[i] = cluster.NodeID(i + 1)
+	}
+	dep, err := core.NewDeployment(env, core.Options{
+		PageSize:      *pageSize,
+		Replication:   *replicas,
+		ProviderNodes: nodes,
+		Provider:      core.ProviderConfig{Dir: *dataDir},
+	})
+	if err != nil {
+		log.Fatalf("bsfsd: %v", err)
+	}
+	defer dep.Close()
+	svc := bsfs.NewService(dep, bsfs.Config{BlockSize: *blockSize})
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("bsfsd: %v", err)
+	}
+	fmt.Printf("bsfsd: serving BSFS on %s (%d providers, page %d, block %d, replicas %d)\n",
+		l.Addr(), *providers, *pageSize, *blockSize, *replicas)
+	if err := rpcnet.Serve(l, rpcnet.NewService(svc.NewFS(0))); err != nil {
+		log.Fatalf("bsfsd: %v", err)
+	}
+}

@@ -1,0 +1,82 @@
+// Command mr-bench regenerates the paper's application benchmarks
+// (§IV.C): job completion time of Random Text Writer (E4) and
+// Distributed Grep (E5) through the MapReduce framework, with BSFS and
+// HDFS as storage back-ends, plus the versioned-workflow extension
+// (X2).
+//
+// Usage:
+//
+//	mr-bench                       # E4 + E5 at paper scale
+//	mr-bench -app rtw -maps 250    # one application
+//	mr-bench -app x2               # snapshot workflow extension
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "all", "application: rtw, grep, x2, or 'all'")
+		maps    = flag.Int("maps", 250, "map tasks (paper: one per client node)")
+		sizeMB  = flag.Int64("size", 1024, "MB per map (paper: 1024)")
+		nodes   = flag.Int("nodes", 270, "cluster size")
+		cacheMB = flag.Int64("cache", 512, "storage-node RAM cache in MB")
+	)
+	flag.Parse()
+
+	base := bench.AppOpts{
+		Maps:        *maps,
+		BytesPerMap: *sizeMB * bench.MB,
+		Spec:        bench.ClusterSpec{Nodes: *nodes},
+	}
+
+	runBoth := func(name string, run func(bench.AppOpts) (bench.AppResult, error)) []bench.AppResult {
+		var out []bench.AppResult
+		for _, kind := range []string{"bsfs", "hdfs"} {
+			opts := base
+			opts.Storage = bench.StorageOpts{Kind: kind, MemCapacity: *cacheMB * bench.MB}
+			r, err := run(opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mr-bench: %s on %s: %v\n", name, kind, err)
+				os.Exit(1)
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+
+	switch *app {
+	case "rtw":
+		bench.WriteAppTable(os.Stdout, "E4: Random Text Writer (job completion time)", runBoth("rtw", bench.RunRandomTextWriter))
+	case "grep":
+		bench.WriteAppTable(os.Stdout, "E5: Distributed Grep (job completion time)", runBoth("grep", bench.RunDistributedGrep))
+	case "x2":
+		opts := base
+		opts.Storage = bench.StorageOpts{Kind: "bsfs", MemCapacity: *cacheMB * bench.MB}
+		results, err := bench.RunSnapshotWorkflow(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mr-bench: x2: %v\n", err)
+			os.Exit(1)
+		}
+		bench.WriteAppTable(os.Stdout, "X2: concurrent MapReduce jobs on different snapshots (bsfs)", results)
+	case "all":
+		bench.WriteAppTable(os.Stdout, "E4: Random Text Writer (job completion time)", runBoth("rtw", bench.RunRandomTextWriter))
+		bench.WriteAppTable(os.Stdout, "E5: Distributed Grep (job completion time)", runBoth("grep", bench.RunDistributedGrep))
+		opts := base
+		opts.Storage = bench.StorageOpts{Kind: "bsfs", MemCapacity: *cacheMB * bench.MB}
+		if results, err := bench.RunSnapshotWorkflow(opts); err == nil {
+			bench.WriteAppTable(os.Stdout, "X2: concurrent MapReduce jobs on different snapshots (bsfs)", results)
+		} else {
+			fmt.Fprintf(os.Stderr, "mr-bench: x2: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mr-bench: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,263 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (§IV): the three microbenchmarks (E1-E3), the two
+// application benchmarks (E4-E5), the future-work extensions (X1-X2)
+// and the ablations (A1-A4). Each run builds a fresh simulated
+// Grid'5000-style cluster, deploys BSFS or HDFS on it, drives the
+// paper's workload and reports throughput or job completion time.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bsfs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/hdfs"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Byte units re-exported for workload sizing.
+const (
+	KB = simnet.KB
+	MB = simnet.MB
+	GB = simnet.GB
+)
+
+// ClusterSpec sizes the simulated testbed. The defaults reproduce the
+// paper's setup: 270 nodes, node 0 hosting the masters (version
+// manager, provider manager, namespace manager / namenode, jobtracker)
+// and nodes 1..269 hosting providers/datanodes and clients.
+type ClusterSpec struct {
+	Nodes int
+	// MetaNodes is the number of metadata (DHT) providers for BSFS,
+	// spread evenly over the storage nodes (default 24).
+	MetaNodes int
+}
+
+func (s *ClusterSpec) fillDefaults() {
+	if s.Nodes <= 0 {
+		s.Nodes = 270
+	}
+	if s.MetaNodes <= 0 {
+		s.MetaNodes = 24
+	}
+	if s.MetaNodes > s.Nodes-1 {
+		s.MetaNodes = s.Nodes - 1
+	}
+}
+
+// StorageOpts selects and tunes the storage layer under test.
+type StorageOpts struct {
+	// Kind is "bsfs" or "hdfs".
+	Kind string
+	// Replication is the data replica count (default 1, matching the
+	// paper's throughput-focused deployment; 3 reproduces HDFS's
+	// default pipeline).
+	Replication int
+	// PageSize is BlobSeer's page size (default 256 KiB).
+	PageSize int64
+	// BlockSize is the BSFS block / HDFS chunk size (default 64 MiB).
+	BlockSize int64
+	// MemCapacity bounds each storage node's RAM cache (default
+	// 512 MiB — the knob that decides how much of a re-read comes off
+	// disk).
+	MemCapacity int64
+	// LocalFirstPlacement grafts HDFS's placement policy onto BlobSeer
+	// (ablation A1).
+	LocalFirstPlacement bool
+	// DisableClientCache turns off BSFS's client-side block cache
+	// (ablation A2).
+	DisableClientCache bool
+	// RAMDatanodes disables HDFS's write-through pipeline (ablation
+	// A4): datanodes buffer chunks in RAM like BlobSeer providers.
+	RAMDatanodes bool
+}
+
+func (o *StorageOpts) fillDefaults() {
+	if o.Replication < 1 {
+		o.Replication = 1
+	}
+	if o.PageSize <= 0 {
+		o.PageSize = 256 * KB
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 64 * MB
+	}
+	if o.MemCapacity == 0 {
+		o.MemCapacity = 512 * MB
+	}
+}
+
+// Testbed is one simulated cluster with a storage deployment.
+type Testbed struct {
+	Spec ClusterSpec
+	Eng  *sim.Engine
+	Net  *simnet.Network
+	Env  *cluster.Sim
+	// NewFS returns a storage client bound to a node.
+	NewFS func(node cluster.NodeID) fsapi.FileSystem
+	// Kind echoes the storage under test.
+	Kind string
+
+	bsfsSvc *bsfs.Service
+	hdfsDep *hdfs.Deployment
+}
+
+// storageNodes lists nodes 1..N-1 (node 0 is the master host).
+func storageNodes(n int) []cluster.NodeID {
+	out := make([]cluster.NodeID, n-1)
+	for i := range out {
+		out[i] = cluster.NodeID(i + 1)
+	}
+	return out
+}
+
+// NewTestbed builds a fresh simulated cluster with the requested
+// storage system deployed.
+func NewTestbed(spec ClusterSpec, opts StorageOpts) (*Testbed, error) {
+	spec.fillDefaults()
+	opts.fillDefaults()
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(spec.Nodes))
+	env := cluster.NewSim(net)
+	tb := &Testbed{Spec: spec, Eng: eng, Net: net, Env: env, Kind: opts.Kind}
+
+	nodes := storageNodes(spec.Nodes)
+	switch opts.Kind {
+	case "bsfs":
+		meta := make([]cluster.NodeID, 0, spec.MetaNodes)
+		step := len(nodes) / spec.MetaNodes
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(nodes) && len(meta) < spec.MetaNodes; i += step {
+			meta = append(meta, nodes[i])
+		}
+		var strategy core.PlacementStrategy
+		if opts.LocalFirstPlacement {
+			strategy = core.NewLocalFirst(nodes)
+		}
+		dep, err := core.NewDeployment(env, core.Options{
+			PageSize:      opts.PageSize,
+			Replication:   opts.Replication,
+			VMNode:        0,
+			ProviderNodes: nodes,
+			MetaNodes:     meta,
+			Strategy:      strategy,
+			Provider:      core.ProviderConfig{MemCapacity: opts.MemCapacity},
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.bsfsSvc = bsfs.NewService(dep, bsfs.Config{
+			NamespaceNode: 0,
+			BlockSize:     opts.BlockSize,
+			DisableCache:  opts.DisableClientCache,
+		})
+		tb.NewFS = func(n cluster.NodeID) fsapi.FileSystem { return tb.bsfsSvc.NewFS(n) }
+	case "hdfs":
+		dep, err := hdfs.NewDeployment(env, hdfs.Config{
+			NameNode:     0,
+			DataNodes:    nodes,
+			ChunkSize:    opts.BlockSize,
+			Replication:  opts.Replication,
+			MemCapacity:  opts.MemCapacity,
+			WriteThrough: !opts.RAMDatanodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.hdfsDep = dep
+		tb.NewFS = func(n cluster.NodeID) fsapi.FileSystem { return dep.NewFS(n) }
+	default:
+		return nil, fmt.Errorf("bench: unknown storage kind %q", opts.Kind)
+	}
+	return tb, nil
+}
+
+// clientNodes spreads n clients over the storage nodes (clients are
+// colocated with providers/datanodes, as on the paper's testbed).
+func (tb *Testbed) clientNodes(n int) []cluster.NodeID {
+	avail := tb.Spec.Nodes - 1
+	out := make([]cluster.NodeID, n)
+	for i := range out {
+		out[i] = cluster.NodeID(1 + (i*avail)/n)
+	}
+	return out
+}
+
+// loaderNode pairs every client with a distant loader: the node half a
+// ring away, so pre-loaded data is never local to its reader.
+func (tb *Testbed) loaderNode(client cluster.NodeID) cluster.NodeID {
+	avail := tb.Spec.Nodes - 1
+	return cluster.NodeID(1 + (int(client)-1+avail/2)%avail)
+}
+
+// Run executes body as the simulation's root process and drives the
+// engine to completion.
+func (tb *Testbed) Run(body func()) error {
+	tb.Eng.Go(body)
+	return tb.Eng.Run()
+}
+
+// Point is one measured sweep point of a microbenchmark.
+type Point struct {
+	Experiment string
+	Kind       string
+	Clients    int
+	// PerClientMBps is the mean per-client throughput; Min/Max bound
+	// the distribution (the paper reports stability under concurrency).
+	PerClientMBps float64
+	MinMBps       float64
+	MaxMBps       float64
+	AggregateMBps float64
+	// Duration is the makespan of the measured phase.
+	Duration time.Duration
+	// NetBytes / DiskBytes are the fabric resources consumed during
+	// the measured phase (mechanism evidence: who hit disks, who moved
+	// bytes).
+	NetBytes  int64
+	DiskBytes int64
+}
+
+// resourceSnapshot sums the simnet counters.
+func resourceSnapshot(tb *Testbed) (net, disk int64) {
+	s := tb.Net.Stats()
+	for i := range s.BytesUp {
+		net += s.BytesUp[i]
+		disk += s.BytesDisk[i]
+	}
+	return net, disk
+}
+
+func mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / float64(MB)
+}
+
+// summarize builds a Point from per-client durations.
+func summarize(exp, kind string, perClient int64, durations []time.Duration, makespan time.Duration) Point {
+	p := Point{Experiment: exp, Kind: kind, Clients: len(durations), Duration: makespan}
+	if len(durations) == 0 {
+		return p
+	}
+	var sum float64
+	for i, d := range durations {
+		t := mbps(perClient, d)
+		sum += t
+		if i == 0 || t < p.MinMBps {
+			p.MinMBps = t
+		}
+		if i == 0 || t > p.MaxMBps {
+			p.MaxMBps = t
+		}
+	}
+	p.PerClientMBps = sum / float64(len(durations))
+	p.AggregateMBps = mbps(perClient*int64(len(durations)), makespan)
+	return p
+}

@@ -1,0 +1,71 @@
+// report.go renders experiment results as the tables/series the paper
+// reports.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// WritePointsTable renders microbenchmark sweep points grouped by
+// storage kind, one row per (kind, clients) — the series behind the
+// paper's throughput figures.
+func WritePointsTable(w io.Writer, title string, points []Point) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "experiment\tfs\tclients\tper-client MB/s\tmin\tmax\taggregate MB/s\tmakespan\tnet\tdisk")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%s\t%s\t%s\n",
+			p.Experiment, p.Kind, p.Clients, p.PerClientMBps, p.MinMBps, p.MaxMBps, p.AggregateMBps,
+			p.Duration.Round(timeUnit(p.Duration)), size(p.NetBytes), size(p.DiskBytes))
+	}
+	tw.Flush()
+}
+
+// WriteAppTable renders application benchmark results — the paper's
+// job completion time comparison.
+func WriteAppTable(w io.Writer, title string, results []AppResult) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "experiment\tfs\tmaps\tcompletion\tinput\tshuffle\toutput\tlocal/rack/remote")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\t%s\t%d/%d/%d\n",
+			r.Experiment, r.Kind, r.Maps, r.Completion.Round(timeUnit(r.Completion)),
+			size(r.Counters.InputBytes), size(r.Counters.ShuffleBytes), size(r.Counters.OutputBytes),
+			r.Counters.DataLocal, r.Counters.RackLocal, r.Counters.Remote)
+	}
+	tw.Flush()
+}
+
+// WritePointsCSV emits machine-readable sweep data.
+func WritePointsCSV(w io.Writer, points []Point) {
+	fmt.Fprintln(w, "experiment,fs,clients,per_client_mbps,min_mbps,max_mbps,aggregate_mbps,makespan_s")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s,%s,%d,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+			p.Experiment, p.Kind, p.Clients, p.PerClientMBps, p.MinMBps, p.MaxMBps, p.AggregateMBps, p.Duration.Seconds())
+	}
+}
+
+func size(n int64) string {
+	switch {
+	case n >= GB:
+		return fmt.Sprintf("%.1fGB", float64(n)/float64(GB))
+	case n >= MB:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(MB))
+	case n >= KB:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// timeUnit picks a rounding granularity readable at the duration's
+// scale.
+func timeUnit(d time.Duration) time.Duration {
+	if d > 16*time.Minute {
+		return time.Second
+	}
+	return 10 * time.Millisecond
+}

@@ -1,0 +1,216 @@
+// sweep.go defines the named experiments (E1..E5, X1..X2, A1..A4) as
+// client-count sweeps over both storage systems — the figures and
+// tables of the paper's evaluation, regenerated.
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// SweepOpts parameterizes a full experiment sweep.
+type SweepOpts struct {
+	// Clients lists the sweep points (default the paper's range
+	// 1..250).
+	Clients []int
+	// BytesPerClient defaults to the paper's 1 GB.
+	BytesPerClient int64
+	// Spec defaults to the paper's 270 nodes.
+	Spec ClusterSpec
+	// MemCapacity scales storage-node caches (default 512 MB).
+	MemCapacity int64
+	// Replication is the data replica count for both systems
+	// (default 1; 3 reproduces HDFS's default pipeline).
+	Replication int
+}
+
+func (o *SweepOpts) fillDefaults() {
+	if len(o.Clients) == 0 {
+		o.Clients = []int{1, 20, 50, 100, 150, 200, 250}
+	}
+	if o.BytesPerClient <= 0 {
+		o.BytesPerClient = 1 * GB
+	}
+}
+
+// microRunner is one of the E1/E2/E3/X1 run functions.
+type microRunner func(MicroOpts) (Point, error)
+
+// runSweep executes a microbenchmark over both storage kinds at every
+// client count.
+func runSweep(run microRunner, opts SweepOpts, kinds []string, mutate func(*MicroOpts)) ([]Point, error) {
+	opts.fillDefaults()
+	var out []Point
+	for _, kind := range kinds {
+		for _, n := range opts.Clients {
+			mo := MicroOpts{
+				Clients:        n,
+				BytesPerClient: opts.BytesPerClient,
+				Spec:           opts.Spec,
+				Storage: StorageOpts{
+					Kind:        kind,
+					MemCapacity: opts.MemCapacity,
+					Replication: opts.Replication,
+				},
+			}
+			if mutate != nil {
+				mutate(&mo)
+			}
+			p, err := run(mo)
+			if err != nil {
+				return out, fmt.Errorf("bench: %s kind=%s n=%d: %w", p.Experiment, kind, n, err)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Experiment metadata for the registry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opts SweepOpts, w io.Writer) error
+}
+
+// Experiments is the registry behind cmd/bsfs-bench: every figure and
+// table of the paper plus the extension and ablation studies.
+var Experiments = []Experiment{
+	{
+		ID:    "e1",
+		Title: "E1 §IV.B: concurrent reads from different files (throughput vs clients)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			pts, err := runSweep(RunReadDistinct, opts, []string{"bsfs", "hdfs"}, nil)
+			WritePointsTable(w, "E1: concurrent reads, distinct files", pts)
+			return err
+		},
+	},
+	{
+		ID:    "e2",
+		Title: "E2 §IV.B: concurrent reads of disjoint parts of one huge file",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			pts, err := runSweep(RunReadShared, opts, []string{"bsfs", "hdfs"}, nil)
+			WritePointsTable(w, "E2: concurrent reads, one shared file", pts)
+			return err
+		},
+	},
+	{
+		ID:    "e3",
+		Title: "E3 §IV.B: concurrent writes to different files",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			pts, err := runSweep(RunWriteDistinct, opts, []string{"bsfs", "hdfs"}, nil)
+			WritePointsTable(w, "E3: concurrent writes, distinct files", pts)
+			return err
+		},
+	},
+	{
+		ID:    "x1",
+		Title: "X1 §V: concurrent appends to one file (BSFS only; HDFS rejects)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			pts, err := runSweep(RunAppendShared, opts, []string{"bsfs"}, nil)
+			WritePointsTable(w, "X1: concurrent appends, one shared file (bsfs)", pts)
+			if err != nil {
+				return err
+			}
+			// Demonstrate the HDFS refusal at one point.
+			opts.fillDefaults()
+			_, herr := RunAppendShared(MicroOpts{
+				Clients:        opts.Clients[0],
+				BytesPerClient: opts.BytesPerClient,
+				Spec:           opts.Spec,
+				Storage:        StorageOpts{Kind: "hdfs", MemCapacity: opts.MemCapacity},
+			})
+			fmt.Fprintf(w, "hdfs: concurrent append rejected as expected: %v\n", herr)
+			return nil
+		},
+	},
+	{
+		ID:    "a1",
+		Title: "A1 ablation: BlobSeer striping vs HDFS-style local-first placement (read side)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			striped, err := runSweep(RunReadDistinct, opts, []string{"bsfs"}, nil)
+			if err != nil {
+				return err
+			}
+			local, err := runSweep(RunReadDistinct, opts, []string{"bsfs"}, func(m *MicroOpts) {
+				m.Storage.LocalFirstPlacement = true
+			})
+			for i := range local {
+				local[i].Experiment = "A1-local-first"
+			}
+			WritePointsTable(w, "A1: placement ablation (striped vs local-first, reads)", append(striped, local...))
+			return err
+		},
+	},
+	{
+		ID:    "a2",
+		Title: "A2 ablation: BSFS client block cache disabled",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			// MapReduce-style record reads (1 MB requests) are where the
+			// §III.B client cache earns its keep.
+			withRecords := func(m *MicroOpts) { m.RecordSize = 1 * MB }
+			on, err := runSweep(RunReadDistinct, opts, []string{"bsfs"}, withRecords)
+			if err != nil {
+				return err
+			}
+			off, err := runSweep(RunReadDistinct, opts, []string{"bsfs"}, func(m *MicroOpts) {
+				m.RecordSize = 1 * MB
+				m.Storage.DisableClientCache = true
+			})
+			for i := range off {
+				off[i].Experiment = "A2-no-client-cache"
+			}
+			WritePointsTable(w, "A2: client cache ablation (1 MB record reads)", append(on, off...))
+			return err
+		},
+	},
+	{
+		ID:    "a3",
+		Title: "A3 ablation: BlobSeer page size sweep (shared-file reads)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			var all []Point
+			for _, ps := range []int64{64 * KB, 256 * KB, 1 * MB, 4 * MB} {
+				pts, err := runSweep(RunReadShared, opts, []string{"bsfs"}, func(m *MicroOpts) {
+					m.Storage.PageSize = ps
+				})
+				if err != nil {
+					return err
+				}
+				for i := range pts {
+					pts[i].Experiment = fmt.Sprintf("A3-page-%s", size(ps))
+				}
+				all = append(all, pts...)
+			}
+			WritePointsTable(w, "A3: page size ablation (shared-file reads)", all)
+			return nil
+		},
+	},
+	{
+		ID:    "a4",
+		Title: "A4 ablation: HDFS with RAM-buffered datanodes (write-through off)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			wt, err := runSweep(RunWriteDistinct, opts, []string{"hdfs"}, nil)
+			if err != nil {
+				return err
+			}
+			ram, err := runSweep(RunWriteDistinct, opts, []string{"hdfs"}, func(m *MicroOpts) {
+				m.Storage.RAMDatanodes = true
+			})
+			for i := range ram {
+				ram[i].Experiment = "A4-ram-datanodes"
+			}
+			WritePointsTable(w, "A4: HDFS write-through ablation (writes)", append(wt, ram...))
+			return err
+		},
+	},
+}
+
+// FindExperiment returns the registered experiment with the given id.
+func FindExperiment(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,581 @@
+// Package bsfs implements BSFS, the paper's contribution (§III.B): a
+// file-system layer on top of the BlobSeer blob store that plugs into
+// the MapReduce framework where HDFS normally sits.
+//
+// BSFS consists of:
+//
+//   - a centralized namespace manager mapping a hierarchical file
+//     namespace onto blobs (one file = one blob);
+//   - a client-side cache: reads prefetch whole blocks (MapReduce
+//     processes small records, ~4 KB, out of huge files), and writes
+//     are committed only when a whole block has accumulated;
+//   - data-layout exposure: BlockLocations aggregates BlobSeer's
+//     page-level distribution into the per-block host lists the
+//     MapReduce scheduler consumes.
+//
+// Because the underlying store versions every write, BSFS also offers
+// what the paper's future-work section asks for: concurrent appends to
+// a single file and snapshot reads (OpenVersion) that let workflows run
+// on frozen views of a dataset while it keeps changing.
+package bsfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fsapi"
+)
+
+// Config parameterizes a BSFS deployment.
+type Config struct {
+	// NamespaceNode hosts the namespace manager.
+	NamespaceNode cluster.NodeID
+	// BlockSize is the cache/commit block and the split unit exposed to
+	// MapReduce (default 64 MB). Must be a multiple of the blob page
+	// size.
+	BlockSize int64
+	// CacheBlocks is the per-reader prefetch cache capacity in blocks
+	// (default 2).
+	CacheBlocks int
+	// DisableCache bypasses the client cache entirely (ablation A2):
+	// every read and write goes straight to BlobSeer at request
+	// granularity.
+	DisableCache bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64 << 20
+	}
+	if c.CacheBlocks <= 0 {
+		c.CacheBlocks = 2
+	}
+}
+
+// Service is the centralized namespace manager.
+type Service struct {
+	env  cluster.Env
+	node cluster.NodeID
+	cfg  Config
+	ns   *fsapi.Namespace
+	dep  *core.Deployment
+}
+
+// NewService starts the namespace manager over a BlobSeer deployment.
+func NewService(dep *core.Deployment, cfg Config) *Service {
+	cfg.fillDefaults()
+	return &Service{env: dep.Env, node: cfg.NamespaceNode, cfg: cfg, ns: fsapi.NewNamespace(), dep: dep}
+}
+
+// Deployment exposes the underlying BlobSeer deployment.
+func (s *Service) Deployment() *core.Deployment { return s.dep }
+
+// NewFS returns a file-system client bound to a node.
+func (s *Service) NewFS(node cluster.NodeID) *FS {
+	return &FS{svc: s, node: node, blob: s.dep.NewClient(node)}
+}
+
+// FS implements fsapi.FileSystem for one client node.
+type FS struct {
+	svc  *Service
+	node cluster.NodeID
+	blob *core.Client
+}
+
+var _ fsapi.FileSystem = (*FS)(nil)
+
+// Name implements fsapi.FileSystem.
+func (f *FS) Name() string { return "bsfs" }
+
+// BlockSize implements fsapi.FileSystem.
+func (f *FS) BlockSize() int64 { return f.svc.cfg.BlockSize }
+
+// Node returns the client's node.
+func (f *FS) Node() cluster.NodeID { return f.node }
+
+// rtt charges one namespace-manager round trip.
+func (f *FS) rtt() { f.svc.env.RTT(f.node, f.svc.node) }
+
+// Create registers a new file backed by a fresh blob and returns a
+// block-buffered writer.
+func (f *FS) Create(path string) (fsapi.Writer, error) {
+	blob, err := f.blob.Create(0)
+	if err != nil {
+		return nil, err
+	}
+	f.rtt()
+	if err := f.svc.ns.CreateFile(path, blob); err != nil {
+		return nil, fmt.Errorf("bsfs: create %s: %w", path, err)
+	}
+	return f.newWriter(path, blob), nil
+}
+
+// Append opens an existing file for appending; multiple clients may
+// append to the same file concurrently (BlobSeer serializes the
+// versions).
+func (f *FS) Append(path string) (fsapi.Writer, error) {
+	blob, err := f.blobOf(path)
+	if err != nil {
+		return nil, err
+	}
+	return f.newWriter(path, blob), nil
+}
+
+func (f *FS) blobOf(path string) (core.BlobID, error) {
+	f.rtt()
+	payload, err := f.svc.ns.Payload(path)
+	if err != nil {
+		return 0, fmt.Errorf("bsfs: %s: %w", path, err)
+	}
+	return payload.(core.BlobID), nil
+}
+
+// Open returns a prefetching reader over the file's latest snapshot.
+func (f *FS) Open(path string) (fsapi.Reader, error) {
+	blob, err := f.blobOf(path)
+	if err != nil {
+		return nil, err
+	}
+	v, size, err := f.blob.Latest(blob)
+	if err != nil {
+		return nil, err
+	}
+	return f.newReader(blob, v, size), nil
+}
+
+// OpenVersion returns a reader over a specific snapshot of the file —
+// the versioning integration of the paper's future-work section (§V).
+func (f *FS) OpenVersion(path string, v core.Version) (fsapi.Reader, error) {
+	blob, err := f.blobOf(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := f.svc.dep.VM.GetVersion(f.node, blob, v)
+	if err != nil {
+		return nil, err
+	}
+	return f.newReader(blob, v, rec.SizeAfter), nil
+}
+
+// SnapshotFile registers newPath as a copy-on-write branch of path at
+// snapshot v (core.LatestVersion for the current one): an O(1)
+// metadata operation sharing all data with the source — the "easy
+// roll-back to previous snapshots" capability the paper motivates
+// (§II.B), made writable.
+func (f *FS) SnapshotFile(path string, v core.Version, newPath string) error {
+	blob, err := f.blobOf(path)
+	if err != nil {
+		return err
+	}
+	clone, err := f.blob.Clone(blob, v)
+	if err != nil {
+		return err
+	}
+	f.rtt()
+	if err := f.svc.ns.CreateFile(newPath, clone); err != nil {
+		return err
+	}
+	_, size, err := f.blob.Latest(clone)
+	if err != nil {
+		return err
+	}
+	return f.svc.ns.SetSize(newPath, size)
+}
+
+// Versions lists the published snapshots of a file.
+func (f *FS) Versions(path string) ([]core.Version, error) {
+	blob, err := f.blobOf(path)
+	if err != nil {
+		return nil, err
+	}
+	latest, _, err := f.blob.Latest(blob)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Version, 0, latest)
+	for v := core.Version(1); v <= latest; v++ {
+		if _, err := f.svc.dep.VM.GetVersion(f.node, blob, v); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Stat implements fsapi.FileSystem.
+func (f *FS) Stat(path string) (fsapi.FileInfo, error) {
+	f.rtt()
+	fi, err := f.svc.ns.Stat(path)
+	if err != nil {
+		return fsapi.FileInfo{}, err
+	}
+	// The namespace tracks committed sizes; refresh from the VM for
+	// files (appends from other clients may have advanced it).
+	if !fi.IsDir {
+		if payload, perr := f.svc.ns.Payload(path); perr == nil {
+			if _, size, verr := f.blob.Latest(payload.(core.BlobID)); verr == nil && size > fi.Size {
+				fi.Size = size
+			}
+		}
+	}
+	return fi, nil
+}
+
+// List implements fsapi.FileSystem.
+func (f *FS) List(path string) ([]fsapi.FileInfo, error) {
+	f.rtt()
+	return f.svc.ns.List(path)
+}
+
+// Mkdir implements fsapi.FileSystem.
+func (f *FS) Mkdir(path string) error {
+	f.rtt()
+	return f.svc.ns.Mkdir(path)
+}
+
+// Rename implements fsapi.FileSystem.
+func (f *FS) Rename(oldPath, newPath string) error {
+	f.rtt()
+	return f.svc.ns.Rename(oldPath, newPath)
+}
+
+// Delete implements fsapi.FileSystem. The blob's pages remain in the
+// store (BlobSeer never reclaims versions; the paper shares this
+// property).
+func (f *FS) Delete(path string) error {
+	f.rtt()
+	_, err := f.svc.ns.Delete(path)
+	return err
+}
+
+// BlockLocations aggregates page-level placement into per-block host
+// lists, best-covered host first (§III.B data-layout exposure).
+func (f *FS) BlockLocations(path string, off, length int64) ([]fsapi.BlockLocation, error) {
+	blob, err := f.blobOf(path)
+	if err != nil {
+		return nil, err
+	}
+	v, size, err := f.blob.Latest(blob)
+	if err != nil {
+		return nil, err
+	}
+	if v == 0 || off >= size || length <= 0 {
+		return nil, nil
+	}
+	if off+length > size {
+		length = size - off
+	}
+	ps, err := f.blob.PageSize(blob)
+	if err != nil {
+		return nil, err
+	}
+	bs := f.svc.cfg.BlockSize
+	var out []fsapi.BlockLocation
+	for blockStart := off - off%bs; blockStart < off+length; blockStart += bs {
+		blockLen := bs
+		if blockStart+blockLen > size {
+			blockLen = size - blockStart
+		}
+		locs, err := f.blob.PageLocations(blob, v, blockStart, blockLen)
+		if err != nil {
+			return nil, err
+		}
+		cover := map[cluster.NodeID]int64{}
+		for _, l := range locs {
+			for _, h := range l.Providers {
+				cover[h] += ps
+			}
+		}
+		hosts := make([]cluster.NodeID, 0, len(cover))
+		for h := range cover {
+			hosts = append(hosts, h)
+		}
+		sort.Slice(hosts, func(i, j int) bool {
+			if cover[hosts[i]] != cover[hosts[j]] {
+				return cover[hosts[i]] > cover[hosts[j]]
+			}
+			return hosts[i] < hosts[j]
+		})
+		if len(hosts) > 3 {
+			hosts = hosts[:3]
+		}
+		out = append(out, fsapi.BlockLocation{Offset: blockStart, Length: blockLen, Hosts: hosts})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Writer: write-back block cache (§III.B — "delays committing writes
+// until a whole block has been filled in the cache").
+
+type writer struct {
+	fs   *FS
+	path string
+	blob core.BlobID
+
+	mu        sync.Mutex
+	buf       []byte // real buffered bytes
+	synthBuf  int64  // synthetic buffered bytes
+	synthetic bool
+	written   int64 // total committed + buffered
+	closed    bool
+}
+
+func (f *FS) newWriter(path string, blob core.BlobID) *writer {
+	return &writer{fs: f, path: path, blob: blob}
+}
+
+// Write implements io.Writer with block-granular commit.
+func (w *writer) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("bsfs: write to closed writer")
+	}
+	if w.synthetic {
+		return 0, fmt.Errorf("bsfs: mixing real and synthetic writes")
+	}
+	w.buf = append(w.buf, p...)
+	w.written += int64(len(p))
+	bs := w.fs.svc.cfg.BlockSize
+	if w.fs.svc.cfg.DisableCache {
+		bs = 1 // flush everything immediately
+	}
+	for int64(len(w.buf)) >= bs {
+		n := bs
+		if w.fs.svc.cfg.DisableCache {
+			n = int64(len(w.buf))
+		}
+		if err := w.flushReal(w.buf[:n]); err != nil {
+			return 0, err
+		}
+		w.buf = append([]byte(nil), w.buf[n:]...)
+	}
+	return len(p), nil
+}
+
+// WriteSynthetic implements fsapi.Writer.
+func (w *writer) WriteSynthetic(n int64) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("bsfs: write to closed writer")
+	}
+	if len(w.buf) > 0 {
+		return 0, fmt.Errorf("bsfs: mixing real and synthetic writes")
+	}
+	w.synthetic = true
+	w.synthBuf += n
+	w.written += n
+	bs := w.fs.svc.cfg.BlockSize
+	if w.fs.svc.cfg.DisableCache {
+		bs = 1
+	}
+	for w.synthBuf >= bs {
+		chunk := bs
+		if w.fs.svc.cfg.DisableCache {
+			chunk = w.synthBuf
+		}
+		if _, _, err := w.fs.blob.AppendSynthetic(w.blob, chunk); err != nil {
+			return 0, err
+		}
+		w.synthBuf -= chunk
+	}
+	return n, nil
+}
+
+func (w *writer) flushReal(chunk []byte) error {
+	_, _, err := w.fs.blob.Append(w.blob, chunk)
+	return err
+}
+
+// Close flushes the remainder and commits the file size.
+func (w *writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		if err := w.flushReal(w.buf); err != nil {
+			return err
+		}
+		w.buf = nil
+	}
+	if w.synthBuf > 0 {
+		if _, _, err := w.fs.blob.AppendSynthetic(w.blob, w.synthBuf); err != nil {
+			return err
+		}
+		w.synthBuf = 0
+	}
+	w.fs.rtt()
+	_, size, err := w.fs.blob.Latest(w.blob)
+	if err != nil {
+		return err
+	}
+	return w.fs.svc.ns.SetSize(w.path, size)
+}
+
+// ---------------------------------------------------------------------
+// Reader: whole-block prefetch cache (§III.B — "prefetches a whole
+// block when the requested data is not already cached").
+
+type reader struct {
+	fs   *FS
+	blob core.BlobID
+	ver  core.Version
+	size int64
+
+	mu     sync.Mutex
+	pos    int64
+	blocks map[int64][]byte // block index -> data (nil entry = synthetic fetched)
+	order  []int64          // LRU, most recent last
+}
+
+func (f *FS) newReader(blob core.BlobID, v core.Version, size int64) *reader {
+	return &reader{fs: f, blob: blob, ver: v, size: size, blocks: map[int64][]byte{}}
+}
+
+// Size implements fsapi.Reader.
+func (r *reader) Size() int64 { return r.size }
+
+// Read implements io.Reader (sequential).
+func (r *reader) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	pos := r.pos
+	r.mu.Unlock()
+	n, err := r.ReadAt(p, pos)
+	r.mu.Lock()
+	r.pos += int64(n)
+	r.mu.Unlock()
+	if err == nil && n == 0 && len(p) > 0 {
+		return 0, io.EOF
+	}
+	return n, err
+}
+
+// ReadAt implements io.ReaderAt with whole-block prefetch.
+func (r *reader) ReadAt(p []byte, off int64) (int, error) {
+	if off >= r.size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if off+want > r.size {
+		want = r.size - off
+	}
+	if r.fs.svc.cfg.DisableCache {
+		n, err := r.fs.blob.Read(r.blob, r.ver, off, p[:want])
+		if err != nil {
+			return 0, err
+		}
+		if int64(n) < int64(len(p)) {
+			return n, io.EOF
+		}
+		return n, nil
+	}
+	bs := r.fs.svc.cfg.BlockSize
+	var done int64
+	for done < want {
+		at := off + done
+		bi := at / bs
+		data, err := r.block(bi, false)
+		if err != nil {
+			return int(done), err
+		}
+		from := at - bi*bs
+		n := copy(p[done:want], data[from:])
+		if n == 0 {
+			break
+		}
+		done += int64(n)
+	}
+	if done < int64(len(p)) {
+		return int(done), io.EOF
+	}
+	return int(done), nil
+}
+
+// ReadSyntheticAt implements fsapi.Reader.
+func (r *reader) ReadSyntheticAt(off, length int64) (int64, error) {
+	if off >= r.size || length <= 0 {
+		return 0, nil
+	}
+	if off+length > r.size {
+		length = r.size - off
+	}
+	if r.fs.svc.cfg.DisableCache {
+		return r.fs.blob.ReadSynthetic(r.blob, r.ver, off, length)
+	}
+	bs := r.fs.svc.cfg.BlockSize
+	var done int64
+	for done < length {
+		bi := (off + done) / bs
+		if _, err := r.block(bi, true); err != nil {
+			return done, err
+		}
+		next := (bi + 1) * bs
+		if next > off+length {
+			next = off + length
+		}
+		done = next - off
+	}
+	return length, nil
+}
+
+// block returns block bi, fetching (prefetching the whole block) on
+// miss. synthetic fetches cover the block without materializing.
+func (r *reader) block(bi int64, synthetic bool) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if data, ok := r.blocks[bi]; ok {
+		r.touch(bi)
+		return data, nil
+	}
+	bs := r.fs.svc.cfg.BlockSize
+	start := bi * bs
+	blockLen := bs
+	if start+blockLen > r.size {
+		blockLen = r.size - start
+	}
+	var data []byte
+	if synthetic {
+		if _, err := r.fs.blob.ReadSynthetic(r.blob, r.ver, start, blockLen); err != nil {
+			return nil, err
+		}
+	} else {
+		data = make([]byte, blockLen)
+		if _, err := r.fs.blob.Read(r.blob, r.ver, start, data); err != nil {
+			return nil, err
+		}
+	}
+	r.blocks[bi] = data
+	r.order = append(r.order, bi)
+	for len(r.order) > r.fs.svc.cfg.CacheBlocks {
+		evict := r.order[0]
+		r.order = r.order[1:]
+		delete(r.blocks, evict)
+	}
+	return data, nil
+}
+
+func (r *reader) touch(bi int64) {
+	for i, b := range r.order {
+		if b == bi {
+			r.order = append(append(r.order[:i:i], r.order[i+1:]...), bi)
+			return
+		}
+	}
+}
+
+// Close implements fsapi.Reader.
+func (r *reader) Close() error {
+	r.mu.Lock()
+	r.blocks = nil
+	r.order = nil
+	r.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// TestConcurrentSubPageAppendsLoseNothing is the regression test for
+// the boundary-page merge: appends far smaller than a page, issued by
+// many concurrent clients, share pages, and every byte must survive.
+// (The naive merge against "latest published" loses a predecessor's
+// fragment whenever it has not yet published.)
+func TestConcurrentSubPageAppendsLoseNothing(t *testing.T) {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(12))
+	env := cluster.NewSim(net)
+	provs := make([]cluster.NodeID, 11)
+	for i := range provs {
+		provs[i] = cluster.NodeID(i + 1)
+	}
+	d, err := NewDeployment(env, Options{PageSize: 4096, ProviderNodes: provs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		appenders = 10
+		perAppend = 100 // bytes, far below the page size
+		rounds    = 8
+	)
+	var blob BlobID
+	eng.Go(func() {
+		c0 := d.NewClient(0)
+		b, err := c0.Create(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		blob = b
+		wg := env.NewWaitGroup()
+		for a := 0; a < appenders; a++ {
+			node := cluster.NodeID(a + 1)
+			wg.Go(func() {
+				c := d.NewClient(node)
+				payload := bytes.Repeat([]byte{byte('A' + a)}, perAppend)
+				for r := 0; r < rounds; r++ {
+					if _, _, err := c.Append(blob, payload); err != nil {
+						t.Errorf("appender %d round %d: %v", a, r, err)
+						return
+					}
+				}
+			})
+		}
+		wg.Wait()
+
+		total := int64(appenders * perAppend * rounds)
+		_, size, err := c0.Latest(blob)
+		if err != nil || size != total {
+			t.Errorf("size = %d, want %d (%v)", size, total, err)
+			return
+		}
+		buf := make([]byte, total)
+		if _, err := c0.Read(blob, LatestVersion, 0, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		// Count every appender's bytes: nothing lost, nothing zeroed.
+		counts := map[byte]int{}
+		for _, bb := range buf {
+			counts[bb]++
+		}
+		if counts[0] > 0 {
+			t.Errorf("%d zero bytes in appended stream (lost fragments)", counts[0])
+		}
+		for a := 0; a < appenders; a++ {
+			if got := counts[byte('A'+a)]; got != perAppend*rounds {
+				t.Errorf("appender %d: %d bytes survive, want %d", a, got, perAppend*rounds)
+			}
+		}
+		// Each append must also be contiguous (no interleaving within
+		// one 100-byte record).
+		for i := int64(0); i < total; i += perAppend {
+			first := buf[i]
+			if !bytes.Equal(buf[i:i+perAppend], bytes.Repeat([]byte{first}, perAppend)) {
+				t.Errorf("record at %d not contiguous", i)
+				return
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAwaitPublished checks the primitive directly.
+func TestAwaitPublished(t *testing.T) {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(4))
+	env := cluster.NewSim(net)
+	vm := NewVersionManager(env, 0)
+	eng.Go(func() {
+		id, _ := vm.CreateBlob(1, 100)
+		vm.RequestTicket(1, id, 0, 100, 0)  // v1
+		vm.RequestTicket(1, id, -1, 100, 0) // v2
+		wg := env.NewWaitGroup()
+		var mu sync.Mutex
+		var order []string
+		add := func(s string) {
+			mu.Lock()
+			order = append(order, s)
+			mu.Unlock()
+		}
+		wg.Go(func() {
+			if err := vm.AwaitPublished(2, id, 2); err != nil {
+				t.Error(err)
+			}
+			add("awaited")
+		})
+		wg.Go(func() {
+			vm.Publish(1, id, 1)
+			add("p1")
+			vm.Publish(1, id, 2)
+			add("p2")
+		})
+		wg.Wait()
+		if len(order) != 3 || order[0] != "p1" {
+			t.Errorf("order = %v", order)
+		}
+		// Await on an already published version returns immediately.
+		if err := vm.AwaitPublished(2, id, 1); err != nil {
+			t.Error(err)
+		}
+		// Await on a never-assigned version errors.
+		if err := vm.AwaitPublished(2, id, 99); err == nil {
+			t.Error("await on unassigned version succeeded")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAwaitPublishedUnblockedByAbort: aborting the predecessor lets the
+// waiter proceed (the fragment owner scan then skips the tombstone).
+func TestAwaitPublishedUnblockedByAbort(t *testing.T) {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(4))
+	env := cluster.NewSim(net)
+	vm := NewVersionManager(env, 0)
+	eng.Go(func() {
+		id, _ := vm.CreateBlob(1, 100)
+		vm.RequestTicket(1, id, 0, 100, 0)
+		done := false
+		wg := env.NewWaitGroup()
+		wg.Go(func() {
+			vm.AwaitPublished(2, id, 1)
+			done = true
+		})
+		wg.Go(func() {
+			vm.Abort(1, id, 1)
+		})
+		wg.Wait()
+		if !done {
+			t.Error("abort did not release the publication waiter")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterleavedWritersManyBlobs exercises the full write protocol
+// under cross-blob concurrency.
+func TestInterleavedWritersManyBlobs(t *testing.T) {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(16))
+	env := cluster.NewSim(net)
+	provs := make([]cluster.NodeID, 15)
+	for i := range provs {
+		provs[i] = cluster.NodeID(i + 1)
+	}
+	d, err := NewDeployment(env, Options{PageSize: 1024, ProviderNodes: provs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Go(func() {
+		c0 := d.NewClient(0)
+		blobs := make([]BlobID, 5)
+		for i := range blobs {
+			blobs[i], _ = c0.Create(0)
+		}
+		wg := env.NewWaitGroup()
+		for w := 0; w < 15; w++ {
+			node := cluster.NodeID(w + 1)
+			blob := blobs[w%5]
+			wg.Go(func() {
+				c := d.NewClient(node)
+				payload := []byte(fmt.Sprintf("writer-%02d-payload", w))
+				for r := 0; r < 5; r++ {
+					if _, _, err := c.Append(blob, payload); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+				}
+			})
+		}
+		wg.Wait()
+		for i, blob := range blobs {
+			_, size, err := c0.Latest(blob)
+			if err != nil {
+				t.Errorf("blob %d: %v", i, err)
+				continue
+			}
+			want := int64(3 * 5 * len("writer-00-payload"))
+			if size != want {
+				t.Errorf("blob %d size = %d, want %d", i, size, want)
+			}
+			buf := make([]byte, size)
+			if _, err := c0.Read(blob, LatestVersion, 0, buf); err != nil {
+				t.Errorf("blob %d read: %v", i, err)
+			}
+			if bytes.IndexByte(buf, 0) >= 0 {
+				t.Errorf("blob %d contains zero bytes (lost fragment)", i)
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,617 @@
+// client.go implements the BlobSeer client library: the write protocol
+// (ticket -> page placement -> page scatter -> metadata publish ->
+// version publish), the versioned read protocol (tree walk -> parallel
+// page gather), and the page-location primitive BSFS exposes to the
+// MapReduce scheduler.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/dht"
+)
+
+// ErrSynthetic is returned when a caller asks for real bytes from a
+// range containing synthetic (size-only) pages.
+var ErrSynthetic = errors.New("core: range contains synthetic pages; use ReadSynthetic")
+
+// Client issues BlobSeer operations from one cluster node. Clients are
+// not safe for concurrent use by multiple goroutines; create one per
+// simulated process.
+type Client struct {
+	d    *Deployment
+	node cluster.NodeID
+	meta *cachedMeta
+
+	mu    sync.Mutex
+	blobs map[BlobID]*blobInfo // cached geometry + history
+}
+
+// cachedMeta caches metadata tree nodes client-side. Nodes are
+// immutable once written (a version's tree is never modified), so the
+// cache never needs invalidation — the original BlobSeer client caches
+// metadata the same way.
+type cachedMeta struct {
+	cl  *dht.Client
+	mu  sync.Mutex
+	m   map[string][]byte
+	cap int
+}
+
+// BatchGet serves hits locally and fetches only the misses.
+func (c *cachedMeta) BatchGet(keys []string) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(keys))
+	var missing []string
+	c.mu.Lock()
+	for _, k := range keys {
+		if v, ok := c.m[k]; ok {
+			out[k] = v
+		} else {
+			missing = append(missing, k)
+		}
+	}
+	c.mu.Unlock()
+	if len(missing) > 0 {
+		got, err := c.cl.BatchGet(missing)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		for k, v := range got {
+			out[k] = v
+			c.m[k] = v
+		}
+		c.trimLocked()
+		c.mu.Unlock()
+	}
+	return out, nil
+}
+
+// BatchPut writes through to the DHT and populates the cache.
+func (c *cachedMeta) BatchPut(kvs map[string][]byte) error {
+	if err := c.cl.BatchPut(kvs); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	for k, v := range kvs {
+		c.m[k] = v
+	}
+	c.trimLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// trimLocked bounds the cache by dropping arbitrary entries.
+func (c *cachedMeta) trimLocked() {
+	for len(c.m) > c.cap {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+}
+
+type blobInfo struct {
+	pageSize int64
+	history  []WriteRecord // contiguous from version 1
+}
+
+// Node returns the node this client runs on.
+func (c *Client) Node() cluster.NodeID { return c.node }
+
+// Create registers a new blob with the given page size (0 uses the
+// deployment default).
+func (c *Client) Create(pageSize int64) (BlobID, error) {
+	if pageSize <= 0 {
+		pageSize = c.d.Opts.PageSize
+	}
+	id, err := c.d.VM.CreateBlob(c.node, pageSize)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.blobs[id] = &blobInfo{pageSize: pageSize}
+	c.mu.Unlock()
+	return id, nil
+}
+
+func (c *Client) info(blob BlobID) (*blobInfo, error) {
+	c.mu.Lock()
+	bi, ok := c.blobs[blob]
+	c.mu.Unlock()
+	if ok {
+		return bi, nil
+	}
+	ps, err := c.d.VM.PageSize(c.node, blob)
+	if err != nil {
+		return nil, err
+	}
+	bi = &blobInfo{pageSize: ps}
+	c.mu.Lock()
+	if cur, ok := c.blobs[blob]; ok {
+		bi = cur
+	} else {
+		c.blobs[blob] = bi
+	}
+	c.mu.Unlock()
+	return bi, nil
+}
+
+// PageSize returns the blob's page size.
+func (c *Client) PageSize(blob BlobID) (int64, error) {
+	bi, err := c.info(blob)
+	if err != nil {
+		return 0, err
+	}
+	return bi.pageSize, nil
+}
+
+// Latest returns the newest published version and the blob size at it.
+func (c *Client) Latest(blob BlobID) (Version, int64, error) {
+	return c.d.VM.Latest(c.node, blob)
+}
+
+// Write stores data at offset off, producing and publishing a new
+// version, which it returns. Unaligned boundaries are read-modified
+// against the latest published snapshot.
+func (c *Client) Write(blob BlobID, off int64, data []byte) (Version, error) {
+	v, _, err := c.write(blob, off, int64(len(data)), data, false)
+	return v, err
+}
+
+// Append adds data at the end of the blob; it returns the new version
+// and the offset the data landed at.
+func (c *Client) Append(blob BlobID, data []byte) (Version, int64, error) {
+	return c.write(blob, 0, int64(len(data)), data, true)
+}
+
+// WriteSynthetic records a write of length bytes at off without moving
+// real data (cluster-scale benchmarks).
+func (c *Client) WriteSynthetic(blob BlobID, off, length int64) (Version, error) {
+	v, _, err := c.write(blob, off, length, nil, false)
+	return v, err
+}
+
+// AppendSynthetic appends length synthetic bytes.
+func (c *Client) AppendSynthetic(blob BlobID, length int64) (Version, int64, error) {
+	return c.write(blob, 0, length, nil, true)
+}
+
+func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (Version, int64, error) {
+	if length <= 0 {
+		return 0, 0, fmt.Errorf("%w: length %d", ErrBadWrite, length)
+	}
+	bi, err := c.info(blob)
+	if err != nil {
+		return 0, 0, err
+	}
+	ps := bi.pageSize
+
+	// 1. Version ticket (appends resolve their offset here).
+	reqOff := off
+	if app {
+		reqOff = -1
+	}
+	c.mu.Lock()
+	since := Version(len(bi.history))
+	c.mu.Unlock()
+	t, err := c.d.VM.RequestTicket(c.node, blob, reqOff, length, since)
+	if err != nil {
+		return 0, 0, err
+	}
+	c.mu.Lock()
+	for _, r := range t.History {
+		if int(r.Version) == len(bi.history)+1 {
+			bi.history = append(bi.history, r)
+		}
+	}
+	// Records are append-only and never mutated, so a capped slice
+	// shares the backing array safely.
+	hist := history(bi.history[:len(bi.history):len(bi.history)])
+	c.mu.Unlock()
+	rec := t.Record
+	off = rec.Offset
+
+	// 2. Page contents. Boundary pages of unaligned real writes merge
+	// with their true predecessor version (page-level read-modify-
+	// write). For concurrent writers this waits for the predecessor's
+	// publication, so interleaved sub-page appends never lose bytes.
+	lo, hi := pageSpan(off, length, ps)
+	var pages map[int64][]byte
+	if data != nil {
+		pages, err = c.assemblePages(blob, rec, hist, data, ps)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// 3. Placement.
+	placement, err := c.d.PM.Place(c.node, int(hi-lo), c.d.Opts.Replication)
+	if err != nil {
+		return 0, 0, err
+	}
+	placeMap := make(map[int64][]cluster.NodeID, hi-lo)
+	for i := int64(0); i < hi-lo; i++ {
+		placeMap[lo+i] = placement[i]
+	}
+
+	// 4. Scatter pages to providers (one logical transfer; the store
+	// operations carry the real or synthetic contents).
+	type put struct {
+		key  string
+		data []byte
+		size int64
+	}
+	perProv := make(map[cluster.NodeID][]put)
+	var total int64
+	for p := lo; p < hi; p++ {
+		key := pageKey(rec.Blob, rec.Version, p)
+		var content []byte
+		size := pageExtent(p, ps, rec.SizeAfter)
+		if data != nil {
+			content = pages[p]
+			size = int64(len(content))
+		}
+		total += size * int64(len(placeMap[p]))
+		for _, prov := range placeMap[p] {
+			perProv[prov] = append(perProv[prov], put{key: key, data: content, size: size})
+		}
+	}
+	dests := sortedNodes(perProv)
+	c.d.Env.RTT(c.node, farthestNode(c.d.Env, c.node, dests))
+	c.d.Env.Scatter(c.node, dests, total)
+	for _, prov := range dests {
+		pr := c.d.Providers[prov]
+		if pr == nil {
+			return 0, 0, fmt.Errorf("core: no provider on node %d", prov)
+		}
+		for _, pt := range perProv[prov] {
+			if err := pr.PutPage(pt.key, pt.data, pt.size); err != nil {
+				abortErr := c.d.VM.Abort(c.node, blob, rec.Version)
+				if abortErr != nil {
+					return 0, 0, fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
+				}
+				return 0, 0, err
+			}
+		}
+	}
+
+	// 5. Metadata tree nodes into the DHT.
+	nodes := buildNodes(rec, hist, ps, placeMap)
+	if err := c.meta.BatchPut(nodes); err != nil {
+		if abortErr := c.d.VM.Abort(c.node, blob, rec.Version); abortErr != nil {
+			return 0, 0, fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
+		}
+		return 0, 0, err
+	}
+
+	// 6. Publish; blocks until the version is globally visible.
+	if err := c.d.VM.Publish(c.node, blob, rec.Version); err != nil {
+		return 0, 0, err
+	}
+	return rec.Version, off, nil
+}
+
+// pageExtent returns how many bytes of page p exist in a blob of the
+// given size.
+func pageExtent(p, ps, size int64) int64 {
+	start := p * ps
+	if size <= start {
+		return 0
+	}
+	if size >= start+ps {
+		return ps
+	}
+	return size - start
+}
+
+// assemblePages splits data (landing at rec.Offset) into full per-page
+// buffers, merging unaligned boundary pages with the latest version
+// whose span covers the uncovered fragment — per the ticket history,
+// not the racing "latest" — waiting for its publication first.
+func (c *Client) assemblePages(blob BlobID, rec WriteRecord, hist history, data []byte, ps int64) (map[int64][]byte, error) {
+	off, length := rec.Offset, int64(len(data))
+	lo, hi := pageSpan(off, length, ps)
+	pages := make(map[int64][]byte, hi-lo)
+	for p := lo; p < hi; p++ {
+		pStart := p * ps
+		extent := pageExtent(p, ps, rec.SizeAfter)
+		buf := make([]byte, extent)
+		// Overlap with existing data if the write does not fully cover
+		// the page's extent.
+		covFrom, covTo := off-pStart, off+length-pStart
+		if covFrom < 0 {
+			covFrom = 0
+		}
+		if covTo > extent {
+			covTo = extent
+		}
+		if covFrom > 0 {
+			if err := c.mergeFragment(blob, rec.Version, hist, pStart, pStart, pStart+covFrom, ps, buf[:covFrom]); err != nil {
+				return nil, err
+			}
+		}
+		if covTo < extent {
+			if err := c.mergeFragment(blob, rec.Version, hist, pStart, pStart+covTo, pStart+extent, ps, buf[covTo:]); err != nil {
+				return nil, err
+			}
+		}
+		srcFrom := pStart + covFrom - off
+		copy(buf[covFrom:covTo], data[srcFrom:])
+		pages[p] = buf
+	}
+	return pages, nil
+}
+
+// mergeFragment fills dst with bytes [from, to) of page pStart as of
+// the latest version before v whose span intersects the fragment. It
+// waits for that version's publication (concurrent-append safety); if
+// no version ever wrote the fragment it stays zero.
+func (c *Client) mergeFragment(blob BlobID, v Version, hist history, pStart, from, to, ps int64, dst []byte) error {
+	for w := v - 1; w >= 1; w-- {
+		r, ok := hist.record(w)
+		if !ok {
+			continue
+		}
+		if r.Offset >= to || r.Offset+r.Length <= from {
+			continue // span does not intersect the fragment
+		}
+		if r.Aborted {
+			continue // tombstoned writer; fall back to an older owner
+		}
+		if err := c.d.VM.AwaitPublished(c.node, blob, w); err != nil {
+			return err
+		}
+		if _, err := c.readInto(blob, w, from, dst); err != nil {
+			return fmt.Errorf("core: read-modify-write of page %d @v%d: %w", pStart/ps, w, err)
+		}
+		return nil
+	}
+	return nil // hole: zeros
+}
+
+// Read fills p with bytes at offset off of the given version
+// (LatestVersion for the newest). It returns the number of bytes read;
+// short reads happen at the end of the blob.
+func (c *Client) Read(blob BlobID, v Version, off int64, p []byte) (int, error) {
+	return c.readInto(blob, v, off, p)
+}
+
+// ReadSynthetic traverses the read path for length bytes without
+// materializing them; it returns the number of bytes covered. It works
+// on both real and synthetic blobs.
+func (c *Client) ReadSynthetic(blob BlobID, v Version, off, length int64) (int64, error) {
+	return c.readCommon(blob, v, off, length, nil)
+}
+
+func (c *Client) readInto(blob BlobID, v Version, off int64, p []byte) (int, error) {
+	n, err := c.readCommon(blob, v, off, int64(len(p)), p)
+	return int(n), err
+}
+
+// readCommon implements the read protocol. If dst is non-nil the bytes
+// are materialized into it (error if the range holds synthetic pages).
+func (c *Client) readCommon(blob BlobID, v Version, off, length int64, dst []byte) (int64, error) {
+	if length <= 0 || off < 0 {
+		return 0, nil
+	}
+	bi, err := c.info(blob)
+	if err != nil {
+		return 0, err
+	}
+	ps := bi.pageSize
+
+	rec, ok, err := c.resolveVersion(blob, v)
+	if err != nil {
+		return 0, err
+	}
+	if !ok || off >= rec.SizeAfter {
+		return 0, nil
+	}
+	v = rec.Version
+	size := rec.SizeAfter
+	if off+length > size {
+		length = size - off
+	}
+	capPages := capacityPages(size, ps)
+
+	// Tree walk: one batched DHT get per level. The root node lives in
+	// the key space of the version's owning blob (differs after Clone).
+	lo, hi := pageSpan(off, length, ps)
+	leaves, err := walkTree(rec.Blob, v, capPages, lo, hi, c.meta)
+	if err != nil {
+		return 0, err
+	}
+
+	// Group pages by serving provider, with replica failover.
+	type want struct {
+		loc  PageLoc
+		prov cluster.NodeID
+	}
+	perProv := make(map[cluster.NodeID][]want)
+	for _, leaf := range leaves {
+		if len(leaf.Providers) == 0 {
+			continue // hole: zeros
+		}
+		prov := c.pickReplica(leaf.Providers)
+		perProv[prov] = append(perProv[prov], want{loc: leaf, prov: prov})
+	}
+	srcs := sortedNodes(perProv)
+
+	var total, fromDisk int64
+	fetched := make(map[int64]PageFetch) // page index -> fetch
+	for _, prov := range srcs {
+		pr := c.d.Providers[prov]
+		if pr == nil {
+			return 0, fmt.Errorf("core: no provider on node %d", prov)
+		}
+		keys := make([]string, len(perProv[prov]))
+		for i, w := range perProv[prov] {
+			keys[i] = w.loc.Key()
+		}
+		items, err := pr.GetPages(keys)
+		if err != nil {
+			return 0, err
+		}
+		for i, it := range items {
+			fetched[perProv[prov][i].loc.Page] = it
+			total += it.Size
+			if it.FromDisk {
+				fromDisk += it.Size
+			}
+		}
+	}
+	if len(srcs) > 0 {
+		diskFrac := 0.0
+		if total > 0 {
+			diskFrac = float64(fromDisk) / float64(total)
+		}
+		c.d.Env.RTT(c.node, farthestNode(c.d.Env, c.node, srcs))
+		c.d.Env.Gather(c.node, srcs, total, diskFrac)
+	}
+
+	// Materialize.
+	if dst != nil {
+		for _, leaf := range leaves {
+			pStart := leaf.Page * ps
+			// Destination window of this page.
+			from, to := pStart, pStart+ps
+			if from < off {
+				from = off
+			}
+			if to > off+length {
+				to = off + length
+			}
+			if from >= to {
+				continue
+			}
+			window := dst[from-off : to-off]
+			if len(leaf.Providers) == 0 {
+				for i := range window {
+					window[i] = 0
+				}
+				continue
+			}
+			it := fetched[leaf.Page]
+			if it.Data == nil {
+				return 0, fmt.Errorf("%w: page %d", ErrSynthetic, leaf.Page)
+			}
+			pageOff := from - pStart
+			if pageOff < int64(len(it.Data)) {
+				copy(window, it.Data[pageOff:])
+			}
+		}
+	}
+	return length, nil
+}
+
+// pickReplica chooses the replica to read from: the local node if it
+// holds a copy, otherwise the first live replica.
+func (c *Client) pickReplica(replicas []cluster.NodeID) cluster.NodeID {
+	for _, r := range replicas {
+		if r == c.node {
+			if pr := c.d.Providers[r]; pr != nil && !pr.isDown() {
+				return r
+			}
+		}
+	}
+	for _, r := range replicas {
+		if pr := c.d.Providers[r]; pr != nil && !pr.isDown() {
+			return r
+		}
+	}
+	return replicas[0]
+}
+
+// PageLocations exposes the page-to-provider distribution of a range,
+// the primitive added for the Hadoop scheduler's locality decisions
+// (paper §III.B).
+func (c *Client) PageLocations(blob BlobID, v Version, off, length int64) ([]PageLoc, error) {
+	bi, err := c.info(blob)
+	if err != nil {
+		return nil, err
+	}
+	ps := bi.pageSize
+	rec, ok, err := c.resolveVersion(blob, v)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || off >= rec.SizeAfter || length <= 0 {
+		return nil, nil
+	}
+	size := rec.SizeAfter
+	if off+length > size {
+		length = size - off
+	}
+	lo, hi := pageSpan(off, length, ps)
+	return walkTree(rec.Blob, rec.Version, capacityPages(size, ps), lo, hi, c.meta)
+}
+
+// resolveVersion fetches the record of v (or of the latest published
+// version); ok is false when the blob is empty.
+func (c *Client) resolveVersion(blob BlobID, v Version) (WriteRecord, bool, error) {
+	if v == LatestVersion {
+		return c.d.VM.LatestRecord(c.node, blob)
+	}
+	rec, err := c.d.VM.GetVersion(c.node, blob, v)
+	if err != nil {
+		return WriteRecord{}, false, err
+	}
+	return rec, true, nil
+}
+
+// Clone branches a new blob off a published snapshot of an existing
+// one: O(1) data movement, copy-on-write thereafter. The clone starts
+// identical to source@v and diverges independently.
+func (c *Client) Clone(source BlobID, v Version) (BlobID, error) {
+	if v == LatestVersion {
+		rec, ok, err := c.d.VM.LatestRecord(c.node, source)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("%w: cloning an empty blob", ErrNoSuchVersion)
+		}
+		v = rec.Version
+	}
+	id, err := c.d.VM.Clone(c.node, source, v)
+	if err != nil {
+		return 0, err
+	}
+	ps, err := c.d.VM.PageSize(c.node, id)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.blobs[id] = &blobInfo{pageSize: ps}
+	c.mu.Unlock()
+	return id, nil
+}
+
+func sortedNodes[V any](m map[cluster.NodeID]V) []cluster.NodeID {
+	out := make([]cluster.NodeID, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// farthestNode picks the most distant destination so a single RTT
+// charge covers a parallel fan-out.
+func farthestNode(env cluster.Env, from cluster.NodeID, nodes []cluster.NodeID) cluster.NodeID {
+	best := from
+	for _, n := range nodes {
+		if n == from {
+			continue
+		}
+		if best == from || (env.Rack(n) != env.Rack(from) && env.Rack(best) == env.Rack(from)) {
+			best = n
+		}
+	}
+	return best
+}

@@ -1,0 +1,524 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// newLocalDeployment builds a small real-data deployment on a Local env.
+func newLocalDeployment(t *testing.T, opts Options) *Deployment {
+	t.Helper()
+	env := cluster.NewLocal(8, 4)
+	if opts.PageSize == 0 {
+		opts.PageSize = 128
+	}
+	if len(opts.ProviderNodes) == 0 {
+		opts.ProviderNodes = []cluster.NodeID{1, 2, 3, 4, 5}
+	}
+	d, err := NewDeployment(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newLocalDeployment(t, Options{})
+	c := d.NewClient(0)
+	blob, err := c.Create(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello, blobseer! this is a paper reproduction.")
+	v, err := c.Write(blob, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("version = %d", v)
+	}
+	buf := make([]byte, len(data))
+	n, err := c.Read(blob, LatestVersion, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(data) || !bytes.Equal(buf, data) {
+		t.Fatalf("read %d bytes: %q", n, buf[:n])
+	}
+}
+
+func TestMultiPageWrite(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 64})
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if _, err := c.Write(blob, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1000)
+	if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("multi-page round trip mismatch")
+	}
+	// Sub-range read across page boundaries.
+	sub := make([]byte, 200)
+	n, err := c.Read(blob, LatestVersion, 150, sub)
+	if err != nil || n != 200 {
+		t.Fatalf("sub-read: %d, %v", n, err)
+	}
+	if !bytes.Equal(sub, data[150:350]) {
+		t.Fatal("sub-range mismatch")
+	}
+}
+
+func TestVersioningKeepsSnapshots(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 16})
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	v1, _ := c.Write(blob, 0, []byte("AAAAAAAAAAAAAAAA")) // one page
+	v2, _ := c.Write(blob, 0, []byte("BBBBBBBB"))         // overwrite first half
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("versions = %d, %d", v1, v2)
+	}
+	buf := make([]byte, 16)
+	if _, err := c.Read(blob, v1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "AAAAAAAAAAAAAAAA" {
+		t.Fatalf("v1 = %q (old snapshot mutated!)", buf)
+	}
+	if _, err := c.Read(blob, v2, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "BBBBBBBBAAAAAAAA" {
+		t.Fatalf("v2 = %q", buf)
+	}
+}
+
+func TestUnalignedWriteReadModify(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 10})
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	c.Write(blob, 0, []byte("0123456789abcdefghij")) // 2 pages
+	// Overwrite the middle, straddling the page boundary, unaligned.
+	if _, err := c.Write(blob, 7, []byte("XYZW")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 20)
+	c.Read(blob, LatestVersion, 0, buf)
+	if string(buf) != "0123456XYZWbcdefghij" {
+		t.Fatalf("merged = %q", buf)
+	}
+}
+
+func TestAppendGrowsBlob(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 8})
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	var want []byte
+	for i := 0; i < 10; i++ {
+		chunk := bytes.Repeat([]byte{byte('a' + i)}, 5)
+		_, off, err := c.Append(blob, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != int64(len(want)) {
+			t.Fatalf("append %d landed at %d, want %d", i, off, len(want))
+		}
+		want = append(want, chunk...)
+	}
+	_, size, _ := c.Latest(blob)
+	if size != 50 {
+		t.Fatalf("size = %d", size)
+	}
+	buf := make([]byte, 50)
+	c.Read(blob, LatestVersion, 0, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("appended content mismatch: %q", buf)
+	}
+}
+
+func TestSparseWriteReadsZeros(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 10})
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	c.Write(blob, 0, []byte("head"))
+	// Sparse write far past the end.
+	if _, err := c.Write(blob, 1000, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	_, size, _ := c.Latest(blob)
+	if size != 1004 {
+		t.Fatalf("size = %d", size)
+	}
+	buf := make([]byte, 1004)
+	n, err := c.Read(blob, LatestVersion, 0, buf)
+	if err != nil || n != 1004 {
+		t.Fatalf("read: %d, %v", n, err)
+	}
+	if string(buf[:4]) != "head" || string(buf[1000:]) != "tail" {
+		t.Fatal("head/tail mismatch")
+	}
+	for i := 4; i < 1000; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("hole byte %d = %d, want 0", i, buf[i])
+		}
+	}
+}
+
+func TestReadBeyondEOF(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 10})
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	c.Write(blob, 0, []byte("12345"))
+	buf := make([]byte, 100)
+	n, err := c.Read(blob, LatestVersion, 0, buf)
+	if err != nil || n != 5 {
+		t.Fatalf("short read: %d, %v", n, err)
+	}
+	n, err = c.Read(blob, LatestVersion, 99, buf)
+	if err != nil || n != 0 {
+		t.Fatalf("past-EOF read: %d, %v", n, err)
+	}
+}
+
+func TestEmptyBlobRead(t *testing.T) {
+	d := newLocalDeployment(t, Options{})
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	n, err := c.Read(blob, LatestVersion, 0, make([]byte, 10))
+	if err != nil || n != 0 {
+		t.Fatalf("empty read: %d, %v", n, err)
+	}
+}
+
+func TestReplicatedPagesSurviveProviderFailure(t *testing.T) {
+	d := newLocalDeployment(t, Options{Replication: 3, PageSize: 32})
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	data := bytes.Repeat([]byte("xyz"), 100)
+	if _, err := c.Write(blob, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Take down two of the five providers.
+	d.Providers[1].SetDown(true)
+	d.Providers[3].SetDown(true)
+	buf := make([]byte, len(data))
+	if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("replicated read mismatch")
+	}
+}
+
+func TestWriteFailureAbortsVersion(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 32, ProviderNodes: []cluster.NodeID{1}})
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	c.Write(blob, 0, []byte("first"))
+	d.Providers[1].SetDown(true)
+	if _, err := c.Write(blob, 0, []byte("second")); !errors.Is(err, ErrProviderDown) {
+		t.Fatalf("err = %v", err)
+	}
+	d.Providers[1].SetDown(false)
+	// The failed version must not be visible; a new write proceeds.
+	v, _, err := c.Latest(blob)
+	if err != nil || v != 1 {
+		t.Fatalf("Latest = %d, %v", v, err)
+	}
+	if _, err := c.Write(blob, 0, []byte("third")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	c.Read(blob, LatestVersion, 0, buf)
+	if string(buf) != "third" {
+		t.Fatalf("content = %q", buf)
+	}
+}
+
+func TestSyntheticWriteRead(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 1 << 10})
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	v, err := c.WriteSynthetic(blob, 0, 10<<10)
+	if err != nil || v != 1 {
+		t.Fatalf("synthetic write: %d, %v", v, err)
+	}
+	n, err := c.ReadSynthetic(blob, LatestVersion, 0, 10<<10)
+	if err != nil || n != 10<<10 {
+		t.Fatalf("synthetic read: %d, %v", n, err)
+	}
+	// Asking for real bytes from synthetic pages fails loudly.
+	if _, err := c.Read(blob, LatestVersion, 0, make([]byte, 16)); !errors.Is(err, ErrSynthetic) {
+		t.Fatalf("err = %v, want ErrSynthetic", err)
+	}
+}
+
+func TestPageLocationsExposeDistribution(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 100})
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	c.WriteSynthetic(blob, 0, 1000) // 10 pages over 5 providers
+	locs, err := c.PageLocations(blob, LatestVersion, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 10 {
+		t.Fatalf("%d locations", len(locs))
+	}
+	seen := map[cluster.NodeID]int{}
+	for _, l := range locs {
+		if len(l.Providers) != 1 {
+			t.Fatalf("page %d has %d providers", l.Page, len(l.Providers))
+		}
+		seen[l.Providers[0]]++
+	}
+	// Round-robin striping: every provider holds exactly 2 pages.
+	if len(seen) != 5 {
+		t.Fatalf("pages spread over %d providers, want 5", len(seen))
+	}
+	for n, c := range seen {
+		if c != 2 {
+			t.Fatalf("provider %d holds %d pages, want 2", n, c)
+		}
+	}
+}
+
+func TestConcurrentWritersDifferentBlobsSim(t *testing.T) {
+	// 20 concurrent writers, each its own blob, in the simulator. All
+	// writes must publish and read back consistently.
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(30))
+	env := cluster.NewSim(net)
+	provs := make([]cluster.NodeID, 29)
+	for i := range provs {
+		provs[i] = cluster.NodeID(i + 1)
+	}
+	d, err := NewDeployment(env, Options{PageSize: 256 << 10, ProviderNodes: provs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 20
+	const perWriter = 16 << 20
+	eng.Go(func() {
+		wg := env.NewWaitGroup()
+		for w := 0; w < writers; w++ {
+			node := cluster.NodeID(w % 30)
+			wg.Go(func() {
+				c := d.NewClient(node)
+				blob, err := c.Create(0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.WriteSynthetic(blob, 0, perWriter); err != nil {
+					t.Error(err)
+					return
+				}
+				n, err := c.ReadSynthetic(blob, LatestVersion, 0, perWriter)
+				if err != nil || n != perWriter {
+					t.Errorf("read back %d, %v", n, err)
+				}
+			})
+		}
+		wg.Wait()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() == 0 {
+		t.Fatal("no virtual time elapsed; flows not charged")
+	}
+}
+
+func TestConcurrentAppendersSameBlobSim(t *testing.T) {
+	// The paper's §V future-work feature: concurrent appends to one
+	// blob. Total size must equal the sum of appends and every region
+	// must be intact.
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(20))
+	env := cluster.NewSim(net)
+	provs := []cluster.NodeID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	d, err := NewDeployment(env, Options{PageSize: 64 << 10, ProviderNodes: provs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const appenders = 10
+	const chunk = 1 << 20
+	var blob BlobID
+	offsets := make([]int64, appenders)
+	eng.Go(func() {
+		c0 := d.NewClient(0)
+		b, err := c0.Create(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		blob = b
+		wg := env.NewWaitGroup()
+		for a := 0; a < appenders; a++ {
+			node := cluster.NodeID(a + 1)
+			wg.Go(func() {
+				c := d.NewClient(node)
+				_, off, err := c.AppendSynthetic(blob, chunk)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				offsets[a] = off
+			})
+		}
+		wg.Wait()
+		v, size, err := c0.Latest(blob)
+		if err != nil || size != appenders*chunk {
+			t.Errorf("final size = %d (v%d), %v", size, v, err)
+		}
+		if n, err := c0.ReadSynthetic(blob, LatestVersion, 0, size); err != nil || n != size {
+			t.Errorf("full read: %d, %v", n, err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Offsets must tile [0, appenders*chunk) exactly.
+	seen := map[int64]bool{}
+	for _, off := range offsets {
+		if off%chunk != 0 || seen[off] {
+			t.Fatalf("offsets not a disjoint tiling: %v", offsets)
+		}
+		seen[off] = true
+	}
+}
+
+func TestRandomizedReadWriteAgainstFlatFile(t *testing.T) {
+	// Property test: a sequence of random writes/appends against the
+	// real deployment must read identically to a flat byte slice.
+	d := newLocalDeployment(t, Options{PageSize: 32})
+	c := d.NewClient(0)
+	rng := rand.New(rand.NewSource(99))
+	blob, _ := c.Create(0)
+	var ref []byte
+	for i := 0; i < 60; i++ {
+		length := 1 + rng.Intn(200)
+		data := make([]byte, length)
+		rng.Read(data)
+		if rng.Intn(2) == 0 && len(ref) > 0 {
+			off := rng.Intn(len(ref))
+			if _, err := c.Write(blob, int64(off), data); err != nil {
+				t.Fatal(err)
+			}
+			if off+length > len(ref) {
+				ref = append(ref, make([]byte, off+length-len(ref))...)
+			}
+			copy(ref[off:], data)
+		} else {
+			if _, _, err := c.Append(blob, data); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, data...)
+		}
+	}
+	_, size, _ := c.Latest(blob)
+	if size != int64(len(ref)) {
+		t.Fatalf("size = %d, want %d", size, len(ref))
+	}
+	got := make([]byte, len(ref))
+	if _, err := c.Read(blob, LatestVersion, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("first mismatch at byte %d of %d", i, len(ref))
+			}
+		}
+	}
+	// Random sub-range reads.
+	for i := 0; i < 20; i++ {
+		off := rng.Intn(len(ref))
+		l := 1 + rng.Intn(len(ref)-off)
+		sub := make([]byte, l)
+		n, err := c.Read(blob, LatestVersion, int64(off), sub)
+		if err != nil || n != l {
+			t.Fatalf("sub-read %d+%d: %d, %v", off, l, n, err)
+		}
+		if !bytes.Equal(sub, ref[off:off+l]) {
+			t.Fatalf("sub-range [%d,%d) mismatch", off, off+l)
+		}
+	}
+}
+
+func TestDeploymentValidation(t *testing.T) {
+	env := cluster.NewLocal(4, 0)
+	if _, err := NewDeployment(env, Options{}); err == nil {
+		t.Fatal("deployment without providers accepted")
+	}
+}
+
+func TestClientInfoUnknownBlob(t *testing.T) {
+	d := newLocalDeployment(t, Options{})
+	c := d.NewClient(0)
+	if _, err := c.PageSize(404); !errors.Is(err, ErrNoSuchBlob) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Write(404, 0, []byte("x")); err == nil {
+		t.Fatal("write to unknown blob accepted")
+	}
+}
+
+func TestPersistentProviderRecovery(t *testing.T) {
+	dir := t.TempDir()
+	env := cluster.NewLocal(4, 0)
+	opts := Options{
+		PageSize:      64,
+		ProviderNodes: []cluster.NodeID{1, 2},
+		Provider:      ProviderConfig{Dir: dir},
+	}
+	d, err := NewDeployment(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	data := []byte(fmt.Sprintf("durable-%d", 42))
+	c.Write(blob, 0, data)
+	for _, p := range d.Providers {
+		if err := p.FlushNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+
+	// Reopen providers over the same directories; the pages must come
+	// back from the write-ahead logs.
+	d2, err := NewDeployment(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	d2.VM = d.VM // version metadata is the VM's (not persisted here)
+	d2.Meta = d.Meta
+	c2 := d2.NewClient(0)
+	c2.blobs = map[BlobID]*blobInfo{}
+	buf := make([]byte, len(data))
+	if _, err := c2.Read(blob, LatestVersion, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("recovered %q", buf)
+	}
+}

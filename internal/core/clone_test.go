@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestCloneSharesDataCopyOnWrite(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 16})
+	c := d.NewClient(0)
+	src, _ := c.Create(0)
+	c.Write(src, 0, []byte("original-content-of-the-source-blob!"))
+
+	clone, err := c.Clone(src, LatestVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clone reads identically with zero data movement.
+	buf := make([]byte, 36)
+	n, err := c.Read(clone, LatestVersion, 0, buf)
+	if err != nil || n != 36 {
+		t.Fatalf("clone read: %d, %v", n, err)
+	}
+	if string(buf) != "original-content-of-the-source-blob!" {
+		t.Fatalf("clone content = %q", buf)
+	}
+
+	// Divergence: writes to the clone do not affect the source and
+	// vice versa.
+	if _, err := c.Write(clone, 0, []byte("CLONE")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(src, 9, []byte("SOURCE")); err != nil {
+		t.Fatal(err)
+	}
+	c.Read(clone, LatestVersion, 0, buf)
+	if string(buf[:9]) != "CLONEnal-" || bytes.Contains(buf, []byte("SOURCE")) {
+		t.Fatalf("clone after divergence = %q", buf)
+	}
+	c.Read(src, LatestVersion, 0, buf)
+	if string(buf[:15]) != "original-SOURCE" || bytes.Contains(buf, []byte("CLONE")) {
+		t.Fatalf("source after divergence = %q", buf)
+	}
+}
+
+func TestClonePinsSpecificVersion(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 8})
+	c := d.NewClient(0)
+	src, _ := c.Create(0)
+	v1, _ := c.Write(src, 0, []byte("11111111"))
+	c.Write(src, 0, []byte("22222222"))
+
+	clone, err := c.Clone(src, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	c.Read(clone, LatestVersion, 0, buf)
+	if string(buf) != "11111111" {
+		t.Fatalf("clone of v1 = %q", buf)
+	}
+	// The clone's version history starts at the pinned version.
+	v, size, _ := c.Latest(clone)
+	if v != v1 || size != 8 {
+		t.Fatalf("clone latest = v%d size %d", v, size)
+	}
+}
+
+func TestCloneGrowsIndependently(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 8})
+	c := d.NewClient(0)
+	src, _ := c.Create(0)
+	c.Write(src, 0, []byte("base----"))
+	clone, _ := c.Clone(src, LatestVersion)
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.Append(clone, []byte("grow!!!!")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, cloneSize, _ := c.Latest(clone)
+	_, srcSize, _ := c.Latest(src)
+	if cloneSize != 48 || srcSize != 8 {
+		t.Fatalf("sizes: clone %d, source %d", cloneSize, srcSize)
+	}
+	buf := make([]byte, 48)
+	c.Read(clone, LatestVersion, 0, buf)
+	if string(buf[:8]) != "base----" || string(buf[40:]) != "grow!!!!" {
+		t.Fatalf("clone content = %q", buf)
+	}
+}
+
+func TestCloneOfCloneChains(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 8})
+	c := d.NewClient(0)
+	a, _ := c.Create(0)
+	c.Write(a, 0, []byte("AAAAAAAA"))
+	b, _ := c.Clone(a, LatestVersion)
+	c.Append(b, []byte("BBBBBBBB"))
+	cc, _ := c.Clone(b, LatestVersion)
+	c.Append(cc, []byte("CCCCCCCC"))
+
+	buf := make([]byte, 24)
+	n, err := c.Read(cc, LatestVersion, 0, buf)
+	if err != nil || n != 24 {
+		t.Fatalf("chained clone read: %d, %v", n, err)
+	}
+	if string(buf) != "AAAAAAAABBBBBBBBCCCCCCCC" {
+		t.Fatalf("chained content = %q", buf)
+	}
+}
+
+func TestCloneValidation(t *testing.T) {
+	d := newLocalDeployment(t, Options{})
+	c := d.NewClient(0)
+	src, _ := c.Create(0)
+	// Cloning an empty blob fails.
+	if _, err := c.Clone(src, LatestVersion); err == nil {
+		t.Fatal("cloned empty blob")
+	}
+	c.Write(src, 0, []byte("x"))
+	// Unpublished/absent versions fail.
+	if _, err := c.Clone(src, 99); !errors.Is(err, ErrNoSuchVersion) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Clone(404, 1); !errors.Is(err, ErrNoSuchBlob) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCloneSharedPagesServeBothReaders(t *testing.T) {
+	// The shared pages physically exist once: deleting nothing, both
+	// blobs resolve the same provider pages (checked via PageLocations).
+	d := newLocalDeployment(t, Options{PageSize: 16})
+	c := d.NewClient(0)
+	src, _ := c.Create(0)
+	c.WriteSynthetic(src, 0, 160)
+	clone, _ := c.Clone(src, LatestVersion)
+	srcLocs, err := c.PageLocations(src, LatestVersion, 0, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloneLocs, err := c.PageLocations(clone, LatestVersion, 0, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcLocs) != len(cloneLocs) {
+		t.Fatalf("loc counts differ: %d vs %d", len(srcLocs), len(cloneLocs))
+	}
+	for i := range srcLocs {
+		if srcLocs[i].Key() != cloneLocs[i].Key() {
+			t.Fatalf("page %d stored twice: %s vs %s", i, srcLocs[i].Key(), cloneLocs[i].Key())
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package core implements BlobSeer, the versioning-oriented distributed
+// blob store the paper builds its file system (BSFS) on.
+//
+// A blob is a large sequence of bytes split into fixed-size pages.
+// Writes never modify data in place: every write or append produces a
+// new version (snapshot) of the blob, while old versions remain
+// readable. The architecture follows the paper (§III.A):
+//
+//   - providers store pages (RAM-first, asynchronously persisted);
+//   - a provider manager assigns pages to providers with a
+//     load-balancing strategy;
+//   - metadata providers store versioned segment-tree nodes in a
+//     distributed hash table (package dht);
+//   - a centralized version manager assigns version numbers and
+//     publishes snapshots in a total order, which is what keeps heavy
+//     concurrent writes consistent without locking the data path.
+//
+// Deployment wires these services onto the nodes of a cluster.Env, and
+// Client implements the user-facing operations: create, read a byte
+// range of any version, write, append, plus the page-location primitive
+// (§III.B) that makes MapReduce schedulers data-location aware.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dht"
+)
+
+// Options configures a BlobSeer deployment.
+type Options struct {
+	// PageSize is the default page size for new blobs (bytes).
+	PageSize int64
+	// Replication is the page replica count.
+	Replication int
+	// VMNode hosts the version manager and provider manager.
+	VMNode cluster.NodeID
+	// ProviderNodes host page providers.
+	ProviderNodes []cluster.NodeID
+	// MetaNodes host the metadata DHT (defaults to ProviderNodes).
+	MetaNodes []cluster.NodeID
+	// MetaReplication is the DHT replica count (default 1).
+	MetaReplication int
+	// MetaVNodes is the consistent-hashing virtual node count
+	// (default 32).
+	MetaVNodes int
+	// Provider configures every provider's local store.
+	Provider ProviderConfig
+	// Strategy overrides the page placement strategy (default:
+	// load-balanced round-robin striping).
+	Strategy PlacementStrategy
+}
+
+func (o *Options) fillDefaults() {
+	if o.PageSize <= 0 {
+		o.PageSize = 256 << 10
+	}
+	if o.Replication < 1 {
+		o.Replication = 1
+	}
+	if len(o.MetaNodes) == 0 {
+		o.MetaNodes = o.ProviderNodes
+	}
+	if o.MetaReplication < 1 {
+		o.MetaReplication = 1
+	}
+	if o.MetaVNodes < 1 {
+		o.MetaVNodes = 32
+	}
+}
+
+// Deployment is a running BlobSeer service fleet.
+type Deployment struct {
+	Env       cluster.Env
+	Opts      Options
+	VM        *VersionManager
+	PM        *ProviderManager
+	Providers map[cluster.NodeID]*Provider
+	Meta      *dht.Cluster
+}
+
+// NewDeployment starts BlobSeer services on the environment's nodes.
+func NewDeployment(env cluster.Env, opts Options) (*Deployment, error) {
+	opts.fillDefaults()
+	if len(opts.ProviderNodes) == 0 {
+		return nil, fmt.Errorf("core: deployment needs at least one provider node")
+	}
+	d := &Deployment{
+		Env:       env,
+		Opts:      opts,
+		VM:        NewVersionManager(env, opts.VMNode),
+		PM:        NewProviderManager(env, opts.VMNode, opts.ProviderNodes, opts.Strategy),
+		Providers: make(map[cluster.NodeID]*Provider, len(opts.ProviderNodes)),
+		Meta:      dht.NewCluster(opts.MetaNodes, opts.MetaVNodes, opts.MetaReplication),
+	}
+	for _, n := range opts.ProviderNodes {
+		cfg := opts.Provider
+		if cfg.Dir != "" {
+			cfg.Dir = fmt.Sprintf("%s/provider-%d", opts.Provider.Dir, n)
+		}
+		p, err := NewProvider(env, n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: provider on node %d: %w", n, err)
+		}
+		d.Providers[n] = p
+	}
+	return d, nil
+}
+
+// NewClient returns a client bound to a node.
+func (d *Deployment) NewClient(node cluster.NodeID) *Client {
+	return &Client{
+		d:     d,
+		node:  node,
+		meta:  &cachedMeta{cl: d.Meta.NewClient(d.Env, node), m: make(map[string][]byte), cap: 1 << 16},
+		blobs: make(map[BlobID]*blobInfo),
+	}
+}
+
+// Close stops provider flush daemons and closes their stores.
+func (d *Deployment) Close() error {
+	var first error
+	for _, p := range d.Providers {
+		p.Stop()
+		if err := p.Store().Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestMetadataReplicationSurvivesMetaServerFailure: with DHT
+// replication, reads keep working after metadata providers fail — the
+// fault tolerance BlobSeer attributes to its metadata layer.
+func TestMetadataReplicationSurvivesMetaServerFailure(t *testing.T) {
+	env := cluster.NewLocal(10, 5)
+	provs := []cluster.NodeID{1, 2, 3, 4}
+	meta := []cluster.NodeID{5, 6, 7, 8}
+	d, err := NewDeployment(env, Options{
+		PageSize:        64,
+		ProviderNodes:   provs,
+		MetaNodes:       meta,
+		MetaReplication: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	data := bytes.Repeat([]byte("meta-resilience"), 50)
+	if _, err := c.Write(blob, 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill two of the four metadata servers.
+	d.Meta.Server(5).SetDown(true)
+	d.Meta.Server(7).SetDown(true)
+
+	// A fresh client (empty metadata cache) must still resolve the
+	// whole tree through surviving replicas.
+	c2 := d.NewClient(2)
+	buf := make([]byte, len(data))
+	if _, err := c2.Read(blob, LatestVersion, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("content mismatch after metadata server failures")
+	}
+
+	// New writes also continue (puts go to surviving replicas).
+	if _, _, err := c2.Append(blob, []byte("more")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnreplicatedMetadataFailsLoudly: without replication, losing the
+// responsible metadata server surfaces as an error, not silent zeros.
+func TestUnreplicatedMetadataFailsLoudly(t *testing.T) {
+	env := cluster.NewLocal(8, 4)
+	d, err := NewDeployment(env, Options{
+		PageSize:        64,
+		ProviderNodes:   []cluster.NodeID{1, 2},
+		MetaNodes:       []cluster.NodeID{3},
+		MetaReplication: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	c.Write(blob, 0, []byte("fragile"))
+	d.Meta.Server(3).SetDown(true)
+	c2 := d.NewClient(1) // fresh cache
+	if _, err := c2.Read(blob, LatestVersion, 0, make([]byte, 7)); err == nil {
+		t.Fatal("read succeeded with the only metadata server down")
+	}
+}
+
+// TestPageReplicationEndToEndThroughSim runs replicated writes in the
+// simulator and confirms both the extra traffic and the failover.
+func TestPageReplicationEndToEndThroughSim(t *testing.T) {
+	for _, repl := range []int{1, 3} {
+		env := cluster.NewLocal(12, 6)
+		provs := make([]cluster.NodeID, 8)
+		for i := range provs {
+			provs[i] = cluster.NodeID(i + 1)
+		}
+		d, err := NewDeployment(env, Options{PageSize: 128, ProviderNodes: provs, Replication: repl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := d.NewClient(0)
+		blob, _ := c.Create(0)
+		data := bytes.Repeat([]byte{0xCD}, 1024)
+		if _, err := c.Write(blob, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		var stored int64
+		for _, p := range d.Providers {
+			stored += p.BytesStored()
+		}
+		if want := int64(1024 * repl); stored != want {
+			t.Fatalf("repl=%d: stored %d bytes, want %d", repl, stored, want)
+		}
+		d.Close()
+	}
+}

@@ -1,0 +1,353 @@
+// provider.go implements BlobSeer's storage side: providers, which keep
+// pages in a RAM-first store and persist them asynchronously, and the
+// provider manager, which assigns pages to providers according to a
+// placement strategy. The default strategy is the paper's load-balanced
+// striping; a local-first strategy mimicking HDFS's placement exists
+// for the ablation experiment.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/pagestore"
+)
+
+// Provider stores pages on one node. Writes land in RAM and a flush
+// daemon persists them in the background (the BerkeleyDB layer of the
+// original system); reads are served from RAM when resident and charge
+// a disk read otherwise.
+type Provider struct {
+	env   cluster.Env
+	node  cluster.NodeID
+	store *pagestore.Store
+
+	mu         sync.Mutex
+	bytesIn    int64
+	flushBatch int64
+	dirtyCap   int64
+	flushSig   cluster.Signal
+	stopped    bool
+	down       bool
+}
+
+// ErrProviderDown is returned by operations on a failed provider.
+var ErrProviderDown = fmt.Errorf("core: provider down")
+
+// SetDown marks the provider unreachable (failure injection).
+func (p *Provider) SetDown(down bool) {
+	p.mu.Lock()
+	p.down = down
+	p.mu.Unlock()
+}
+
+func (p *Provider) isDown() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.down
+}
+
+// ProviderConfig parameterizes one provider.
+type ProviderConfig struct {
+	// MemCapacity bounds the RAM page cache (0 = unlimited).
+	MemCapacity int64
+	// Dir enables durable storage via a write-ahead log.
+	Dir string
+	// FlushBatch caps bytes persisted per flush round (default 64 MB).
+	FlushBatch int64
+	// DirtyCap is the RAM write buffer: while unflushed bytes exceed
+	// it, incoming page writes are throttled to disk speed
+	// (backpressure). Default 1 GiB; 0 keeps the default.
+	DirtyCap int64
+}
+
+// NewProvider creates a provider on node and starts its flush daemon.
+func NewProvider(env cluster.Env, node cluster.NodeID, cfg ProviderConfig) (*Provider, error) {
+	st, err := pagestore.Open(pagestore.Config{MemCapacity: cfg.MemCapacity, Dir: cfg.Dir})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FlushBatch <= 0 {
+		cfg.FlushBatch = 64 << 20
+	}
+	if cfg.DirtyCap <= 0 {
+		cfg.DirtyCap = 1 << 30
+	}
+	p := &Provider{
+		env:        env,
+		node:       node,
+		store:      st,
+		flushBatch: cfg.FlushBatch,
+		dirtyCap:   cfg.DirtyCap,
+		flushSig:   env.NewSignal(),
+	}
+	env.Daemon(p.flushLoop)
+	return p, nil
+}
+
+// Node returns the hosting node.
+func (p *Provider) Node() cluster.NodeID { return p.node }
+
+// Store exposes the underlying page store (stats, tests).
+func (p *Provider) Store() *pagestore.Store { return p.store }
+
+// flushLoop persists dirty pages in the background, charging the
+// node's disk. It is event-driven: idle providers block on a signal
+// fired by the next write, so an idle fleet costs nothing. This is
+// what keeps BlobSeer's write path off the disk's critical path.
+func (p *Provider) flushLoop() {
+	for {
+		p.mu.Lock()
+		stopped := p.stopped
+		sig := p.flushSig
+		p.mu.Unlock()
+		if stopped {
+			return
+		}
+		keys, total := p.store.TakeDirty(p.flushBatch)
+		if len(keys) == 0 {
+			sig.Wait()
+			continue
+		}
+		p.env.DiskWrite(p.node, total)
+		if err := p.store.CommitFlush(keys); err != nil {
+			return // durable layer failed; stop persisting (tests assert on this)
+		}
+	}
+}
+
+// wakeFlusher re-arms and fires the flush signal.
+func (p *Provider) wakeFlusher() {
+	p.mu.Lock()
+	sig := p.flushSig
+	p.flushSig = p.env.NewSignal()
+	p.mu.Unlock()
+	sig.Fire()
+}
+
+// Stop terminates the flush daemon (the Local env's daemons are real
+// goroutines; stopping them keeps tests leak-free).
+func (p *Provider) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	sig := p.flushSig
+	p.mu.Unlock()
+	sig.Fire()
+}
+
+// FlushNow synchronously persists all dirty pages (deterministic
+// alternative to waiting for the daemon).
+func (p *Provider) FlushNow() error {
+	for {
+		keys, total := p.store.TakeDirty(p.flushBatch)
+		if len(keys) == 0 {
+			return nil
+		}
+		p.env.DiskWrite(p.node, total)
+		if err := p.store.CommitFlush(keys); err != nil {
+			return err
+		}
+	}
+}
+
+// PutPage stores one page (data nil means synthetic of the given size).
+func (p *Provider) PutPage(key string, data []byte, size int64) error {
+	if p.isDown() {
+		return fmt.Errorf("%w: node %d", ErrProviderDown, p.node)
+	}
+	p.mu.Lock()
+	p.bytesIn += size
+	p.mu.Unlock()
+	// Backpressure: once the RAM write buffer is full, the writer is
+	// throttled to disk speed for the overflow (the paper's RAM-first
+	// write path only helps while the buffer absorbs the burst).
+	if p.store.DirtyBytes() > p.dirtyCap {
+		p.env.DiskWrite(p.node, size)
+	}
+	var err error
+	if data == nil {
+		err = p.store.PutSynthetic(key, size)
+	} else {
+		err = p.store.Put(key, data)
+	}
+	if err != nil {
+		return err
+	}
+	p.wakeFlusher()
+	return nil
+}
+
+// PageFetch is one page read result.
+type PageFetch struct {
+	Key      string
+	Data     []byte // nil for synthetic pages
+	Size     int64
+	FromDisk bool // the page was not RAM-resident
+}
+
+// GetPages reads a batch of pages, reporting per-page residency so the
+// caller can charge disk time for the misses.
+func (p *Provider) GetPages(keys []string) ([]PageFetch, error) {
+	if p.isDown() {
+		return nil, fmt.Errorf("%w: node %d", ErrProviderDown, p.node)
+	}
+	out := make([]PageFetch, 0, len(keys))
+	for _, k := range keys {
+		data, meta, err := p.store.Get(k)
+		if err != nil {
+			return nil, fmt.Errorf("provider %d: %w", p.node, err)
+		}
+		out = append(out, PageFetch{Key: k, Data: data, Size: meta.Size, FromDisk: !meta.Resident})
+	}
+	return out, nil
+}
+
+// BytesStored returns the cumulative bytes ingested (the provider
+// manager's load metric).
+func (p *Provider) BytesStored() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytesIn
+}
+
+// PlacementStrategy decides which providers hold each page of a write.
+type PlacementStrategy interface {
+	// Place returns, for each of n pages, a replica set of `replication`
+	// distinct provider nodes. client is the writing node.
+	Place(client cluster.NodeID, n int, replication int) [][]cluster.NodeID
+	// Name identifies the strategy in reports.
+	Name() string
+}
+
+// ProviderManager tracks the provider fleet and applies a placement
+// strategy, mirroring BlobSeer's load-balancing page distribution.
+type ProviderManager struct {
+	env      cluster.Env
+	node     cluster.NodeID
+	strategy PlacementStrategy
+
+	mu        sync.Mutex
+	providers []cluster.NodeID
+}
+
+// NewProviderManager creates a manager on node for the given provider
+// fleet; strategy nil means load-balanced round-robin striping.
+func NewProviderManager(env cluster.Env, node cluster.NodeID, providers []cluster.NodeID, strategy PlacementStrategy) *ProviderManager {
+	ps := append([]cluster.NodeID(nil), providers...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	if strategy == nil {
+		strategy = NewRoundRobin(ps)
+	}
+	return &ProviderManager{env: env, node: node, strategy: strategy, providers: ps}
+}
+
+// Node returns the hosting node.
+func (pm *ProviderManager) Node() cluster.NodeID { return pm.node }
+
+// Providers returns the fleet.
+func (pm *ProviderManager) Providers() []cluster.NodeID {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return append([]cluster.NodeID(nil), pm.providers...)
+}
+
+// Place asks the strategy for the placement of n pages.
+func (pm *ProviderManager) Place(from cluster.NodeID, n, replication int) ([][]cluster.NodeID, error) {
+	pm.env.RTT(from, pm.node)
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if n <= 0 {
+		return nil, fmt.Errorf("core: placement for %d pages", n)
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > len(pm.providers) {
+		replication = len(pm.providers)
+	}
+	return pm.strategy.Place(from, n, replication), nil
+}
+
+// RoundRobin is the paper's load-balanced striping: consecutive pages
+// go to consecutive providers off a global cursor, so concurrent
+// writers interleave across the whole fleet and no provider becomes a
+// hotspot.
+type RoundRobin struct {
+	mu        sync.Mutex
+	providers []cluster.NodeID
+	cursor    int
+}
+
+// NewRoundRobin builds the strategy over a provider fleet.
+func NewRoundRobin(providers []cluster.NodeID) *RoundRobin {
+	return &RoundRobin{providers: providers}
+}
+
+// Name implements PlacementStrategy.
+func (r *RoundRobin) Name() string { return "load-balanced" }
+
+// Place implements PlacementStrategy.
+func (r *RoundRobin) Place(_ cluster.NodeID, n, replication int) [][]cluster.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]cluster.NodeID, n)
+	for i := range out {
+		set := make([]cluster.NodeID, replication)
+		for j := 0; j < replication; j++ {
+			set[j] = r.providers[(r.cursor+j)%len(r.providers)]
+		}
+		r.cursor = (r.cursor + 1) % len(r.providers)
+		out[i] = set
+	}
+	return out
+}
+
+// LocalFirst mimics HDFS's placement inside BlobSeer for the ablation
+// experiment: the primary replica of every page is the writer's own
+// node when it hosts a provider; further replicas follow the ring.
+type LocalFirst struct {
+	mu        sync.Mutex
+	providers []cluster.NodeID
+	isProv    map[cluster.NodeID]bool
+	cursor    int
+}
+
+// NewLocalFirst builds the strategy over a provider fleet.
+func NewLocalFirst(providers []cluster.NodeID) *LocalFirst {
+	m := make(map[cluster.NodeID]bool, len(providers))
+	for _, p := range providers {
+		m[p] = true
+	}
+	return &LocalFirst{providers: providers, isProv: m}
+}
+
+// Name implements PlacementStrategy.
+func (l *LocalFirst) Name() string { return "local-first" }
+
+// Place implements PlacementStrategy.
+func (l *LocalFirst) Place(client cluster.NodeID, n, replication int) [][]cluster.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]cluster.NodeID, n)
+	for i := range out {
+		set := make([]cluster.NodeID, 0, replication)
+		seen := make(map[cluster.NodeID]bool, replication)
+		if l.isProv[client] {
+			set = append(set, client)
+			seen[client] = true
+		}
+		for j := 0; len(set) < replication && j < len(l.providers); j++ {
+			cand := l.providers[(l.cursor+j)%len(l.providers)]
+			if seen[cand] {
+				continue
+			}
+			seen[cand] = true
+			set = append(set, cand)
+		}
+		l.cursor = (l.cursor + 1) % len(l.providers)
+		out[i] = set
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPageSpanInvariants: the page span always covers the byte
+// span and never over-covers by more than a page on each side.
+func TestQuickPageSpanInvariants(t *testing.T) {
+	f := func(off, length uint32, psExp uint8) bool {
+		ps := int64(1) << (psExp%12 + 4) // 16 B .. 32 KB
+		o, l := int64(off), int64(length%1<<20)+1
+		lo, hi := pageSpan(o, l, ps)
+		if lo*ps > o {
+			return false // first page starts after the write
+		}
+		if hi*ps < o+l {
+			return false // last page ends before the write
+		}
+		if (lo+1)*ps <= o || (hi-1)*ps >= o+l {
+			return false // over-coverage beyond one page
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCapacityMonotonic: capacity is a power of two, at least the
+// page count, and monotone in size.
+func TestQuickCapacityMonotonic(t *testing.T) {
+	f := func(a, b uint32, psExp uint8) bool {
+		ps := int64(1) << (psExp%12 + 4)
+		sa, sb := int64(a), int64(b)
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		ca, cb := capacityPages(sa, ps), capacityPages(sb, ps)
+		if ca&(ca-1) != 0 || cb&(cb-1) != 0 {
+			return false // not powers of two
+		}
+		if ca*ps < sa || cb*ps < sb {
+			return false // capacity below size
+		}
+		return ca <= cb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(22))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCanonicalRangeTree: left and right halves of a canonical
+// range are canonical, disjoint, and exactly tile the parent.
+func TestQuickCanonicalRangeTree(t *testing.T) {
+	f := func(offMul uint16, lvl uint8) bool {
+		count := int64(1) << (lvl%20 + 1) // >= 2, so halves exist
+		r := PageRange{Off: int64(offMul) * count, Count: count}
+		l, h := r.left(), r.right()
+		if l.Count != h.Count || l.Count*2 != r.Count {
+			return false
+		}
+		if l.Off != r.Off || h.Off != r.Off+l.Count {
+			return false
+		}
+		if l.end() != h.Off || h.end() != r.end() {
+			return false
+		}
+		// Canonical: offset a multiple of count.
+		return l.Off%l.Count == 0 && h.Off%h.Count == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBorrowAlwaysResolvable: for random write histories, every
+// child key computed during tree building resolves to a node that the
+// owning version actually created — the invariant behind lock-free
+// concurrent metadata generation.
+func TestQuickBorrowAlwaysResolvable(t *testing.T) {
+	const ps = 64
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 60; trial++ {
+		var h history
+		size := int64(0)
+		store := mapFetcher{}
+		n := 2 + rng.Intn(12)
+		for v := Version(1); v <= Version(n); v++ {
+			off := size
+			if size > 0 && rng.Intn(2) == 0 {
+				off = rng.Int63n(size)
+			}
+			if rng.Intn(4) == 0 {
+				off = size + rng.Int63n(100*ps) // sparse
+			}
+			length := 1 + rng.Int63n(6*ps)
+			sz := size
+			if off+length > sz {
+				sz = off + length
+			}
+			rec := WriteRecord{Version: v, Offset: off, Length: length, SizeAfter: sz, CapAfter: capacityPages(sz, ps)}
+			size = sz
+			h = append(h, rec)
+			applyWrite(store, 1, rec, h, ps)
+		}
+		// Walk the final version over its whole capacity: every node
+		// reference must resolve (walkTree errors on a missing node).
+		last := h[len(h)-1]
+		if _, err := walkTree(1, last.Version, last.CapAfter, 0, last.CapAfter, store); err != nil {
+			t.Fatalf("trial %d: unresolvable reference: %v", trial, err)
+		}
+		// And the same for every intermediate version.
+		for v := Version(1); v < last.Version; v++ {
+			rec := h[int(v)-1]
+			if _, err := walkTree(1, v, rec.CapAfter, 0, rec.CapAfter, store); err != nil {
+				t.Fatalf("trial %d v%d: %v", trial, v, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// version.go implements BlobSeer's centralized version manager: the
+// entity that assigns version numbers to writes (tickets), keeps the
+// per-blob write history concurrent metadata builders need, and
+// publishes versions in ticket order so readers always see a
+// consistent, totally ordered sequence of snapshots.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// Errors returned by the version manager.
+var (
+	ErrNoSuchBlob    = errors.New("core: no such blob")
+	ErrNoSuchVersion = errors.New("core: no such version")
+	ErrAborted       = errors.New("core: version aborted")
+	ErrBadWrite      = errors.New("core: invalid write request")
+)
+
+// Ticket is the version manager's reply to a write intent: the assigned
+// version, the resolved offset (for appends), the blob geometry after
+// the write, and the history delta the writer needs to compute borrowed
+// child keys.
+type Ticket struct {
+	Record  Ticket0
+	History []WriteRecord // records for versions (SinceVersion, Version)
+}
+
+// Ticket0 is the writer's own pending record.
+type Ticket0 = WriteRecord
+
+// VersionManager runs on one node and serializes version assignment
+// for all blobs of a deployment.
+type VersionManager struct {
+	env  cluster.Env
+	node cluster.NodeID
+
+	mu     sync.Mutex
+	nextID BlobID
+	blobs  map[BlobID]*blobState
+}
+
+type blobState struct {
+	pageSize  int64
+	records   []WriteRecord // index i = version i+1; includes pending
+	published Version       // latest published version
+	pending   map[Version]*pendingWrite
+	// pubWaiters are AwaitPublished callers parked until the
+	// publication frontier reaches their version.
+	pubWaiters []pubWaiter
+}
+
+type pubWaiter struct {
+	v   Version
+	sig cluster.Signal
+}
+
+type pendingWrite struct {
+	ready   bool // Publish received, waiting for predecessors
+	aborted bool
+	done    cluster.Signal // fired when published or aborted
+}
+
+// NewVersionManager creates a version manager hosted on node.
+func NewVersionManager(env cluster.Env, node cluster.NodeID) *VersionManager {
+	return &VersionManager{env: env, node: node, nextID: 1, blobs: make(map[BlobID]*blobState)}
+}
+
+// Node returns the hosting node.
+func (vm *VersionManager) Node() cluster.NodeID { return vm.node }
+
+// CreateBlob registers a new blob with the given page size and returns
+// its id. Version 0 (empty) is immediately readable.
+func (vm *VersionManager) CreateBlob(from cluster.NodeID, pageSize int64) (BlobID, error) {
+	if pageSize <= 0 {
+		return 0, fmt.Errorf("%w: page size %d", ErrBadWrite, pageSize)
+	}
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	id := vm.nextID
+	vm.nextID++
+	vm.blobs[id] = &blobState{pageSize: pageSize, pending: make(map[Version]*pendingWrite)}
+	return id, nil
+}
+
+// PageSize returns the blob's page size.
+func (vm *VersionManager) PageSize(from cluster.NodeID, blob BlobID) (int64, error) {
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	b, ok := vm.blobs[blob]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+	}
+	return b.pageSize, nil
+}
+
+// RequestTicket assigns the next version to a write of length bytes at
+// offset off (off < 0 requests an append at the current end). The
+// returned history contains every record with version in
+// (sinceVersion, assigned version), letting writers cache earlier
+// prefixes.
+func (vm *VersionManager) RequestTicket(from cluster.NodeID, blob BlobID, off, length int64, sinceVersion Version) (Ticket, error) {
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	b, ok := vm.blobs[blob]
+	if !ok {
+		return Ticket{}, fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+	}
+	if length <= 0 {
+		return Ticket{}, fmt.Errorf("%w: length %d", ErrBadWrite, length)
+	}
+	prevSize := int64(0)
+	if n := len(b.records); n > 0 {
+		prevSize = b.records[n-1].SizeAfter
+	}
+	if off < 0 {
+		off = prevSize // append
+	}
+	size := prevSize
+	if off+length > size {
+		size = off + length
+	}
+	rec := WriteRecord{
+		Blob:      blob,
+		Version:   Version(len(b.records)) + 1,
+		Offset:    off,
+		Length:    length,
+		SizeAfter: size,
+		CapAfter:  capacityPages(size, b.pageSize),
+	}
+	b.records = append(b.records, rec)
+	b.pending[rec.Version] = &pendingWrite{done: vm.env.NewSignal()}
+	hist := b.historyDelta(sinceVersion, rec.Version)
+	return Ticket{Record: rec, History: hist}, nil
+}
+
+// historyDelta copies records with versions in (since, v).
+func (b *blobState) historyDelta(since, v Version) []WriteRecord {
+	lo := int(since) // records[since] is version since+1
+	hi := int(v) - 1 // exclusive of v itself
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b.records) {
+		hi = len(b.records)
+	}
+	if lo >= hi {
+		return nil
+	}
+	out := make([]WriteRecord, hi-lo)
+	copy(out, b.records[lo:hi])
+	return out
+}
+
+// Publish declares version v's data and metadata fully written. It
+// blocks until v actually becomes visible, which happens once every
+// earlier version has been published or aborted — the version
+// manager's total-order guarantee.
+func (vm *VersionManager) Publish(from cluster.NodeID, blob BlobID, v Version) error {
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	b, ok := vm.blobs[blob]
+	if !ok {
+		vm.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+	}
+	p, ok := b.pending[v]
+	if !ok {
+		defer vm.mu.Unlock()
+		if v == 0 || int(v) > len(b.records) {
+			return fmt.Errorf("%w: %d@%d", ErrNoSuchVersion, blob, v)
+		}
+		if b.records[int(v)-1].Aborted {
+			return fmt.Errorf("%w: %d@%d", ErrAborted, blob, v)
+		}
+		return nil // already published
+	}
+	if p.aborted {
+		vm.mu.Unlock()
+		return fmt.Errorf("%w: %d@%d", ErrAborted, blob, v)
+	}
+	p.ready = true
+	done := p.done
+	vm.advanceLocked(b)
+	vm.mu.Unlock()
+	done.Wait()
+	vm.mu.Lock()
+	aborted := p.aborted
+	vm.mu.Unlock()
+	if aborted {
+		return fmt.Errorf("%w: %d@%d", ErrAborted, blob, v)
+	}
+	return nil
+}
+
+// Abort tombstones a pending version (writer failure). Its span remains
+// in the history — later concurrent writers may already have borrowed
+// node keys referencing it — but it is skipped in the publication order
+// and never becomes the visible snapshot.
+func (vm *VersionManager) Abort(from cluster.NodeID, blob BlobID, v Version) error {
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	b, ok := vm.blobs[blob]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+	}
+	p, ok := b.pending[v]
+	if !ok {
+		return fmt.Errorf("%w: %d@%d (not pending)", ErrNoSuchVersion, blob, v)
+	}
+	p.aborted = true
+	b.records[int(v)-1].Aborted = true
+	p.done.Fire()
+	vm.advanceLocked(b)
+	return nil
+}
+
+// advanceLocked publishes ready versions in order, skipping aborted
+// ones, and wakes their publishers and any publication waiters.
+func (vm *VersionManager) advanceLocked(b *blobState) {
+	defer func() {
+		kept := b.pubWaiters[:0]
+		for _, w := range b.pubWaiters {
+			if w.v <= b.published {
+				w.sig.Fire()
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		b.pubWaiters = kept
+	}()
+	for {
+		next := b.published + 1
+		p, ok := b.pending[next]
+		if !ok {
+			if int(next) > len(b.records) {
+				return // nothing further assigned
+			}
+			// Assigned but no pending entry: already resolved.
+			b.published = next
+			continue
+		}
+		if p.aborted {
+			b.published = next
+			delete(b.pending, next)
+			continue
+		}
+		if !p.ready {
+			return
+		}
+		b.published = next
+		delete(b.pending, next)
+		p.done.Fire()
+	}
+}
+
+// AwaitPublished blocks until the publication frontier reaches v
+// (published or aborted): after it returns, reads of any non-aborted
+// version <= v are valid. Concurrent writers use it to merge boundary
+// pages against their true predecessor instead of racing it.
+func (vm *VersionManager) AwaitPublished(from cluster.NodeID, blob BlobID, v Version) error {
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	b, ok := vm.blobs[blob]
+	if !ok {
+		vm.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+	}
+	if int(v) > len(b.records) {
+		vm.mu.Unlock()
+		return fmt.Errorf("%w: %d@%d", ErrNoSuchVersion, blob, v)
+	}
+	if b.published >= v {
+		vm.mu.Unlock()
+		return nil
+	}
+	sig := vm.env.NewSignal()
+	b.pubWaiters = append(b.pubWaiters, pubWaiter{v: v, sig: sig})
+	vm.mu.Unlock()
+	sig.Wait()
+	return nil
+}
+
+// Latest returns the newest published, non-aborted version and its
+// size. An empty blob reports version 0, size 0.
+func (vm *VersionManager) Latest(from cluster.NodeID, blob BlobID) (Version, int64, error) {
+	rec, ok, err := vm.LatestRecord(from, blob)
+	if err != nil || !ok {
+		return 0, 0, err
+	}
+	return rec.Version, rec.SizeAfter, nil
+}
+
+// LatestRecord returns the newest published, non-aborted version's
+// record. ok is false for an empty blob.
+func (vm *VersionManager) LatestRecord(from cluster.NodeID, blob BlobID) (WriteRecord, bool, error) {
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	b, ok := vm.blobs[blob]
+	if !ok {
+		return WriteRecord{}, false, fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+	}
+	for v := b.published; v >= 1; v-- {
+		rec := b.records[int(v)-1]
+		if !rec.Aborted {
+			return rec, true, nil
+		}
+	}
+	return WriteRecord{}, false, nil
+}
+
+// Clone creates a new blob sharing everything up to (and including)
+// published version v of the source: an O(published-versions) metadata
+// copy at the version manager and zero data movement — the cheap
+// branching the lineage systems (GFS, BlobSeer) advertise. The clone's
+// own writes continue from version v+1 in its private key space;
+// source and clone never see each other's subsequent writes.
+func (vm *VersionManager) Clone(from cluster.NodeID, source BlobID, v Version) (BlobID, error) {
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	src, ok := vm.blobs[source]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchBlob, source)
+	}
+	if v == 0 || v > src.published {
+		return 0, fmt.Errorf("%w: %d@%d (not published)", ErrNoSuchVersion, source, v)
+	}
+	if src.records[int(v)-1].Aborted {
+		return 0, fmt.Errorf("%w: %d@%d", ErrAborted, source, v)
+	}
+	id := vm.nextID
+	vm.nextID++
+	records := make([]WriteRecord, v)
+	copy(records, src.records[:v])
+	vm.blobs[id] = &blobState{
+		pageSize:  src.pageSize,
+		records:   records,
+		published: v,
+		pending:   make(map[Version]*pendingWrite),
+	}
+	return id, nil
+}
+
+// GetVersion returns the record of a published version (aborted
+// versions and unpublished tickets are not readable snapshots).
+func (vm *VersionManager) GetVersion(from cluster.NodeID, blob BlobID, v Version) (WriteRecord, error) {
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	b, ok := vm.blobs[blob]
+	if !ok {
+		return WriteRecord{}, fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+	}
+	if v == 0 || int(v) > len(b.records) || v > b.published {
+		return WriteRecord{}, fmt.Errorf("%w: %d@%d", ErrNoSuchVersion, blob, v)
+	}
+	rec := b.records[int(v)-1]
+	if rec.Aborted {
+		return WriteRecord{}, fmt.Errorf("%w: %d@%d", ErrAborted, blob, v)
+	}
+	return rec, nil
+}
+
+// Published returns the highest published version (possibly aborted
+// versions included in the count).
+func (vm *VersionManager) Published(from cluster.NodeID, blob BlobID) (Version, error) {
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	b, ok := vm.blobs[blob]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+	}
+	return b.published, nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func localVM() *VersionManager {
+	return NewVersionManager(cluster.NewLocal(4, 0), 0)
+}
+
+func TestCreateBlobAndPageSize(t *testing.T) {
+	vm := localVM()
+	id, err := vm.CreateBlob(1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := vm.PageSize(1, id)
+	if err != nil || ps != 4096 {
+		t.Fatalf("PageSize = %d, %v", ps, err)
+	}
+	if _, err := vm.CreateBlob(1, 0); err == nil {
+		t.Fatal("zero page size accepted")
+	}
+	if _, err := vm.PageSize(1, 999); !errors.Is(err, ErrNoSuchBlob) {
+		t.Fatalf("err = %v, want ErrNoSuchBlob", err)
+	}
+}
+
+func TestTicketAssignsOrderedVersions(t *testing.T) {
+	vm := localVM()
+	id, _ := vm.CreateBlob(0, 100)
+	t1, err := vm.RequestTicket(0, id, 0, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := vm.RequestTicket(0, id, -1, 50, 0)
+	if t1.Record.Version != 1 || t2.Record.Version != 2 {
+		t.Fatalf("versions = %d, %d", t1.Record.Version, t2.Record.Version)
+	}
+	// Append resolved against the pending size of t1.
+	if t2.Record.Offset != 100 {
+		t.Fatalf("append offset = %d, want 100", t2.Record.Offset)
+	}
+	if t2.Record.SizeAfter != 150 {
+		t.Fatalf("size after = %d", t2.Record.SizeAfter)
+	}
+	// History delta: t2 sees t1's record.
+	if len(t2.History) != 1 || t2.History[0].Version != 1 {
+		t.Fatalf("history = %+v", t2.History)
+	}
+	// sinceVersion skips known records.
+	t3, _ := vm.RequestTicket(0, id, -1, 10, 2)
+	if len(t3.History) != 0 {
+		t.Fatalf("history with since=2: %+v", t3.History)
+	}
+}
+
+func TestTicketRejectsBadLength(t *testing.T) {
+	vm := localVM()
+	id, _ := vm.CreateBlob(0, 100)
+	if _, err := vm.RequestTicket(0, id, 0, 0, 0); !errors.Is(err, ErrBadWrite) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPublishInOrder(t *testing.T) {
+	// Publish of v2 must not become visible before v1. Run in the
+	// simulator so the blocking is observable in virtual time.
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(4))
+	env := cluster.NewSim(net)
+	vm := NewVersionManager(env, 0)
+	var id BlobID
+
+	var v2Visible, v1Published time.Duration
+	eng.Go(func() {
+		id, _ = vm.CreateBlob(1, 100)
+		vm.RequestTicket(1, id, 0, 100, 0)  // v1
+		vm.RequestTicket(1, id, -1, 100, 0) // v2
+
+		wg := env.NewWaitGroup()
+		wg.Go(func() {
+			// v2 publishes first but must wait for v1.
+			if err := vm.Publish(1, id, 2); err != nil {
+				t.Error(err)
+			}
+			v2Visible = env.Now()
+		})
+		wg.Go(func() {
+			env.Sleep(time.Second)
+			if err := vm.Publish(2, id, 1); err != nil {
+				t.Error(err)
+			}
+			v1Published = env.Now()
+		})
+		wg.Wait()
+
+		v, size, err := vm.Latest(1, id)
+		if err != nil || v != 2 || size != 200 {
+			t.Errorf("Latest = %d/%d, %v", v, size, err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v2Visible < v1Published {
+		t.Fatalf("v2 visible at %v before v1 published at %v", v2Visible, v1Published)
+	}
+}
+
+func TestAbortUnblocksSuccessors(t *testing.T) {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(4))
+	env := cluster.NewSim(net)
+	vm := NewVersionManager(env, 0)
+	eng.Go(func() {
+		id, _ := vm.CreateBlob(1, 100)
+		vm.RequestTicket(1, id, 0, 100, 0)  // v1 (will abort)
+		vm.RequestTicket(1, id, -1, 100, 0) // v2
+
+		wg := env.NewWaitGroup()
+		wg.Go(func() {
+			if err := vm.Publish(1, id, 2); err != nil {
+				t.Error(err)
+			}
+		})
+		wg.Go(func() {
+			env.Sleep(time.Second)
+			if err := vm.Abort(1, id, 1); err != nil {
+				t.Error(err)
+			}
+		})
+		wg.Wait()
+		v, _, _ := vm.Latest(1, id)
+		if v != 2 {
+			t.Errorf("Latest = %d, want 2 (v1 aborted)", v)
+		}
+		// Aborted version is not a readable snapshot.
+		if _, err := vm.GetVersion(1, id, 1); !errors.Is(err, ErrAborted) {
+			t.Errorf("GetVersion(aborted) = %v", err)
+		}
+		// Publishing an aborted version reports the abort.
+		if err := vm.Publish(1, id, 1); !errors.Is(err, ErrAborted) {
+			t.Errorf("Publish(aborted) = %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatestSkipsTrailingAborted(t *testing.T) {
+	vm := localVM()
+	id, _ := vm.CreateBlob(0, 100)
+	vm.RequestTicket(0, id, 0, 100, 0)
+	vm.RequestTicket(0, id, -1, 100, 0)
+	if err := vm.Publish(0, id, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Abort(0, id, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, size, err := vm.Latest(0, id)
+	if err != nil || v != 1 || size != 100 {
+		t.Fatalf("Latest = %d/%d, %v", v, size, err)
+	}
+}
+
+func TestGetVersionBounds(t *testing.T) {
+	vm := localVM()
+	id, _ := vm.CreateBlob(0, 100)
+	if _, err := vm.GetVersion(0, id, 0); !errors.Is(err, ErrNoSuchVersion) {
+		t.Fatalf("v0: %v", err)
+	}
+	vm.RequestTicket(0, id, 0, 100, 0)
+	// Unpublished version is not readable.
+	if _, err := vm.GetVersion(0, id, 1); !errors.Is(err, ErrNoSuchVersion) {
+		t.Fatalf("unpublished: %v", err)
+	}
+	vm.Publish(0, id, 1)
+	rec, err := vm.GetVersion(0, id, 1)
+	if err != nil || rec.SizeAfter != 100 {
+		t.Fatalf("published: %+v, %v", rec, err)
+	}
+	// Double publish is idempotent.
+	if err := vm.Publish(0, id, 1); err != nil {
+		t.Fatalf("re-publish: %v", err)
+	}
+}
+
+func TestEmptyBlobLatest(t *testing.T) {
+	vm := localVM()
+	id, _ := vm.CreateBlob(0, 100)
+	v, size, err := vm.Latest(0, id)
+	if err != nil || v != 0 || size != 0 {
+		t.Fatalf("Latest(empty) = %d/%d, %v", v, size, err)
+	}
+}

@@ -1,0 +1,42 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// BenchmarkRingLookup measures key routing.
+func BenchmarkRingLookup(b *testing.B) {
+	r := NewRing(nodes(24), 32, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Lookup(fmt.Sprintf("m/1/%d/0/8", i))
+	}
+}
+
+// BenchmarkBatchPutGet measures batched metadata rounds of tree-build
+// size (512 nodes per write of a 64 MB block).
+func BenchmarkBatchPutGet(b *testing.B) {
+	env := cluster.NewLocal(32, 8)
+	c := NewCluster(nodes(24), 32, 1)
+	cl := c.NewClient(env, 0)
+	kvs := make(map[string][]byte, 512)
+	keys := make([]string, 0, 512)
+	for i := 0; i < 512; i++ {
+		k := fmt.Sprintf("m/1/1/%d/1", i)
+		kvs[k] = make([]byte, 17)
+		keys = append(keys, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.BatchPut(kvs); err != nil {
+			b.Fatal(err)
+		}
+		got, err := cl.BatchGet(keys)
+		if err != nil || len(got) != 512 {
+			b.Fatalf("%d, %v", len(got), err)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package dht implements the distributed hash table BlobSeer stores its
+// versioned metadata in: a consistent-hashing ring over a set of
+// metadata provider nodes, with configurable replication.
+//
+// Servers are plain in-memory key-value stores hosted on cluster nodes;
+// the Client routes keys to their replica sets and charges the
+// environment for message latency and payload movement, batching
+// whole-tree reads and writes into single scatter/gather transfers the
+// way the BlobSeer client batches metadata I/O.
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// ErrNotFound is returned when no replica holds a key.
+var ErrNotFound = errors.New("dht: key not found")
+
+// Ring is a consistent-hashing ring with virtual nodes.
+type Ring struct {
+	points      []point
+	replication int
+	nodes       []cluster.NodeID
+}
+
+type point struct {
+	hash uint64
+	node cluster.NodeID
+}
+
+// NewRing builds a ring over the given nodes. vnodes is the number of
+// virtual points per node (>=1); replication is the number of distinct
+// nodes each key is stored on (clamped to len(nodes)).
+func NewRing(nodes []cluster.NodeID, vnodes, replication int) *Ring {
+	if len(nodes) == 0 {
+		panic("dht: ring needs at least one node")
+	}
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > len(nodes) {
+		replication = len(nodes)
+	}
+	r := &Ring{replication: replication, nodes: append([]cluster.NodeID(nil), nodes...)}
+	for _, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%d|%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Nodes returns the ring's member nodes.
+func (r *Ring) Nodes() []cluster.NodeID { return r.nodes }
+
+// Replication returns the replica count.
+func (r *Ring) Replication() int { return r.replication }
+
+// Lookup returns the replica set for a key: the first `replication`
+// distinct nodes walking clockwise from the key's hash.
+func (r *Ring) Lookup(key string) []cluster.NodeID {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	out := make([]cluster.NodeID, 0, r.replication)
+	seen := make(map[cluster.NodeID]bool, r.replication)
+	for j := 0; len(out) < r.replication && j < len(r.points); j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV clusters on short, similar keys; a splitmix64 finalizer
+	// scrambles the output so ring points spread uniformly.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Server is the metadata store hosted on one node.
+type Server struct {
+	node cluster.NodeID
+
+	mu   sync.Mutex
+	m    map[string][]byte
+	down bool
+}
+
+// NewServer returns an empty metadata server for a node.
+func NewServer(node cluster.NodeID) *Server {
+	return &Server{node: node, m: make(map[string][]byte)}
+}
+
+// Node returns the hosting node.
+func (s *Server) Node() cluster.NodeID { return s.node }
+
+// SetDown marks the server unreachable (failure injection).
+func (s *Server) SetDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+// put stores values; returns false if the server is down.
+func (s *Server) put(kvs map[string][]byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return false
+	}
+	for k, v := range kvs {
+		s.m[k] = v
+	}
+	return true
+}
+
+// get reads values for keys; missing keys are absent from the result.
+func (s *Server) get(keys []string) (map[string][]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return nil, false
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v, ok := s.m[k]; ok {
+			out[k] = v
+		}
+	}
+	return out, true
+}
+
+// Len returns the number of keys stored on this server.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Cluster is the fleet of metadata servers plus the ring that routes to
+// them. It is shared by all clients of one deployment.
+type Cluster struct {
+	Ring    *Ring
+	servers map[cluster.NodeID]*Server
+}
+
+// NewCluster creates servers on the given nodes.
+func NewCluster(nodes []cluster.NodeID, vnodes, replication int) *Cluster {
+	c := &Cluster{Ring: NewRing(nodes, vnodes, replication), servers: make(map[cluster.NodeID]*Server)}
+	for _, n := range nodes {
+		c.servers[n] = NewServer(n)
+	}
+	return c
+}
+
+// Server returns the server on a node (nil if none).
+func (c *Cluster) Server(n cluster.NodeID) *Server { return c.servers[n] }
+
+// TotalKeys sums stored keys across servers (incl. replicas).
+func (c *Cluster) TotalKeys() int {
+	total := 0
+	for _, s := range c.servers {
+		total += s.Len()
+	}
+	return total
+}
+
+// Client issues DHT operations from a specific cluster node, charging
+// the environment for the messaging they cost.
+type Client struct {
+	env  cluster.Env
+	dht  *Cluster
+	from cluster.NodeID
+}
+
+// NewClient binds a client to a node.
+func (c *Cluster) NewClient(env cluster.Env, from cluster.NodeID) *Client {
+	return &Client{env: env, dht: c, from: from}
+}
+
+// Put stores one key on its replica set.
+func (c *Client) Put(key string, val []byte) error {
+	return c.BatchPut(map[string][]byte{key: val})
+}
+
+// BatchPut stores many keys, grouped per destination server, as one
+// parallel round of messages plus one scatter transfer for the payload.
+func (c *Client) BatchPut(kvs map[string][]byte) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	groups := make(map[cluster.NodeID]map[string][]byte)
+	var total int64
+	for k, v := range kvs {
+		total += int64(len(k) + len(v))
+		for _, n := range c.dht.Ring.Lookup(k) {
+			g := groups[n]
+			if g == nil {
+				g = make(map[string][]byte)
+				groups[n] = g
+			}
+			g[k] = v
+		}
+	}
+	dests := make([]cluster.NodeID, 0, len(groups))
+	for n := range groups {
+		dests = append(dests, n)
+	}
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	// One round trip (requests go out in parallel) plus the payload.
+	c.env.RTT(c.from, farthest(c.env, c.from, dests))
+	c.env.Scatter(c.from, dests, total*int64(c.dht.Ring.Replication()))
+	ok := false
+	for _, n := range dests {
+		if c.dht.servers[n].put(groups[n]) {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("dht: all %d replica servers down", len(dests))
+	}
+	return nil
+}
+
+// Get fetches one key, trying replicas in order.
+func (c *Client) Get(key string) ([]byte, error) {
+	res, err := c.BatchGet([]string{key})
+	if err != nil {
+		return nil, err
+	}
+	v, ok := res[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return v, nil
+}
+
+// BatchGet fetches many keys in one parallel round; replica failover is
+// per key. Missing keys are simply absent from the result map.
+func (c *Client) BatchGet(keys []string) (map[string][]byte, error) {
+	if len(keys) == 0 {
+		return map[string][]byte{}, nil
+	}
+	groups := make(map[cluster.NodeID][]string)
+	for _, k := range keys {
+		n := c.primaryUp(k)
+		groups[n] = append(groups[n], k)
+	}
+	srcs := make([]cluster.NodeID, 0, len(groups))
+	for n := range groups {
+		srcs = append(srcs, n)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	out := make(map[string][]byte, len(keys))
+	var total int64
+	for _, n := range srcs {
+		res, ok := c.dht.servers[n].get(groups[n])
+		if !ok {
+			continue
+		}
+		for k, v := range res {
+			out[k] = v
+			total += int64(len(k) + len(v))
+		}
+	}
+	c.env.RTT(c.from, farthest(c.env, c.from, srcs))
+	c.env.Gather(c.from, srcs, total, 0)
+	return out, nil
+}
+
+// primaryUp returns the first live replica node for a key (or the
+// primary if all are down; the read will then fail per key).
+func (c *Client) primaryUp(key string) cluster.NodeID {
+	replicas := c.dht.Ring.Lookup(key)
+	for _, n := range replicas {
+		s := c.dht.servers[n]
+		s.mu.Lock()
+		down := s.down
+		s.mu.Unlock()
+		if !down {
+			return n
+		}
+	}
+	return replicas[0]
+}
+
+// farthest picks the highest-latency destination so one RTT charge
+// covers the parallel fan-out.
+func farthest(env cluster.Env, from cluster.NodeID, nodes []cluster.NodeID) cluster.NodeID {
+	best := from
+	bestInter := false
+	for _, n := range nodes {
+		inter := env.Rack(n) != env.Rack(from)
+		if n != from && (best == from || (inter && !bestInter)) {
+			best = n
+			bestInter = inter
+		}
+	}
+	return best
+}

@@ -1,0 +1,225 @@
+package dht
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+)
+
+func nodes(n int) []cluster.NodeID {
+	out := make([]cluster.NodeID, n)
+	for i := range out {
+		out[i] = cluster.NodeID(i)
+	}
+	return out
+}
+
+func TestRingLookupDeterministic(t *testing.T) {
+	r := NewRing(nodes(10), 32, 3)
+	a := r.Lookup("some/key")
+	b := r.Lookup("some/key")
+	if len(a) != 3 {
+		t.Fatalf("replica set size = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("lookup not deterministic")
+		}
+	}
+	seen := map[cluster.NodeID]bool{}
+	for _, n := range a {
+		if seen[n] {
+			t.Fatal("duplicate node in replica set")
+		}
+		seen[n] = true
+	}
+}
+
+func TestRingReplicationClamped(t *testing.T) {
+	r := NewRing(nodes(2), 8, 5)
+	if got := len(r.Lookup("k")); got != 2 {
+		t.Fatalf("replicas = %d, want 2", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(nodes(16), 64, 1)
+	counts := map[cluster.NodeID]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	want := keys / 16
+	for n, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("node %d holds %d keys, want within [%d,%d]", n, c, want/2, want*2)
+		}
+	}
+}
+
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	// Consistent hashing: adding a node moves only ~1/n of the keys.
+	r1 := NewRing(nodes(10), 64, 1)
+	r2 := NewRing(nodes(11), 64, 1)
+	moved := 0
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if r1.Lookup(k)[0] != r2.Lookup(k)[0] {
+			moved++
+		}
+	}
+	if moved > keys/4 {
+		t.Fatalf("%d/%d keys moved when adding 1 of 11 nodes", moved, keys)
+	}
+}
+
+func newTestCluster(n, repl int) (*Cluster, *Client) {
+	env := cluster.NewLocal(n, 0)
+	c := NewCluster(nodes(n), 16, repl)
+	return c, c.NewClient(env, 0)
+}
+
+func TestPutGet(t *testing.T) {
+	_, cl := newTestCluster(5, 2)
+	if err := cl.Put("a", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "value" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, cl := newTestCluster(3, 1)
+	if _, err := cl.Get("missing"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	_, cl := newTestCluster(8, 2)
+	kvs := map[string][]byte{}
+	var keys []string
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("node/%d", i)
+		kvs[k] = []byte(fmt.Sprintf("payload-%d", i))
+		keys = append(keys, k)
+	}
+	if err := cl.BatchPut(kvs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.BatchGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d keys", len(got))
+	}
+	for k, v := range kvs {
+		if string(got[k]) != string(v) {
+			t.Fatalf("key %s: got %q want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestEmptyBatches(t *testing.T) {
+	_, cl := newTestCluster(3, 1)
+	if err := cl.BatchPut(nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.BatchGet(nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("BatchGet(nil) = %v, %v", res, err)
+	}
+}
+
+func TestReplicationSurvivesFailure(t *testing.T) {
+	c, cl := newTestCluster(6, 3)
+	kvs := map[string][]byte{}
+	var keys []string
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%d", i)
+		kvs[k] = []byte{byte(i)}
+		keys = append(keys, k)
+	}
+	if err := cl.BatchPut(kvs); err != nil {
+		t.Fatal(err)
+	}
+	// Kill two of six servers: with replication 3, every key survives.
+	c.Server(0).SetDown(true)
+	c.Server(3).SetDown(true)
+	got, err := cl.BatchGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if v, ok := got[k]; !ok || v[0] != kvs[k][0] {
+			t.Fatalf("key %s lost after 2 failures", k)
+		}
+	}
+}
+
+func TestAllReplicasDownFailsPut(t *testing.T) {
+	c, cl := newTestCluster(2, 2)
+	c.Server(0).SetDown(true)
+	c.Server(1).SetDown(true)
+	if err := cl.Put("k", []byte("v")); err == nil {
+		t.Fatal("expected failure with all servers down")
+	}
+}
+
+func TestReplicaCountOnServers(t *testing.T) {
+	c, cl := newTestCluster(5, 3)
+	for i := 0; i < 50; i++ {
+		cl.Put(fmt.Sprintf("k%d", i), []byte("x"))
+	}
+	if got := c.TotalKeys(); got != 150 {
+		t.Fatalf("TotalKeys = %d, want 150 (50 keys x 3 replicas)", got)
+	}
+}
+
+func TestOverwriteLatestWins(t *testing.T) {
+	_, cl := newTestCluster(4, 2)
+	cl.Put("k", []byte("old"))
+	cl.Put("k", []byte("new"))
+	v, err := cl.Get("k")
+	if err != nil || string(v) != "new" {
+		t.Fatalf("got %q, %v", v, err)
+	}
+}
+
+func TestQuickPutGetProperty(t *testing.T) {
+	_, cl := newTestCluster(7, 2)
+	f := func(key string, val []byte) bool {
+		if key == "" {
+			key = "empty"
+		}
+		if err := cl.Put(key, val); err != nil {
+			return false
+		}
+		got, err := cl.Get(key)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(val) {
+			return false
+		}
+		for i := range val {
+			if got[i] != val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}

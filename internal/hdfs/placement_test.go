@@ -1,0 +1,133 @@
+package hdfs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func TestThirdReplicaCrossesRacks(t *testing.T) {
+	// Over many chunks, third replicas must spread across remote racks
+	// rather than piling on one node.
+	env := cluster.NewLocal(40, 10) // 4 racks of 10
+	var dns []cluster.NodeID
+	for i := 1; i < 40; i++ {
+		dns = append(dns, cluster.NodeID(i))
+	}
+	d, err := NewDeployment(env, Config{DataNodes: dns, ChunkSize: 1 << 10, Replication: 3, WriteThrough: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := d.NewFS(1)
+	w, _ := fs.Create("/spread")
+	w.Write(make([]byte, 100<<10)) // 100 chunks
+	w.Close()
+	meta, _ := fs.fileMeta("/spread")
+	thirdRacks := map[int]int{}
+	for _, c := range meta.chunks {
+		thirdRacks[env.Rack(c.locs[2])]++
+	}
+	if len(thirdRacks) < 2 {
+		t.Fatalf("third replicas confined to %d rack(s): %v", len(thirdRacks), thirdRacks)
+	}
+	if thirdRacks[env.Rack(1)] > 0 {
+		t.Fatal("third replica placed in the writer's rack")
+	}
+}
+
+func TestReaderPrefersLocalThenRack(t *testing.T) {
+	// In the simulator, a local replica read moves no network bytes;
+	// a rack-local one stays off the core switch.
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(60))
+	env := cluster.NewSim(net)
+	var dns []cluster.NodeID
+	for i := 1; i < 60; i++ {
+		dns = append(dns, cluster.NodeID(i))
+	}
+	d, err := NewDeployment(env, Config{DataNodes: dns, ChunkSize: 4 << 20, Replication: 3, WriteThrough: true, MemCapacity: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Go(func() {
+		fs := d.NewFS(5)
+		w, _ := fs.Create("/f")
+		w.WriteSynthetic(4 << 20)
+		w.Close()
+		meta, _ := fs.fileMeta("/f")
+		local := meta.chunks[0].locs[0]
+		if local != 5 {
+			t.Errorf("first replica on %d", local)
+			return
+		}
+		// Reading from the writer's own node: loopback, ~no time.
+		r, _ := d.NewFS(5).Open("/f")
+		t0 := env.Now()
+		r.ReadSyntheticAt(0, 4<<20)
+		localTime := env.Now() - t0
+		r.Close()
+		if localTime > 10*time.Millisecond {
+			t.Errorf("local read took %v", localTime)
+		}
+		// Reading from another rack pulls over the network.
+		far := cluster.NodeID(45)
+		r2, _ := d.NewFS(far).Open("/f")
+		t0 = env.Now()
+		r2.ReadSyntheticAt(0, 4<<20)
+		remoteTime := env.Now() - t0
+		r2.Close()
+		if remoteTime <= localTime {
+			t.Errorf("remote read (%v) not slower than local (%v)", remoteTime, localTime)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteThroughChargesDisks(t *testing.T) {
+	// With write-through, a chunk write takes at least chunk/diskBW.
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(12))
+	env := cluster.NewSim(net)
+	var dns []cluster.NodeID
+	for i := 1; i < 12; i++ {
+		dns = append(dns, cluster.NodeID(i))
+	}
+	run := func(writeThrough bool) time.Duration {
+		d, err := NewDeployment(env, Config{DataNodes: dns, ChunkSize: 60 << 20, Replication: 1, WriteThrough: writeThrough})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var took time.Duration
+		done := env.NewSignal()
+		env.Go(func() {
+			fs := d.NewFS(3) // local first replica
+			t0 := env.Now()
+			w, _ := fs.Create("/wt")
+			w.WriteSynthetic(60 << 20)
+			w.Close()
+			took = env.Now() - t0
+			done.Fire()
+		})
+		done.Wait()
+		return took
+	}
+	var wt, ram time.Duration
+	eng.Go(func() {
+		wt = run(true)
+		ram = run(false)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wt < 900*time.Millisecond { // 60 MB at 60 MB/s disk
+		t.Fatalf("write-through local write took %v, want >= ~1s", wt)
+	}
+	if ram >= wt/2 {
+		t.Fatalf("RAM datanode write (%v) not much faster than write-through (%v)", ram, wt)
+	}
+}

@@ -1,0 +1,180 @@
+package mapreduce
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bsfs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// simStack builds a simulated BSFS + MapReduce stack.
+func simStack(t *testing.T, nodes int, mrCfg Config) (*sim.Engine, *cluster.Sim, *Cluster, func(cluster.NodeID) fsapi.FileSystem) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(nodes))
+	env := cluster.NewSim(net)
+	provs := make([]cluster.NodeID, nodes-1)
+	for i := range provs {
+		provs[i] = cluster.NodeID(i + 1)
+	}
+	dep, err := core.NewDeployment(env, core.Options{PageSize: 64 << 10, ProviderNodes: provs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := bsfs.NewService(dep, bsfs.Config{BlockSize: 1 << 20})
+	newFS := func(n cluster.NodeID) fsapi.FileSystem { return svc.NewFS(n) }
+	mrCfg.WorkerNodes = provs
+	mrCfg.NewFS = newFS
+	mr, err := NewCluster(env, mrCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, env, mr, newFS
+}
+
+func TestSpeculativeExecutionRescuesStraggler(t *testing.T) {
+	eng, env, mr, _ := simStack(t, 12, Config{
+		Speculative:      true,
+		SpeculativeDelay: 2 * time.Second,
+	})
+	const straggle = 120 * time.Second
+	var completion time.Duration
+	eng.Go(func() {
+		job := JobConfig{
+			Name:      "straggler",
+			OutputDir: "/out",
+			NumMaps:   8,
+			Synthetic: true,
+			Profile:   Profile{GenerateBytesPerMap: 8 << 20},
+			// The first attempt of map 3 hangs for two virtual minutes;
+			// its backup attempt runs at normal speed.
+			FaultInjector: func(kind TaskKind, task, attempt int) error {
+				if kind == MapTask && task == 3 && attempt == 0 {
+					env.Sleep(straggle)
+				}
+				return nil
+			},
+		}
+		res, err := mr.Submit(job)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		completion = res.Duration
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completion >= straggle {
+		t.Fatalf("job took %v; speculation did not rescue the straggler", completion)
+	}
+}
+
+func TestWithoutSpeculationStragglerDominates(t *testing.T) {
+	eng, env, mr, _ := simStack(t, 12, Config{Speculative: false})
+	const straggle = 60 * time.Second
+	var completion time.Duration
+	eng.Go(func() {
+		job := JobConfig{
+			Name:      "straggler-no-spec",
+			OutputDir: "/out",
+			NumMaps:   4,
+			Synthetic: true,
+			Profile:   Profile{GenerateBytesPerMap: 1 << 20},
+			FaultInjector: func(kind TaskKind, task, attempt int) error {
+				if kind == MapTask && task == 0 && attempt == 0 {
+					env.Sleep(straggle)
+				}
+				return nil
+			},
+		}
+		res, err := mr.Submit(job)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		completion = res.Duration
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completion < straggle {
+		t.Fatalf("job took %v < straggler %v without speculation?", completion, straggle)
+	}
+}
+
+func TestSpeculativeDuplicateResultDiscarded(t *testing.T) {
+	// Both the straggler and its backup eventually finish; the job's
+	// output and counters must count the task once.
+	eng, env, mr, newFS := simStack(t, 12, Config{
+		Speculative:      true,
+		SpeculativeDelay: time.Second,
+	})
+	eng.Go(func() {
+		job := JobConfig{
+			Name:      "dup",
+			OutputDir: "/dup",
+			NumMaps:   4,
+			Synthetic: true,
+			Profile:   Profile{GenerateBytesPerMap: 4 << 20},
+			FaultInjector: func(kind TaskKind, task, attempt int) error {
+				if kind == MapTask && task == 1 && attempt == 0 {
+					env.Sleep(5 * time.Second) // finishes, but late
+				}
+				return nil
+			},
+		}
+		res, err := mr.Submit(job)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Counters.MapTasks != 4 {
+			t.Errorf("maps = %d", res.Counters.MapTasks)
+		}
+		infos, err := newFS(0).List("/dup")
+		if err != nil || len(infos) != 4 {
+			t.Errorf("%d output files, %v", len(infos), err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapReduceOverSimulatedClusterEndToEnd(t *testing.T) {
+	// Full-stack smoke: a reduce job with real shuffle volumes over the
+	// simulated fabric.
+	eng, _, mr, _ := simStack(t, 20, Config{})
+	eng.Go(func() {
+		job := JobConfig{
+			Name:       "synthetic-shuffle",
+			OutputDir:  "/out",
+			NumMaps:    10,
+			NumReduces: 4,
+			Synthetic:  true,
+			Profile: Profile{
+				GenerateBytesPerMap: 32 << 20,
+			},
+		}
+		res, err := mr.Submit(job)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Counters.OutputBytes != 10*32<<20 {
+			t.Errorf("output = %d", res.Counters.OutputBytes)
+		}
+		if res.Duration <= 0 {
+			t.Error("no virtual time elapsed")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,372 @@
+// Package pagestore implements the storage engine used by BlobSeer
+// providers and HDFS datanodes: a RAM-resident page cache with LRU
+// eviction, dirty-page tracking for asynchronous flushing, and an
+// optional write-ahead log for durability.
+//
+// It stands in for the BerkeleyDB persistence layer of the original
+// BlobSeer implementation (stdlib-only constraint) while preserving the
+// behaviour the paper's evaluation depends on: writes land in RAM and
+// are persisted asynchronously, so the write path is not synchronously
+// disk-bound — unlike an HDFS datanode, which fsyncs chunks in the
+// write pipeline.
+//
+// Entries may be real (carrying bytes) or synthetic (size only). The
+// cluster-scale simulations use synthetic entries so that a 250 GB
+// experiment does not allocate 250 GB; all capacity accounting uses the
+// declared size either way, so cache hits and misses behave the same.
+package pagestore
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotFound is returned when a key is absent.
+var ErrNotFound = errors.New("pagestore: key not found")
+
+// ErrEvicted is returned when a real entry's bytes were evicted and no
+// write-ahead log is attached to recover them from.
+var ErrEvicted = errors.New("pagestore: entry evicted and no log to recover from")
+
+// Config parameterizes a Store.
+type Config struct {
+	// MemCapacity bounds resident bytes (real or declared synthetic
+	// size). 0 means unlimited.
+	MemCapacity int64
+	// Dir, if non-empty, enables write-ahead logging in that directory;
+	// evicted entries can then be read back, and Open recovers state.
+	Dir string
+}
+
+// Meta describes an entry without touching its data.
+type Meta struct {
+	Size      int64
+	Synthetic bool
+	Resident  bool // counted against RAM right now
+	Dirty     bool // not yet flushed
+}
+
+type entry struct {
+	key       string
+	data      []byte // nil if synthetic or evicted
+	size      int64
+	synthetic bool
+	dirty     bool
+	resident  bool
+	flushing  bool
+	lruElem   *list.Element // non-nil while clean+resident
+	logged    bool          // present in the WAL
+}
+
+// Store is a concurrency-safe page store. The zero value is not usable;
+// use Open.
+type Store struct {
+	cfg Config
+
+	mu       sync.Mutex
+	items    map[string]*entry
+	lru      *list.List // clean resident entries, front = most recent
+	dirtyQ   []string   // FIFO of dirty keys awaiting flush
+	memBytes int64
+	// dirtyBytes counts entries that are dirty and not yet taken by a
+	// flush batch (O(1) backpressure queries).
+	dirtyBytes int64
+	wal        *wal
+
+	// counters
+	hits, misses, evictions uint64
+}
+
+// Open creates a store; if cfg.Dir is set, existing log segments are
+// replayed to rebuild the index.
+func Open(cfg Config) (*Store, error) {
+	s := &Store{
+		cfg:   cfg,
+		items: make(map[string]*entry),
+		lru:   list.New(),
+	}
+	if cfg.Dir != "" {
+		w, err := openWAL(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+		for key, rec := range w.index {
+			s.items[key] = &entry{
+				key:       key,
+				size:      rec.size,
+				synthetic: rec.synthetic,
+				resident:  false,
+				logged:    true,
+			}
+		}
+	}
+	return s, nil
+}
+
+// MustOpen is Open for configurations that cannot fail (no Dir).
+func MustOpen(cfg Config) *Store {
+	if cfg.Dir != "" {
+		panic("pagestore: MustOpen with a Dir; use Open")
+	}
+	s, _ := Open(cfg)
+	return s
+}
+
+// Close releases the log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return s.wal.close()
+	}
+	return nil
+}
+
+// Put stores real bytes under key, overwriting any previous entry. The
+// entry starts resident and dirty.
+func (s *Store) Put(key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return s.put(key, cp, int64(len(data)), false)
+}
+
+// PutSynthetic stores a size-only entry under key.
+func (s *Store) PutSynthetic(key string, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("pagestore: negative size %d", size)
+	}
+	return s.put(key, nil, size, true)
+}
+
+func (s *Store) put(key string, data []byte, size int64, synthetic bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.items[key]; ok {
+		s.dropLocked(old)
+	}
+	e := &entry{key: key, data: data, size: size, synthetic: synthetic, dirty: true, resident: true}
+	s.items[key] = e
+	s.memBytes += size
+	s.dirtyBytes += size
+	s.dirtyQ = append(s.dirtyQ, key)
+	s.evictLocked()
+	return nil
+}
+
+// Peek returns entry metadata without changing cache state. The second
+// result reports presence.
+func (s *Store) Peek(key string) (Meta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		return Meta{}, false
+	}
+	return Meta{Size: e.size, Synthetic: e.synthetic, Resident: e.resident, Dirty: e.dirty}, true
+}
+
+// Get returns the entry's data (nil for synthetic entries) and its
+// metadata as seen *before* the call: callers use Meta.Resident to
+// charge a disk read on a miss. A miss makes the entry resident again
+// (read-through caching), which may evict others.
+func (s *Store) Get(key string) ([]byte, Meta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	m := Meta{Size: e.size, Synthetic: e.synthetic, Resident: e.resident, Dirty: e.dirty}
+	if e.resident {
+		s.hits++
+		if e.lruElem != nil {
+			s.lru.MoveToFront(e.lruElem)
+		}
+		return e.data, m, nil
+	}
+	s.misses++
+	// Fault the entry back in.
+	if !e.synthetic {
+		if s.wal == nil || !e.logged {
+			return nil, m, fmt.Errorf("%w: %q", ErrEvicted, key)
+		}
+		data, err := s.wal.read(key)
+		if err != nil {
+			return nil, m, err
+		}
+		e.data = data
+	}
+	e.resident = true
+	s.memBytes += e.size
+	if !e.dirty {
+		e.lruElem = s.lru.PushFront(e)
+	}
+	s.evictLocked()
+	return e.data, m, nil
+}
+
+// Delete removes an entry. Deleting a missing key is not an error.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		return
+	}
+	s.dropLocked(e)
+	if s.wal != nil && e.logged {
+		s.wal.tombstone(key)
+	}
+}
+
+// dropLocked removes the entry from all in-memory structures.
+func (s *Store) dropLocked(e *entry) {
+	if e.resident {
+		s.memBytes -= e.size
+	}
+	if e.dirty && !e.flushing {
+		s.dirtyBytes -= e.size
+	}
+	if e.lruElem != nil {
+		s.lru.Remove(e.lruElem)
+		e.lruElem = nil
+	}
+	delete(s.items, e.key)
+	// Note: a stale dirtyQ reference may remain; TakeDirty skips keys
+	// whose entry no longer exists or is no longer dirty.
+}
+
+// evictLocked enforces MemCapacity by evicting clean resident entries,
+// least recently used first. Dirty and flushing entries are pinned.
+func (s *Store) evictLocked() {
+	if s.cfg.MemCapacity <= 0 {
+		return
+	}
+	for s.memBytes > s.cfg.MemCapacity {
+		back := s.lru.Back()
+		if back == nil {
+			return // everything else is pinned
+		}
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		e.lruElem = nil
+		e.resident = false
+		s.memBytes -= e.size
+		if !e.synthetic {
+			e.data = nil
+		}
+		s.evictions++
+	}
+}
+
+// TakeDirty dequeues up to maxBytes of dirty entries (at least one, if
+// any are dirty) and marks them as being flushed. The caller performs
+// the (modelled or real) disk write and then calls CommitFlush.
+func (s *Store) TakeDirty(maxBytes int64) (keys []string, total int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.dirtyQ) > 0 {
+		key := s.dirtyQ[0]
+		e, ok := s.items[key]
+		if !ok || !e.dirty || e.flushing {
+			s.dirtyQ = s.dirtyQ[1:]
+			continue
+		}
+		if len(keys) > 0 && maxBytes > 0 && total+e.size > maxBytes {
+			break
+		}
+		s.dirtyQ = s.dirtyQ[1:]
+		e.flushing = true
+		s.dirtyBytes -= e.size
+		keys = append(keys, key)
+		total += e.size
+	}
+	return keys, total
+}
+
+// CommitFlush finalizes a flush batch: entries are written to the log
+// (if any), marked clean, and become evictable.
+func (s *Store) CommitFlush(keys []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, key := range keys {
+		e, ok := s.items[key]
+		if !ok || !e.flushing {
+			continue // deleted or overwritten while flushing
+		}
+		if s.wal != nil {
+			if err := s.wal.append(key, e.data, e.size, e.synthetic); err != nil {
+				return err
+			}
+			e.logged = true
+		}
+		e.flushing = false
+		e.dirty = false
+		if e.resident && e.lruElem == nil {
+			e.lruElem = s.lru.PushFront(e)
+		}
+	}
+	s.evictLocked()
+	return nil
+}
+
+// DirtyBytes returns the total size of dirty entries not yet taken by
+// a flush batch. O(1).
+func (s *Store) DirtyBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dirtyBytes
+}
+
+// Stats reports cache behaviour counters and occupancy.
+type Stats struct {
+	Entries   int
+	MemBytes  int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:   len(s.items),
+		MemBytes:  s.memBytes,
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+	}
+}
+
+// Len returns the number of entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Sync flushes the log to stable storage (no-op without a Dir).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.sync()
+}
+
+// Compact rewrites the log keeping only live records, reclaiming space
+// from overwrites and tombstones. No-op without a Dir.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.compact()
+}

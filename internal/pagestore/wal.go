@@ -1,0 +1,316 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The write-ahead log is a sequence of segment files, each a stream of
+// length-prefixed, checksummed records:
+//
+//	[1B kind][4B keyLen][key][8B size][4B dataLen][data][4B crc32]
+//
+// kind: 1 = put (real), 2 = tombstone, 3 = put (synthetic, no data).
+// The crc covers everything before it in the record. Recovery replays
+// segments in order; the last record for a key wins. A torn final
+// record (crash mid-append) is truncated away.
+
+const (
+	recPut       = 1
+	recTombstone = 2
+	recSynthetic = 3
+
+	segMaxBytes = 64 << 20
+)
+
+var errCorrupt = errors.New("pagestore: corrupt log record")
+
+type walRec struct {
+	seg       int
+	off       int64 // offset of the data payload within the segment
+	dataLen   int64
+	size      int64
+	synthetic bool
+}
+
+type wal struct {
+	dir      string
+	index    map[string]walRec
+	segs     []int // sorted segment ids
+	active   *os.File
+	activeID int
+	activeSz int64
+	garbage  int64 // bytes of superseded records (rough)
+}
+
+func segName(id int) string { return fmt.Sprintf("seg-%06d.wal", id) }
+
+func openWAL(dir string) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &wal{dir: dir, index: make(map[string]walRec)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, de := range entries {
+		var id int
+		if n, _ := fmt.Sscanf(de.Name(), "seg-%06d.wal", &id); n == 1 && strings.HasSuffix(de.Name(), ".wal") {
+			w.segs = append(w.segs, id)
+		}
+	}
+	sort.Ints(w.segs)
+	for _, id := range w.segs {
+		if err := w.replay(id); err != nil {
+			return nil, err
+		}
+	}
+	next := 1
+	if len(w.segs) > 0 {
+		next = w.segs[len(w.segs)-1] + 1
+	}
+	if err := w.roll(next); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *wal) roll(id int) error {
+	if w.active != nil {
+		if err := w.active.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(id)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.active = f
+	w.activeID = id
+	w.activeSz = 0
+	w.segs = append(w.segs, id)
+	return nil
+}
+
+// replay scans one segment, updating the index. A torn tail is
+// truncated.
+func (w *wal) replay(id int) error {
+	path := filepath.Join(w.dir, segName(id))
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var off int64
+	for {
+		rec, key, next, err := readRecord(f, off)
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, errCorrupt) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// Torn write at the tail: truncate and stop.
+			return os.Truncate(path, off)
+		}
+		if err != nil {
+			return err
+		}
+		rec.seg = id
+		if old, ok := w.index[key]; ok {
+			w.garbage += old.dataLen + int64(len(key)) + 21
+		}
+		if rec.size < 0 { // tombstone
+			delete(w.index, key)
+		} else {
+			w.index[key] = rec
+		}
+		off = next
+	}
+}
+
+// readRecord parses one record at off; returns the record, key, and the
+// offset of the next record.
+func readRecord(f *os.File, off int64) (walRec, string, int64, error) {
+	var hdr [5]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return walRec{}, "", 0, err
+	}
+	kind := hdr[0]
+	keyLen := binary.LittleEndian.Uint32(hdr[1:5])
+	if kind < recPut || kind > recSynthetic || keyLen > 1<<20 {
+		return walRec{}, "", 0, errCorrupt
+	}
+	buf := make([]byte, int(keyLen)+12)
+	if _, err := f.ReadAt(buf, off+5); err != nil {
+		return walRec{}, "", 0, err
+	}
+	key := string(buf[:keyLen])
+	size := int64(binary.LittleEndian.Uint64(buf[keyLen : keyLen+8]))
+	dataLen := int64(binary.LittleEndian.Uint32(buf[keyLen+8 : keyLen+12]))
+	if dataLen > 1<<31 {
+		return walRec{}, "", 0, errCorrupt
+	}
+	dataOff := off + 5 + int64(keyLen) + 12
+	crcBuf := make([]byte, 4)
+	if _, err := f.ReadAt(crcBuf, dataOff+dataLen); err != nil {
+		return walRec{}, "", 0, err
+	}
+	h := crc32.NewIEEE()
+	h.Write(hdr[:])
+	h.Write(buf)
+	if dataLen > 0 {
+		if _, err := io.Copy(h, io.NewSectionReader(f, dataOff, dataLen)); err != nil {
+			return walRec{}, "", 0, err
+		}
+	}
+	if h.Sum32() != binary.LittleEndian.Uint32(crcBuf) {
+		return walRec{}, "", 0, errCorrupt
+	}
+	rec := walRec{off: dataOff, dataLen: dataLen, size: size, synthetic: kind == recSynthetic}
+	if kind == recTombstone {
+		rec.size = -1
+	}
+	return rec, key, dataOff + dataLen + 4, nil
+}
+
+func encodeRecord(kind byte, key string, size int64, data []byte) []byte {
+	n := 5 + len(key) + 12 + len(data) + 4
+	buf := make([]byte, 0, n)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(size))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
+	buf = append(buf, data...)
+	crc := crc32.ChecksumIEEE(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	return buf
+}
+
+func (w *wal) append(key string, data []byte, size int64, synthetic bool) error {
+	kind := byte(recPut)
+	if synthetic {
+		kind = recSynthetic
+		data = nil
+	}
+	rec := encodeRecord(kind, key, size, data)
+	if w.activeSz > 0 && w.activeSz+int64(len(rec)) > segMaxBytes {
+		if err := w.roll(w.activeID + 1); err != nil {
+			return err
+		}
+	}
+	if _, err := w.active.Write(rec); err != nil {
+		return err
+	}
+	dataOff := w.activeSz + 5 + int64(len(key)) + 12
+	if old, ok := w.index[key]; ok {
+		w.garbage += old.dataLen + int64(len(key)) + 21
+	}
+	w.index[key] = walRec{seg: w.activeID, off: dataOff, dataLen: int64(len(data)), size: size, synthetic: synthetic}
+	w.activeSz += int64(len(rec))
+	return nil
+}
+
+func (w *wal) tombstone(key string) error {
+	rec := encodeRecord(recTombstone, key, 0, nil)
+	if _, err := w.active.Write(rec); err != nil {
+		return err
+	}
+	w.activeSz += int64(len(rec))
+	if old, ok := w.index[key]; ok {
+		w.garbage += old.dataLen + int64(len(key)) + 21
+		delete(w.index, key)
+	}
+	return nil
+}
+
+// read fetches the payload bytes of the latest record for key.
+func (w *wal) read(key string) ([]byte, error) {
+	rec, ok := w.index[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (log)", ErrNotFound, key)
+	}
+	if rec.synthetic {
+		return nil, nil
+	}
+	f, err := os.Open(filepath.Join(w.dir, segName(rec.seg)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, rec.dataLen)
+	if _, err := f.ReadAt(buf, rec.off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// sync flushes the active segment to stable storage.
+func (w *wal) sync() error { return w.active.Sync() }
+
+// compact rewrites live records into fresh segments and deletes the old
+// ones.
+func (w *wal) compact() error {
+	oldSegs := append([]int(nil), w.segs...)
+	keys := make([]string, 0, len(w.index))
+	for k := range w.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Load payloads before switching segments.
+	type live struct {
+		key       string
+		data      []byte
+		size      int64
+		synthetic bool
+	}
+	records := make([]live, 0, len(keys))
+	for _, k := range keys {
+		rec := w.index[k]
+		data, err := w.read(k)
+		if err != nil {
+			return err
+		}
+		records = append(records, live{key: k, data: data, size: rec.size, synthetic: rec.synthetic})
+	}
+	next := w.activeID + 1
+	w.segs = nil
+	if err := w.roll(next); err != nil {
+		return err
+	}
+	w.index = make(map[string]walRec, len(records))
+	w.garbage = 0
+	for _, r := range records {
+		if err := w.append(r.key, r.data, r.size, r.synthetic); err != nil {
+			return err
+		}
+	}
+	if err := w.sync(); err != nil {
+		return err
+	}
+	for _, id := range oldSegs {
+		if err := os.Remove(filepath.Join(w.dir, segName(id))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *wal) close() error {
+	if w.active == nil {
+		return nil
+	}
+	err := w.active.Sync()
+	if cerr := w.active.Close(); err == nil {
+		err = cerr
+	}
+	w.active = nil
+	return err
+}

@@ -1,0 +1,360 @@
+// Package rpcnet exposes a BSFS deployment over TCP using the standard
+// library's net/rpc with gob encoding, so real remote clients
+// (cmd/blobctl) can drive the file system hosted by cmd/bsfsd.
+//
+// This is the repository's "real wire" demonstration: the services
+// themselves are the same objects the simulator runs; rpcnet is a thin
+// veneer that serializes the fsapi surface (plus BSFS's versioning
+// extensions) onto one listener.
+package rpcnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/bsfs"
+	"repro/internal/core"
+	"repro/internal/fsapi"
+)
+
+// MaxChunk bounds a single read or write payload on the wire.
+const MaxChunk = 4 << 20
+
+// Service is the RPC-visible server. Exported methods follow net/rpc's
+// (args, reply) convention.
+type Service struct {
+	fs *bsfs.FS
+
+	mu      sync.Mutex
+	nextID  uint64
+	writers map[uint64]fsapi.Writer
+}
+
+// NewService wraps a BSFS client (typically node 0 of a Local env).
+func NewService(fs *bsfs.FS) *Service {
+	return &Service{fs: fs, writers: make(map[uint64]fsapi.Writer)}
+}
+
+// OpenArgs opens a file for writing.
+type OpenArgs struct {
+	Path   string
+	Append bool
+}
+
+// OpenReply returns the write handle.
+type OpenReply struct{ Handle uint64 }
+
+// Open creates or opens a file for (appending) writes.
+func (s *Service) Open(args *OpenArgs, reply *OpenReply) error {
+	var w fsapi.Writer
+	var err error
+	if args.Append {
+		w, err = s.fs.Append(args.Path)
+	} else {
+		w, err = s.fs.Create(args.Path)
+	}
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.writers[id] = w
+	s.mu.Unlock()
+	reply.Handle = id
+	return nil
+}
+
+// WriteArgs appends a chunk through a handle.
+type WriteArgs struct {
+	Handle uint64
+	Data   []byte
+}
+
+// WriteReply reports bytes accepted.
+type WriteReply struct{ N int }
+
+// Write appends data through an open handle.
+func (s *Service) Write(args *WriteArgs, reply *WriteReply) error {
+	if len(args.Data) > MaxChunk {
+		return fmt.Errorf("rpcnet: chunk %d exceeds max %d", len(args.Data), MaxChunk)
+	}
+	w, err := s.writer(args.Handle)
+	if err != nil {
+		return err
+	}
+	n, err := w.Write(args.Data)
+	reply.N = n
+	return err
+}
+
+// CloseArgs closes a write handle.
+type CloseArgs struct{ Handle uint64 }
+
+// CloseReply is empty.
+type CloseReply struct{}
+
+// Close commits and releases a write handle.
+func (s *Service) Close(args *CloseArgs, reply *CloseReply) error {
+	s.mu.Lock()
+	w, ok := s.writers[args.Handle]
+	delete(s.writers, args.Handle)
+	s.mu.Unlock()
+	if !ok {
+		return errors.New("rpcnet: unknown handle")
+	}
+	return w.Close()
+}
+
+func (s *Service) writer(id uint64) (fsapi.Writer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.writers[id]
+	if !ok {
+		return nil, errors.New("rpcnet: unknown handle")
+	}
+	return w, nil
+}
+
+// ReadArgs reads a byte range of a file (Version 0 = latest snapshot).
+type ReadArgs struct {
+	Path    string
+	Version uint64
+	Off     int64
+	Len     int64
+}
+
+// ReadReply carries the bytes (short at EOF).
+type ReadReply struct{ Data []byte }
+
+// Read returns up to Len bytes at Off of the requested snapshot.
+func (s *Service) Read(args *ReadArgs, reply *ReadReply) error {
+	if args.Len > MaxChunk {
+		return fmt.Errorf("rpcnet: read %d exceeds max %d", args.Len, MaxChunk)
+	}
+	var r fsapi.Reader
+	var err error
+	if args.Version == 0 {
+		r, err = s.fs.Open(args.Path)
+	} else {
+		r, err = s.fs.OpenVersion(args.Path, core.Version(args.Version))
+	}
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	buf := make([]byte, args.Len)
+	n, err := r.ReadAt(buf, args.Off)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	reply.Data = buf[:n]
+	return nil
+}
+
+// PathArgs names a path.
+type PathArgs struct{ Path string }
+
+// StatReply describes a file.
+type StatReply struct {
+	Path  string
+	Size  int64
+	IsDir bool
+}
+
+// Stat describes a path.
+func (s *Service) Stat(args *PathArgs, reply *StatReply) error {
+	fi, err := s.fs.Stat(args.Path)
+	if err != nil {
+		return err
+	}
+	*reply = StatReply{Path: fi.Path, Size: fi.Size, IsDir: fi.IsDir}
+	return nil
+}
+
+// ListReply lists directory entries.
+type ListReply struct{ Entries []StatReply }
+
+// List enumerates a directory.
+func (s *Service) List(args *PathArgs, reply *ListReply) error {
+	infos, err := s.fs.List(args.Path)
+	if err != nil {
+		return err
+	}
+	for _, fi := range infos {
+		reply.Entries = append(reply.Entries, StatReply{Path: fi.Path, Size: fi.Size, IsDir: fi.IsDir})
+	}
+	return nil
+}
+
+// Mkdir creates a directory.
+func (s *Service) Mkdir(args *PathArgs, reply *CloseReply) error {
+	return s.fs.Mkdir(args.Path)
+}
+
+// Delete removes a file or empty directory.
+func (s *Service) Delete(args *PathArgs, reply *CloseReply) error {
+	return s.fs.Delete(args.Path)
+}
+
+// RenameArgs moves a path.
+type RenameArgs struct{ Old, New string }
+
+// Rename moves a file or directory.
+func (s *Service) Rename(args *RenameArgs, reply *CloseReply) error {
+	return s.fs.Rename(args.Old, args.New)
+}
+
+// VersionsReply lists a file's published snapshots.
+type VersionsReply struct{ Versions []uint64 }
+
+// Versions lists the snapshots of a file.
+func (s *Service) Versions(args *PathArgs, reply *VersionsReply) error {
+	vs, err := s.fs.Versions(args.Path)
+	if err != nil {
+		return err
+	}
+	for _, v := range vs {
+		reply.Versions = append(reply.Versions, uint64(v))
+	}
+	return nil
+}
+
+// Serve accepts connections on l until it is closed.
+func Serve(l net.Listener, svc *Service) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("BSFS", svc); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Client is a convenience wrapper over the raw RPC connection.
+type Client struct {
+	rpc *rpc.Client
+}
+
+// Dial connects to a bsfsd server.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: c}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// Put streams data into a new file.
+func (c *Client) Put(path string, data []byte) error {
+	return c.stream(path, false, data)
+}
+
+// Append streams data onto an existing file.
+func (c *Client) Append(path string, data []byte) error {
+	return c.stream(path, true, data)
+}
+
+func (c *Client) stream(path string, app bool, data []byte) error {
+	var open OpenReply
+	if err := c.rpc.Call("BSFS.Open", &OpenArgs{Path: path, Append: app}, &open); err != nil {
+		return err
+	}
+	for off := 0; off < len(data); off += MaxChunk {
+		end := off + MaxChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		var wr WriteReply
+		if err := c.rpc.Call("BSFS.Write", &WriteArgs{Handle: open.Handle, Data: data[off:end]}, &wr); err != nil {
+			return err
+		}
+	}
+	if len(data) == 0 {
+		var wr WriteReply
+		_ = wr
+	}
+	var cl CloseReply
+	return c.rpc.Call("BSFS.Close", &CloseArgs{Handle: open.Handle}, &cl)
+}
+
+// Get reads a whole file (or snapshot version; 0 = latest).
+func (c *Client) Get(path string, version uint64) ([]byte, error) {
+	st, err := c.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for off := int64(0); off < st.Size; off += MaxChunk {
+		l := int64(MaxChunk)
+		if off+l > st.Size {
+			l = st.Size - off
+		}
+		var rr ReadReply
+		if err := c.rpc.Call("BSFS.Read", &ReadArgs{Path: path, Version: version, Off: off, Len: l}, &rr); err != nil {
+			return nil, err
+		}
+		out = append(out, rr.Data...)
+		if int64(len(rr.Data)) < l {
+			break
+		}
+	}
+	return out, nil
+}
+
+// ReadRange reads length bytes at off.
+func (c *Client) ReadRange(path string, version uint64, off, length int64) ([]byte, error) {
+	var rr ReadReply
+	err := c.rpc.Call("BSFS.Read", &ReadArgs{Path: path, Version: version, Off: off, Len: length}, &rr)
+	return rr.Data, err
+}
+
+// Stat describes a path.
+func (c *Client) Stat(path string) (StatReply, error) {
+	var st StatReply
+	err := c.rpc.Call("BSFS.Stat", &PathArgs{Path: path}, &st)
+	return st, err
+}
+
+// List enumerates a directory.
+func (c *Client) List(path string) ([]StatReply, error) {
+	var lr ListReply
+	err := c.rpc.Call("BSFS.List", &PathArgs{Path: path}, &lr)
+	return lr.Entries, err
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) error {
+	var r CloseReply
+	return c.rpc.Call("BSFS.Mkdir", &PathArgs{Path: path}, &r)
+}
+
+// Delete removes a path.
+func (c *Client) Delete(path string) error {
+	var r CloseReply
+	return c.rpc.Call("BSFS.Delete", &PathArgs{Path: path}, &r)
+}
+
+// Rename moves a path.
+func (c *Client) Rename(oldPath, newPath string) error {
+	var r CloseReply
+	return c.rpc.Call("BSFS.Rename", &RenameArgs{Old: oldPath, New: newPath}, &r)
+}
+
+// Versions lists a file's snapshots.
+func (c *Client) Versions(path string) ([]uint64, error) {
+	var vr VersionsReply
+	err := c.rpc.Call("BSFS.Versions", &PathArgs{Path: path}, &vr)
+	return vr.Versions, err
+}

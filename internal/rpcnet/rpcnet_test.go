@@ -1,0 +1,156 @@
+package rpcnet
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/bsfs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// startServer boots a Local-env BSFS deployment behind a TCP listener
+// and returns a connected client.
+func startServer(t *testing.T) *Client {
+	t.Helper()
+	env := cluster.NewLocal(4, 0)
+	dep, err := core.NewDeployment(env, core.Options{
+		PageSize:      4 << 10,
+		ProviderNodes: []cluster.NodeID{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dep.Close() })
+	svc := bsfs.NewService(dep, bsfs.Config{BlockSize: 64 << 10})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(l, NewService(svc.NewFS(0)))
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := startServer(t)
+	data := bytes.Repeat([]byte("wire-data-"), 1000)
+	if err := c.Put("/remote/file", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("/remote/file", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %d bytes", len(got))
+	}
+}
+
+func TestLargeFileChunkedTransfer(t *testing.T) {
+	c := startServer(t)
+	data := make([]byte, 9<<20) // crosses two 4 MB wire chunks
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := c.Put("/big", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("/big", 0)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("large transfer: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestAppendAndVersions(t *testing.T) {
+	c := startServer(t)
+	if err := c.Put("/log", []byte("v1|")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append("/log", []byte("v2|")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Get("/log", 0)
+	if string(got) != "v1|v2|" {
+		t.Fatalf("appended = %q", got)
+	}
+	versions, err := c.Versions("/log")
+	if err != nil || len(versions) != 2 {
+		t.Fatalf("versions = %v, %v", versions, err)
+	}
+	// Reading the first snapshot shows only the first write.
+	old, err := c.Get("/log", versions[0])
+	if err != nil || string(old) != "v1|" {
+		t.Fatalf("snapshot read = %q, %v", old, err)
+	}
+}
+
+func TestNamespaceOverWire(t *testing.T) {
+	c := startServer(t)
+	c.Put("/a/x", []byte("1"))
+	c.Put("/a/y", []byte("22"))
+	if err := c.Mkdir("/b"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.List("/a")
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("List = %v, %v", entries, err)
+	}
+	st, err := c.Stat("/a/y")
+	if err != nil || st.Size != 2 {
+		t.Fatalf("Stat = %+v, %v", st, err)
+	}
+	if err := c.Rename("/a/x", "/b/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("/a/y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/a/y"); err == nil {
+		t.Fatal("deleted file still visible")
+	}
+	got, _ := c.Get("/b/x", 0)
+	if string(got) != "1" {
+		t.Fatalf("moved file = %q", got)
+	}
+}
+
+func TestRangeRead(t *testing.T) {
+	c := startServer(t)
+	c.Put("/r", []byte("0123456789"))
+	got, err := c.ReadRange("/r", 0, 3, 4)
+	if err != nil || string(got) != "3456" {
+		t.Fatalf("range = %q, %v", got, err)
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	c := startServer(t)
+	if _, err := c.Get("/missing", 0); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+	if err := c.Append("/missing", []byte("x")); err == nil {
+		t.Fatal("append to missing file succeeded")
+	}
+	var rr ReadReply
+	if err := c.rpc.Call("BSFS.Read", &ReadArgs{Path: "/missing", Len: MaxChunk + 1}, &rr); err == nil {
+		t.Fatal("oversized read accepted")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	c := startServer(t)
+	if err := c.Put("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("/empty", 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty get = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import "sync"
+
+// WaitGroup is the simulation-aware analogue of sync.WaitGroup: Wait
+// blocks the calling process in virtual time until the counter reaches
+// zero. Unlike sync.WaitGroup it may be safely awaited while the
+// counterparts are blocked on simulation primitives.
+type WaitGroup struct {
+	e   *Engine
+	mu  sync.Mutex
+	n   int
+	sig *Signal // non-nil while a wait round is open
+}
+
+// NewWaitGroup returns a WaitGroup bound to the engine.
+func (e *Engine) NewWaitGroup() *WaitGroup {
+	return &WaitGroup{e: e}
+}
+
+// Add adds delta (which may be negative) to the counter. The counter
+// must not go negative.
+func (w *WaitGroup) Add(delta int) {
+	w.mu.Lock()
+	w.n += delta
+	if w.n < 0 {
+		w.mu.Unlock()
+		panic("sim: negative WaitGroup counter")
+	}
+	var sig *Signal
+	if w.n == 0 && w.sig != nil {
+		sig = w.sig
+		w.sig = nil
+	}
+	w.mu.Unlock()
+	if sig != nil {
+		sig.Fire()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Go spawns fn as a simulated process tracked by the WaitGroup.
+func (w *WaitGroup) Go(fn func()) {
+	w.Add(1)
+	w.e.Go(func() {
+		defer w.Done()
+		fn()
+	})
+}
+
+// Wait blocks until the counter reaches zero.
+func (w *WaitGroup) Wait() {
+	w.mu.Lock()
+	if w.n == 0 {
+		w.mu.Unlock()
+		return
+	}
+	if w.sig == nil {
+		w.sig = w.e.NewSignal()
+	}
+	sig := w.sig
+	w.mu.Unlock()
+	sig.Wait()
+}

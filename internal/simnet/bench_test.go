@@ -1,0 +1,67 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkMaxMinSolver measures the fair-share recompute cost with
+// many concurrent striped flows — the dominant cost of cluster-scale
+// experiments.
+func BenchmarkMaxMinSolver(b *testing.B) {
+	for _, flows := range []int{16, 64, 250} {
+		b.Run(benchName(flows), func(b *testing.B) {
+			eng := sim.NewEngine()
+			n := New(eng, Grid5000(270))
+			dests := make([]NodeID, 200)
+			for i := range dests {
+				dests[i] = NodeID(i + 60)
+			}
+			eng.Go(func() {
+				for round := 0; round < b.N; round++ {
+					wg := eng.NewWaitGroup()
+					for f := 0; f < flows; f++ {
+						src := NodeID(f%50 + 1)
+						wg.Go(func() {
+							n.Transfer(n.PathScatter(src, dests), 8*MB)
+						})
+					}
+					wg.Wait()
+				}
+			})
+			b.ResetTimer()
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func benchName(flows int) string {
+	switch flows {
+	case 16:
+		return "flows-16"
+	case 64:
+		return "flows-64"
+	default:
+		return "flows-250"
+	}
+}
+
+// BenchmarkPathConstruction measures building wide scatter paths.
+func BenchmarkPathConstruction(b *testing.B) {
+	eng := sim.NewEngine()
+	n := New(eng, Grid5000(270))
+	dests := make([]NodeID, 250)
+	for i := range dests {
+		dests[i] = NodeID(i + 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := n.PathScatter(NodeID(i%9+1), dests)
+		if p.Empty() {
+			b.Fatal("empty path")
+		}
+	}
+}
