@@ -1,5 +1,6 @@
 // Command bsfs-bench regenerates the paper's microbenchmark figures
-// (E1-E3), the concurrent-append extension (X1) and the ablation
+// (E1-E3), the extensions (X1 concurrent appends, X3 provider
+// failure/churn with replica repair) and the ablation
 // studies (A1-A4) on a simulated Grid'5000-style cluster.
 //
 // Usage:
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: e1 e2 e3 x1 a1 a2 a3 a4, or 'all'")
+		exp      = flag.String("exp", "all", "experiment id: e1 e2 e3 x1 x3 a1 a2 a3 a4, or 'all'")
 		clients  = flag.String("clients", "1,20,50,100,150,200,250", "comma-separated client counts")
 		sizeMB   = flag.Int64("size", 1024, "data per client in MB (paper: 1024)")
 		nodes    = flag.Int("nodes", 270, "cluster size (paper: 270)")

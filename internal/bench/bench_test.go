@@ -164,6 +164,33 @@ func TestX2SnapshotWorkflow(t *testing.T) {
 	}
 }
 
+func TestX3FaultChurn(t *testing.T) {
+	res, err := RunFaultChurn(FaultOpts{
+		Clients:        12,
+		BytesPerClient: 64 * MB,
+		KillProviders:  2,
+		Spec:           ClusterSpec{Nodes: 60, MetaNodes: 8},
+		Storage:        StorageOpts{MemCapacity: 48 * MB, Replication: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("X3: healthy %.1f MB/s, degraded %.1f MB/s, repaired %d pages (%d replicas) in %s",
+		res.Healthy.PerClientMBps, res.Degraded.PerClientMBps,
+		res.Repair.PagesDegraded, res.Repair.ReplicasAdded, res.RepairDuration)
+	// RunFaultChurn itself verifies correctness (no short reads, full
+	// replication after repair); here we assert the scenario's shape.
+	if res.Healthy.PerClientMBps <= 0 || res.Degraded.PerClientMBps <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	if res.Repair.PagesDegraded == 0 || res.Repair.ReplicasAdded < res.Repair.PagesDegraded {
+		t.Fatalf("killing 2 of 59 providers must degrade pages and repair must re-copy them: %+v", res.Repair)
+	}
+	if res.RepairDuration <= 0 {
+		t.Fatal("repair consumed no virtual time")
+	}
+}
+
 func TestA1PlacementAblation(t *testing.T) {
 	// Grafting HDFS's local-first placement onto BlobSeer concentrates
 	// each file on its writer's node; concurrent readers then hammer

@@ -1,0 +1,230 @@
+// fault.go runs the provider-failure/churn scenario (X3): concurrent
+// readers lose k providers mid-workload, keep reading through replica
+// failover at degraded throughput, and the repair subsystem then
+// restores every page to full replication. The scenario measures the
+// three numbers that matter for churn tolerance: healthy throughput,
+// degraded throughput, and time-to-full-replication.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// FaultOpts parameterizes the fault/churn scenario.
+type FaultOpts struct {
+	Clients        int
+	BytesPerClient int64
+	// KillProviders is the number of providers killed mid-read
+	// (default 1). Victims are spread around the placement ring so no
+	// page loses every replica; the run fails if the spacing cannot
+	// guarantee that for the configured replication.
+	KillProviders int
+	// KillDelay is how far into the measured read phase the victims
+	// die (default 100ms of virtual time, early enough to land
+	// mid-read even at reduced scale).
+	KillDelay time.Duration
+	// RecordSize splits each client's read into individual requests of
+	// this size (default 8 MB). A single huge request fetches all its
+	// pages at one virtual instant, so only record-sized requests give
+	// the failure a mid-read window to land in.
+	RecordSize int64
+	Storage    StorageOpts
+	Spec       ClusterSpec
+}
+
+func (o *FaultOpts) fillDefaults() {
+	if o.Clients <= 0 {
+		o.Clients = 1
+	}
+	if o.BytesPerClient <= 0 {
+		o.BytesPerClient = 1 * GB
+	}
+	if o.KillProviders <= 0 {
+		o.KillProviders = 1
+	}
+	if o.KillDelay <= 0 {
+		o.KillDelay = 100 * time.Millisecond
+	}
+	if o.RecordSize <= 0 {
+		o.RecordSize = 8 * MB
+	}
+	o.Storage.Kind = "bsfs" // the scenario exercises BlobSeer's repair
+	if o.Storage.Replication < 2 {
+		o.Storage.Replication = 2
+	}
+}
+
+// FaultResult is the outcome of one fault/churn run.
+type FaultResult struct {
+	// Healthy and Degraded are the read throughput before and during
+	// the failure.
+	Healthy  Point
+	Degraded Point
+	// RepairDuration is the virtual time RepairBlob took to restore
+	// full replication across all blobs.
+	RepairDuration time.Duration
+	// Repair summarizes the repair pass.
+	Repair core.RepairStats
+}
+
+// killVictims picks k providers spread evenly over the fleet, erroring
+// out when the spacing cannot keep every replica set (replication
+// consecutive providers under round-robin striping) at least one
+// survivor.
+func killVictims(provs []cluster.NodeID, k, replication int) ([]cluster.NodeID, error) {
+	step := len(provs) / k
+	wrap := len(provs) - (k-1)*step
+	if k > 1 && (step < replication || wrap < replication) {
+		return nil, fmt.Errorf("bench: killing %d of %d providers at replication %d can erase whole replica sets", k, len(provs), replication)
+	}
+	out := make([]cluster.NodeID, k)
+	for i := range out {
+		out[i] = provs[i*step]
+	}
+	return out, nil
+}
+
+// RunFaultChurn executes the scenario: load one blob per client with
+// Replication >= 2, read it all (healthy baseline), read it again
+// while k providers die mid-read (degraded), repair, and verify every
+// page is back at full replication.
+func RunFaultChurn(opts FaultOpts) (FaultResult, error) {
+	opts.fillDefaults()
+	tb, err := NewTestbed(opts.Spec, opts.Storage)
+	if err != nil {
+		return FaultResult{}, err
+	}
+	dep := tb.bsfsSvc.Deployment()
+	clients := tb.clientNodes(opts.Clients)
+	victims, err := killVictims(dep.PM.Providers(), opts.KillProviders, opts.Storage.Replication)
+	if err != nil {
+		return FaultResult{}, err
+	}
+
+	var res FaultResult
+	blobs := make([]core.BlobID, opts.Clients)
+	readAll := func(label string) (Point, error) {
+		durations := make([]time.Duration, opts.Clients)
+		var readErr error
+		net0, disk0 := resourceSnapshot(tb)
+		start := tb.Env.Now()
+		wg := tb.Env.NewWaitGroup()
+		for i, node := range clients {
+			wg.Go(func() {
+				t0 := tb.Env.Now()
+				c := dep.NewClient(node)
+				for done := int64(0); done < opts.BytesPerClient; done += opts.RecordSize {
+					want := opts.RecordSize
+					if done+want > opts.BytesPerClient {
+						want = opts.BytesPerClient - done
+					}
+					n, err := c.ReadSynthetic(blobs[i], core.LatestVersion, done, want)
+					if err != nil && readErr == nil {
+						readErr = err
+					}
+					if n != want && readErr == nil {
+						readErr = fmt.Errorf("bench: short read: %d of %d at %d", n, want, done)
+					}
+				}
+				durations[i] = tb.Env.Now() - t0
+			})
+		}
+		wg.Wait()
+		p := summarize(label, tb.Kind, opts.BytesPerClient, durations, tb.Env.Now()-start)
+		net1, disk1 := resourceSnapshot(tb)
+		p.NetBytes, p.DiskBytes = net1-net0, disk1-disk0
+		return p, readErr
+	}
+
+	var runErr error
+	err = tb.Run(func() {
+		// Load phase: one blob per client, written from a distant node.
+		wg := tb.Env.NewWaitGroup()
+		for i, node := range clients {
+			loader := tb.loaderNode(node)
+			wg.Go(func() {
+				c := dep.NewClient(loader)
+				blob, err := c.Create(0)
+				if err == nil {
+					_, err = c.WriteSynthetic(blob, 0, opts.BytesPerClient)
+				}
+				if err != nil && runErr == nil {
+					runErr = err
+				}
+				blobs[i] = blob
+			})
+		}
+		wg.Wait()
+		if runErr != nil {
+			return
+		}
+		tb.Env.Sleep(settleTime)
+
+		// Healthy baseline.
+		if res.Healthy, runErr = readAll("X3-healthy"); runErr != nil {
+			return
+		}
+
+		// Degraded phase: the victims die mid-read.
+		wg = tb.Env.NewWaitGroup()
+		wg.Go(func() {
+			tb.Env.Sleep(opts.KillDelay)
+			for _, v := range victims {
+				dep.Providers[v].SetDown(true)
+			}
+		})
+		var degErr error
+		wg.Go(func() { res.Degraded, degErr = readAll("X3-degraded") })
+		wg.Wait()
+		if degErr != nil {
+			runErr = degErr
+			return
+		}
+
+		// Repair: restore full replication, measuring virtual time.
+		t0 := tb.Env.Now()
+		st, err := dep.Repair.SweepOnce()
+		res.Repair = st
+		if err != nil {
+			runErr = err
+			return
+		}
+		res.RepairDuration = tb.Env.Now() - t0
+		if res.Repair.PagesLost > 0 {
+			runErr = fmt.Errorf("bench: %d pages lost all replicas", res.Repair.PagesLost)
+			return
+		}
+
+		// Verify: every page of every blob is back at full replication,
+		// counting only live providers.
+		verifier := dep.NewClient(0)
+		for _, blob := range blobs {
+			locs, err := verifier.PageLocations(blob, core.LatestVersion, 0, opts.BytesPerClient)
+			if err != nil {
+				runErr = err
+				return
+			}
+			for _, loc := range locs {
+				live := 0
+				for _, n := range loc.Providers {
+					if pr := dep.Providers[n]; pr != nil && !pr.IsDown() {
+						live++
+					}
+				}
+				if live < opts.Storage.Replication {
+					runErr = fmt.Errorf("bench: blob %d page %d has %d live replicas after repair, want %d",
+						blob, loc.Page, live, opts.Storage.Replication)
+					return
+				}
+			}
+		}
+	})
+	if err == nil {
+		err = runErr
+	}
+	return res, err
+}

@@ -125,6 +125,33 @@ var Experiments = []Experiment{
 		},
 	},
 	{
+		ID:    "x3",
+		Title: "X3: provider failure and churn (degraded reads + time-to-full-replication, bsfs)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			opts.fillDefaults()
+			var pts []Point
+			for _, n := range opts.Clients {
+				// FaultOpts.fillDefaults forces bsfs and Replication >= 2.
+				res, err := RunFaultChurn(FaultOpts{
+					Clients:        n,
+					BytesPerClient: opts.BytesPerClient,
+					Spec:           opts.Spec,
+					Storage:        StorageOpts{MemCapacity: opts.MemCapacity, Replication: opts.Replication},
+				})
+				if err != nil {
+					return fmt.Errorf("bench: x3 n=%d: %w", n, err)
+				}
+				pts = append(pts, res.Healthy, res.Degraded)
+				fmt.Fprintf(w, "x3 n=%d: repaired %d/%d degraded pages (%d replicas, %s copied) in %s\n",
+					n, res.Repair.PagesDegraded, res.Repair.PagesScanned,
+					res.Repair.ReplicasAdded, size(res.Repair.BytesCopied),
+					res.RepairDuration.Round(timeUnit(res.RepairDuration)))
+			}
+			WritePointsTable(w, "X3: reads under provider failure (healthy vs degraded)", pts)
+			return nil
+		},
+	},
+	{
 		ID:    "a1",
 		Title: "A1 ablation: BlobSeer striping vs HDFS-style local-first placement (read side)",
 		Run: func(opts SweepOpts, w io.Writer) error {

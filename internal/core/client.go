@@ -6,6 +6,7 @@
 package core
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"sort"
@@ -19,6 +20,11 @@ import (
 // range containing synthetic (size-only) pages.
 var ErrSynthetic = errors.New("core: range contains synthetic pages; use ReadSynthetic")
 
+// ErrAllReplicasDown is returned when every provider holding a copy of
+// a page is unreachable: the data exists but no live replica can serve
+// it. Repairer restores the replication factor before this happens.
+var ErrAllReplicasDown = errors.New("core: all replicas down")
+
 // Client issues BlobSeer operations from one cluster node. Clients are
 // not safe for concurrent use by multiple goroutines; create one per
 // simulated process.
@@ -31,15 +37,28 @@ type Client struct {
 	blobs map[BlobID]*blobInfo // cached geometry + history
 }
 
-// cachedMeta caches metadata tree nodes client-side. Nodes are
-// immutable once written (a version's tree is never modified), so the
-// cache never needs invalidation — the original BlobSeer client caches
-// metadata the same way.
+// cachedMeta caches metadata tree nodes client-side with LRU
+// eviction. Tree nodes are immutable once written (a version's tree is
+// never modified), so the cache needs no invalidation — the original
+// BlobSeer client caches metadata the same way. The one exception is
+// repair: Repairer rewrites leaves it re-replicates, writing through
+// its own cache; other clients' stale leaves still name the surviving
+// replicas, so reads keep working via failover.
 type cachedMeta struct {
 	cl  *dht.Client
 	mu  sync.Mutex
-	m   map[string][]byte
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used
 	cap int
+}
+
+type metaEntry struct {
+	key string
+	val []byte
+}
+
+func newCachedMeta(cl *dht.Client, capacity int) *cachedMeta {
+	return &cachedMeta{cl: cl, m: make(map[string]*list.Element), lru: list.New(), cap: capacity}
 }
 
 // BatchGet serves hits locally and fetches only the misses.
@@ -48,8 +67,9 @@ func (c *cachedMeta) BatchGet(keys []string) (map[string][]byte, error) {
 	var missing []string
 	c.mu.Lock()
 	for _, k := range keys {
-		if v, ok := c.m[k]; ok {
-			out[k] = v
+		if el, ok := c.m[k]; ok {
+			out[k] = el.Value.(*metaEntry).val
+			c.lru.MoveToFront(el)
 		} else {
 			missing = append(missing, k)
 		}
@@ -63,7 +83,7 @@ func (c *cachedMeta) BatchGet(keys []string) (map[string][]byte, error) {
 		c.mu.Lock()
 		for k, v := range got {
 			out[k] = v
-			c.m[k] = v
+			c.insertLocked(k, v)
 		}
 		c.trimLocked()
 		c.mu.Unlock()
@@ -78,20 +98,30 @@ func (c *cachedMeta) BatchPut(kvs map[string][]byte) error {
 	}
 	c.mu.Lock()
 	for k, v := range kvs {
-		c.m[k] = v
+		c.insertLocked(k, v)
 	}
 	c.trimLocked()
 	c.mu.Unlock()
 	return nil
 }
 
-// trimLocked bounds the cache by dropping arbitrary entries.
+func (c *cachedMeta) insertLocked(k string, v []byte) {
+	if el, ok := c.m[k]; ok {
+		el.Value.(*metaEntry).val = v
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.lru.PushFront(&metaEntry{key: k, val: v})
+}
+
+// trimLocked bounds the cache by evicting least-recently-used entries,
+// so nodes inserted or touched by the current operation (e.g. a hot
+// tree root) always survive the trim.
 func (c *cachedMeta) trimLocked() {
-	for len(c.m) > c.cap {
-		for k := range c.m {
-			delete(c.m, k)
-			break
-		}
+	for c.lru.Len() > c.cap {
+		el := c.lru.Back()
+		delete(c.m, el.Value.(*metaEntry).key)
+		c.lru.Remove(el)
 	}
 }
 
@@ -427,51 +457,9 @@ func (c *Client) readCommon(blob BlobID, v Version, off, length int64, dst []byt
 		return 0, err
 	}
 
-	// Group pages by serving provider, with replica failover.
-	type want struct {
-		loc  PageLoc
-		prov cluster.NodeID
-	}
-	perProv := make(map[cluster.NodeID][]want)
-	for _, leaf := range leaves {
-		if len(leaf.Providers) == 0 {
-			continue // hole: zeros
-		}
-		prov := c.pickReplica(leaf.Providers)
-		perProv[prov] = append(perProv[prov], want{loc: leaf, prov: prov})
-	}
-	srcs := sortedNodes(perProv)
-
-	var total, fromDisk int64
-	fetched := make(map[int64]PageFetch) // page index -> fetch
-	for _, prov := range srcs {
-		pr := c.d.Providers[prov]
-		if pr == nil {
-			return 0, fmt.Errorf("core: no provider on node %d", prov)
-		}
-		keys := make([]string, len(perProv[prov]))
-		for i, w := range perProv[prov] {
-			keys[i] = w.loc.Key()
-		}
-		items, err := pr.GetPages(keys)
-		if err != nil {
-			return 0, err
-		}
-		for i, it := range items {
-			fetched[perProv[prov][i].loc.Page] = it
-			total += it.Size
-			if it.FromDisk {
-				fromDisk += it.Size
-			}
-		}
-	}
-	if len(srcs) > 0 {
-		diskFrac := 0.0
-		if total > 0 {
-			diskFrac = float64(fromDisk) / float64(total)
-		}
-		c.d.Env.RTT(c.node, farthestNode(c.d.Env, c.node, srcs))
-		c.d.Env.Gather(c.node, srcs, total, diskFrac)
+	fetched, err := c.gatherPages(leaves)
+	if err != nil {
+		return 0, err
 	}
 
 	// Materialize.
@@ -509,22 +497,115 @@ func (c *Client) readCommon(blob BlobID, v Version, off, length int64, dst []byt
 	return length, nil
 }
 
-// pickReplica chooses the replica to read from: the local node if it
-// holds a copy, otherwise the first live replica.
-func (c *Client) pickReplica(replicas []cluster.NodeID) cluster.NodeID {
-	for _, r := range replicas {
-		if r == c.node {
-			if pr := c.d.Providers[r]; pr != nil && !pr.isDown() {
-				return r
+// gatherPages fetches every non-hole leaf's page, grouped per provider
+// into batched rounds, with per-page replica failover: a provider that
+// fails mid-fetch only requeues its own pages onto their surviving
+// replicas instead of aborting the whole read. A page none of whose
+// replicas can serve fails with ErrAllReplicasDown.
+func (c *Client) gatherPages(leaves []PageLoc) (map[int64]PageFetch, error) {
+	type pendingPage struct {
+		loc     PageLoc
+		tried   map[cluster.NodeID]bool // replicas that already failed
+		lastErr error                   // most recent fetch failure
+	}
+	var pending []*pendingPage
+	for _, leaf := range leaves {
+		if len(leaf.Providers) == 0 {
+			continue // hole: zeros
+		}
+		pending = append(pending, &pendingPage{loc: leaf})
+	}
+	fetched := make(map[int64]PageFetch, len(pending)) // page index -> fetch
+	for len(pending) > 0 {
+		perProv := make(map[cluster.NodeID][]*pendingPage)
+		for _, pp := range pending {
+			prov, err := c.pickReplica(pp.loc.Providers, pp.tried)
+			if err != nil {
+				// Keep the underlying fetch error: "all replicas down"
+				// with every provider up means the store itself failed,
+				// and that cause must not be lost.
+				if pp.lastErr != nil {
+					return nil, fmt.Errorf("%w: page %d of blob %d@%d (last replica error: %v)", err, pp.loc.Page, pp.loc.Blob, pp.loc.Version, pp.lastErr)
+				}
+				return nil, fmt.Errorf("%w: page %d of blob %d@%d", err, pp.loc.Page, pp.loc.Blob, pp.loc.Version)
+			}
+			perProv[prov] = append(perProv[prov], pp)
+		}
+		srcs := sortedNodes(perProv)
+
+		var next []*pendingPage
+		var total, fromDisk int64
+		for _, prov := range srcs {
+			batch := perProv[prov]
+			pr := c.d.Providers[prov]
+			keys := make([]string, len(batch))
+			for i, pp := range batch {
+				keys[i] = pp.loc.Key()
+			}
+			items, err := []PageFetch(nil), error(nil)
+			if pr == nil {
+				err = fmt.Errorf("core: no provider on node %d", prov)
+			} else {
+				items, err = pr.GetPages(keys)
+			}
+			if err != nil {
+				// Provider failed mid-read: requeue its pages onto their
+				// remaining replicas.
+				for _, pp := range batch {
+					if pp.tried == nil {
+						pp.tried = make(map[cluster.NodeID]bool)
+					}
+					pp.tried[prov] = true
+					pp.lastErr = err
+					next = append(next, pp)
+				}
+				continue
+			}
+			for i, it := range items {
+				fetched[batch[i].loc.Page] = it
+				total += it.Size
+				if it.FromDisk {
+					fromDisk += it.Size
+				}
 			}
 		}
+		// One round-trip charge per failover round; contacting a dead
+		// provider still costs its RTT.
+		diskFrac := 0.0
+		if total > 0 {
+			diskFrac = float64(fromDisk) / float64(total)
+		}
+		c.d.Env.RTT(c.node, farthestNode(c.d.Env, c.node, srcs))
+		c.d.Env.Gather(c.node, srcs, total, diskFrac)
+		pending = next
+	}
+	return fetched, nil
+}
+
+// pickReplica chooses the replica to read a page from: the local node
+// if it holds a live copy, otherwise the first live replica not yet
+// tried. With every replica down (or already failed) it returns
+// ErrAllReplicasDown at selection time instead of handing back a dead
+// node whose fetch would fail with a misleading generic error.
+func (c *Client) pickReplica(replicas []cluster.NodeID, tried map[cluster.NodeID]bool) (cluster.NodeID, error) {
+	live := func(r cluster.NodeID) bool {
+		if tried[r] {
+			return false
+		}
+		pr := c.d.Providers[r]
+		return pr != nil && !pr.isDown()
 	}
 	for _, r := range replicas {
-		if pr := c.d.Providers[r]; pr != nil && !pr.isDown() {
-			return r
+		if r == c.node && live(r) {
+			return r, nil
 		}
 	}
-	return replicas[0]
+	for _, r := range replicas {
+		if live(r) {
+			return r, nil
+		}
+	}
+	return 0, ErrAllReplicasDown
 }
 
 // PageLocations exposes the page-to-provider distribution of a range,

@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dht"
@@ -50,6 +51,11 @@ type Options struct {
 	// Strategy overrides the page placement strategy (default:
 	// load-balanced round-robin striping).
 	Strategy PlacementStrategy
+	// RepairInterval enables the background replica-repair sweep: every
+	// interval the Repairer re-replicates under-replicated pages of
+	// every blob's latest snapshot. 0 disables the sweep; RepairBlob
+	// stays available on demand.
+	RepairInterval time.Duration
 }
 
 func (o *Options) fillDefaults() {
@@ -78,6 +84,7 @@ type Deployment struct {
 	PM        *ProviderManager
 	Providers map[cluster.NodeID]*Provider
 	Meta      *dht.Cluster
+	Repair    *Repairer
 }
 
 // NewDeployment starts BlobSeer services on the environment's nodes.
@@ -105,7 +112,17 @@ func NewDeployment(env cluster.Env, opts Options) (*Deployment, error) {
 		}
 		d.Providers[n] = p
 	}
+	d.Repair = newRepairer(d, opts.VMNode)
+	if opts.RepairInterval > 0 {
+		env.Daemon(func() { d.Repair.sweepLoop(opts.RepairInterval) })
+	}
 	return d, nil
+}
+
+// RepairBlob re-replicates under-replicated pages of version v of a
+// blob (LatestVersion for the newest snapshot). See Repairer.
+func (d *Deployment) RepairBlob(blob BlobID, v Version) (RepairStats, error) {
+	return d.Repair.RepairBlob(blob, v)
 }
 
 // NewClient returns a client bound to a node.
@@ -113,13 +130,15 @@ func (d *Deployment) NewClient(node cluster.NodeID) *Client {
 	return &Client{
 		d:     d,
 		node:  node,
-		meta:  &cachedMeta{cl: d.Meta.NewClient(d.Env, node), m: make(map[string][]byte), cap: 1 << 16},
+		meta:  newCachedMeta(d.Meta.NewClient(d.Env, node), 1<<16),
 		blobs: make(map[BlobID]*blobInfo),
 	}
 }
 
-// Close stops provider flush daemons and closes their stores.
+// Close stops the repair sweep and provider flush daemons, and closes
+// the provider stores.
 func (d *Deployment) Close() error {
+	d.Repair.stop()
 	var first error
 	for _, p := range d.Providers {
 		p.Stop()

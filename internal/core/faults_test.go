@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/cluster"
@@ -73,6 +74,144 @@ func TestUnreplicatedMetadataFailsLoudly(t *testing.T) {
 	c2 := d.NewClient(1) // fresh cache
 	if _, err := c2.Read(blob, LatestVersion, 0, make([]byte, 7)); err == nil {
 		t.Fatal("read succeeded with the only metadata server down")
+	}
+}
+
+// TestWriteAbortsWhenProviderDiesBeforePublish: a provider failing
+// between the placement decision and the page scatter aborts the
+// write's version; the previous snapshot stays the readable latest,
+// and later writes proceed past the tombstone.
+func TestWriteAbortsWhenProviderDiesBeforePublish(t *testing.T) {
+	env := cluster.NewLocal(8, 4)
+	d, err := NewDeployment(env, Options{
+		PageSize:      64,
+		ProviderNodes: []cluster.NodeID{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	seed := bytes.Repeat([]byte{0x11}, 64)
+	v1, err := c.Write(blob, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The next 3-page write stripes over providers 2, 3, 1; kill 3 so
+	// the scatter fails partway through.
+	d.Providers[3].SetDown(true)
+	_, err = c.Write(blob, 0, bytes.Repeat([]byte{0x22}, 192))
+	if !errors.Is(err, ErrProviderDown) {
+		t.Fatalf("write with a dead provider returned %v, want ErrProviderDown", err)
+	}
+
+	// The aborted version never becomes visible.
+	latest, size, err := c.Latest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != v1 || size != int64(len(seed)) {
+		t.Fatalf("latest = v%d size %d after abort, want v%d size %d", latest, size, v1, len(seed))
+	}
+	buf := make([]byte, len(seed))
+	if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, seed) {
+		t.Fatal("latest content changed after aborted write")
+	}
+
+	// Once the provider recovers, writes continue past the tombstone.
+	d.Providers[3].SetDown(false)
+	after := bytes.Repeat([]byte{0x33}, 192)
+	v3, err := c.Write(blob, 0, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 <= v1+1 {
+		t.Fatalf("post-abort write got v%d, want a version past the tombstoned v%d", v3, v1+1)
+	}
+	buf = make([]byte, len(after))
+	if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, after) {
+		t.Fatal("content mismatch after post-abort write")
+	}
+}
+
+// TestDegradedReadSurvivesProviderFailure: with Replication 2, killing
+// one provider after the write leaves every page a surviving replica,
+// and a fresh client's read is byte-identical (no zeros, no error).
+func TestDegradedReadSurvivesProviderFailure(t *testing.T) {
+	env := cluster.NewLocal(10, 5)
+	d, err := NewDeployment(env, Options{
+		PageSize:      64,
+		Replication:   2,
+		ProviderNodes: []cluster.NodeID{1, 2, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	data := bytes.Repeat([]byte("degraded-read-survives!"), 30)
+	if _, err := c.Write(blob, 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	d.Providers[2].SetDown(true)
+
+	c2 := d.NewClient(5) // fresh metadata cache
+	buf := make([]byte, len(data))
+	if _, err := c2.Read(blob, LatestVersion, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("content mismatch reading through surviving replicas")
+	}
+
+	// The same client, with the leaf already cached, also fails over
+	// when a second provider dies between its reads (mid-read churn).
+	d.Providers[4].SetDown(true)
+	if _, err := c2.Read(blob, LatestVersion, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("content mismatch after second provider failure")
+	}
+}
+
+// TestAllReplicasDownIsTypedError: when every replica of a page is
+// unreachable the read fails with ErrAllReplicasDown — not zeros, not
+// a generic fetch error.
+func TestAllReplicasDownIsTypedError(t *testing.T) {
+	env := cluster.NewLocal(10, 5)
+	d, err := NewDeployment(env, Options{
+		PageSize:      64,
+		Replication:   2,
+		ProviderNodes: []cluster.NodeID{1, 2, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	data := bytes.Repeat([]byte{0xAB}, 512)
+	if _, err := c.Write(blob, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Providers {
+		p.SetDown(true)
+	}
+	c2 := d.NewClient(5)
+	_, err = c2.Read(blob, LatestVersion, 0, make([]byte, len(data)))
+	if !errors.Is(err, ErrAllReplicasDown) {
+		t.Fatalf("read with all providers down returned %v, want ErrAllReplicasDown", err)
 	}
 }
 

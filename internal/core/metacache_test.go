@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dht"
+)
+
+func newTestMetaCache(t *testing.T, capacity int) *cachedMeta {
+	t.Helper()
+	env := cluster.NewLocal(2, 2)
+	cl := dht.NewCluster([]cluster.NodeID{1}, 4, 1).NewClient(env, 0)
+	return newCachedMeta(cl, capacity)
+}
+
+func cached(c *cachedMeta, key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[key]
+	return ok
+}
+
+// TestMetaCacheTrimKeepsJustInserted: a node inserted by the current
+// batch (e.g. a hot tree root) must survive the trim; eviction takes
+// the least-recently-used entries from earlier batches instead.
+func TestMetaCacheTrimKeepsJustInserted(t *testing.T) {
+	c := newTestMetaCache(t, 4)
+	for i := 0; i < 4; i++ {
+		k := fmt.Sprintf("filler-%d", i)
+		if err := c.BatchPut(map[string][]byte{k: []byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.BatchPut(map[string][]byte{"root": []byte("hot")}); err != nil {
+		t.Fatal(err)
+	}
+	if !cached(c, "root") {
+		t.Fatal("just-inserted root was evicted by the trim")
+	}
+	if cached(c, "filler-0") {
+		t.Fatal("trim kept the least-recently-used entry over newer ones")
+	}
+	for i := 1; i < 4; i++ {
+		if !cached(c, fmt.Sprintf("filler-%d", i)) {
+			t.Fatalf("trim evicted filler-%d; only the LRU entry should go", i)
+		}
+	}
+}
+
+// TestMetaCacheGetRefreshesRecency: a BatchGet hit protects an entry
+// from the next eviction.
+func TestMetaCacheGetRefreshesRecency(t *testing.T) {
+	c := newTestMetaCache(t, 3)
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if err := c.BatchPut(map[string][]byte{k: []byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.BatchGet([]string{"k0"}); err != nil { // touch the oldest
+		t.Fatal(err)
+	}
+	if err := c.BatchPut(map[string][]byte{"k3": []byte("k3")}); err != nil {
+		t.Fatal(err)
+	}
+	if !cached(c, "k0") {
+		t.Fatal("recently-read k0 was evicted")
+	}
+	if cached(c, "k1") {
+		t.Fatal("k1 should have been the LRU victim")
+	}
+
+	// The evicted entry is still in the DHT and refetches correctly.
+	got, err := c.BatchGet([]string{"k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got["k1"], []byte("k1")) {
+		t.Fatalf("refetched k1 = %q", got["k1"])
+	}
+}

@@ -43,11 +43,14 @@ func (p *Provider) SetDown(down bool) {
 	p.mu.Unlock()
 }
 
-func (p *Provider) isDown() bool {
+// IsDown reports whether the provider is marked unreachable.
+func (p *Provider) IsDown() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.down
 }
+
+func (p *Provider) isDown() bool { return p.IsDown() }
 
 // ProviderConfig parameterizes one provider.
 type ProviderConfig struct {

@@ -1,0 +1,324 @@
+// repair.go implements the replica-repair subsystem: the maintenance
+// loop that turns "pages are replicated" into "pages stay replicated".
+// The read path survives a provider failure by failing over to
+// surviving replicas (client.go), but nothing there restores the lost
+// copies — after enough churn every page would be down to its last
+// replica. The Repairer closes that gap, mirroring the re-replication
+// loop of production blob stores: walk a snapshot's metadata leaves,
+// find pages whose live replica count dropped below the deployment's
+// replication factor, copy them from a surviving replica onto fresh
+// providers chosen by the placement strategy, and rewrite the affected
+// metadata leaves in the DHT.
+//
+// Leaf rewrites are the one deliberate exception to the "tree nodes
+// are immutable" rule. They are safe because a leaf rewrite only
+// changes the provider set, never the page contents or the tree
+// shape: a client holding the stale leaf still reads correct bytes
+// through any surviving old replica, and a fresh tree walk sees the
+// repaired set.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// RepairStats summarizes one repair pass.
+type RepairStats struct {
+	// PagesScanned counts metadata leaves examined (holes excluded).
+	PagesScanned int
+	// PagesDegraded counts pages found below the replication target.
+	PagesDegraded int
+	// PagesLost counts pages with no live replica at all; they cannot
+	// be repaired and stay in the leaf untouched (their replicas may
+	// come back).
+	PagesLost int
+	// ReplicasAdded counts new page copies created.
+	ReplicasAdded int
+	// BytesCopied is the payload moved onto new providers.
+	BytesCopied int64
+}
+
+// Add accumulates another pass's stats.
+func (s *RepairStats) Add(o RepairStats) {
+	s.PagesScanned += o.PagesScanned
+	s.PagesDegraded += o.PagesDegraded
+	s.PagesLost += o.PagesLost
+	s.ReplicasAdded += o.ReplicasAdded
+	s.BytesCopied += o.BytesCopied
+}
+
+// Repairer restores the replication factor of blob pages after
+// provider failures. One Repairer serves a whole deployment; it is
+// safe for concurrent use.
+type Repairer struct {
+	d  *Deployment
+	cl *Client
+
+	// runMu serializes repair passes (the background sweep and
+	// on-demand RepairBlob calls share one client and would otherwise
+	// race to copy the same pages).
+	runMu sync.Mutex
+
+	mu        sync.Mutex
+	stopped   bool
+	lastSweep RepairStats
+	lastErr   error
+}
+
+// newRepairer creates the deployment's repairer, hosted on node (the
+// version-manager node, where a production deployment would run its
+// maintenance daemon).
+func newRepairer(d *Deployment, node cluster.NodeID) *Repairer {
+	return &Repairer{d: d, cl: d.NewClient(node)}
+}
+
+// RepairBlob scans version v of a blob (LatestVersion for the newest
+// snapshot) and re-replicates every page whose live replica count
+// dropped below the deployment's replication factor. It returns what
+// it found and did; a page with no surviving replica is counted in
+// PagesLost, not treated as a fatal error, so one dead page does not
+// stop the rest of the blob from being repaired.
+func (r *Repairer) RepairBlob(blob BlobID, v Version) (RepairStats, error) {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	var st RepairStats
+	r.mu.Lock()
+	stopped := r.stopped
+	r.mu.Unlock()
+	if stopped {
+		return st, fmt.Errorf("core: repairer stopped")
+	}
+	rec, ok, err := r.cl.resolveVersion(blob, v)
+	if err != nil {
+		return st, err
+	}
+	if !ok {
+		return st, nil // empty blob: nothing to repair
+	}
+	locs, err := r.cl.PageLocations(blob, rec.Version, 0, rec.SizeAfter)
+	if err != nil {
+		return st, err
+	}
+
+	liveFleet := r.liveProviders()
+	target := r.d.Opts.Replication
+	if target > len(liveFleet) {
+		target = len(liveFleet) // cannot out-replicate the surviving fleet
+	}
+
+	// First pass: classify every leaf; only pages with at least one
+	// surviving replica but fewer than target can (and need to) gain
+	// copies. A page whose live count already meets the clamped target
+	// is left alone even if its leaf lists dead providers — those
+	// providers may come back with their copies intact, and dropping
+	// them here would turn a transient outage into data loss.
+	type repairItem struct {
+		loc  PageLoc
+		live []cluster.NodeID
+	}
+	var items []repairItem
+	for _, loc := range locs {
+		if len(loc.Providers) == 0 {
+			continue // hole: zeros need no replicas
+		}
+		st.PagesScanned++
+		live := r.liveOf(loc.Providers)
+		switch {
+		case len(live) == 0:
+			st.PagesLost++
+		case len(live) < target:
+			st.PagesDegraded++
+			items = append(items, repairItem{loc: loc, live: live})
+		}
+	}
+	if len(items) == 0 {
+		return st, nil
+	}
+
+	// One batched placement round for all degraded pages, like the
+	// write path — per-page Place calls would charge a provider-manager
+	// round trip per page and dominate time-to-full-replication.
+	placement, err := r.d.PM.Place(r.cl.node, len(items), target)
+	if err != nil {
+		placement = make([][]cluster.NodeID, len(items)) // fall back to the live fleet
+	}
+
+	updates := make(map[string][]byte)
+	for i, it := range items {
+		candidates := append(append([]cluster.NodeID(nil), placement[i]...), liveFleet...)
+		added, copied, err := r.reReplicate(it.loc, it.live, target, candidates)
+		if err != nil {
+			return st, err
+		}
+		if len(added) == 0 {
+			continue // nothing gained: keep the old leaf untouched
+		}
+		st.ReplicasAdded += len(added)
+		st.BytesCopied += copied
+		// Rewrite the leaf: surviving replicas first (primary order
+		// preserved), new copies appended. Dead providers are dropped
+		// only once the page is back at the full configured
+		// replication; below that, their recoverable copies stay
+		// listed.
+		newSet := append(append([]cluster.NodeID(nil), it.live...), added...)
+		if len(newSet) < r.d.Opts.Replication {
+			for _, p := range it.loc.Providers {
+				if pr := r.d.Providers[p]; pr == nil || pr.isDown() {
+					newSet = append(newSet, p)
+				}
+			}
+		}
+		key := NodeKey{Blob: it.loc.Blob, Version: it.loc.Version, Range: PageRange{Off: it.loc.Page, Count: 1}}.String()
+		updates[key] = encodeLeaf(Leaf{Providers: newSet})
+	}
+	if len(updates) > 0 {
+		if err := r.cl.meta.BatchPut(updates); err != nil {
+			return st, fmt.Errorf("core: repair of blob %d: leaf rewrite: %w", blob, err)
+		}
+	}
+	return st, nil
+}
+
+// reReplicate copies one page from a surviving replica onto enough
+// fresh live providers (drawn from candidates, in order) to reach
+// target copies. It returns the nodes that received a copy and the
+// bytes moved.
+func (r *Repairer) reReplicate(loc PageLoc, live []cluster.NodeID, target int, candidates []cluster.NodeID) ([]cluster.NodeID, int64, error) {
+	need := target - len(live)
+	if need <= 0 {
+		return nil, 0, nil
+	}
+	key := loc.Key()
+
+	// Fetch the page from a surviving replica (failover across them).
+	var fetch PageFetch
+	var src cluster.NodeID
+	fetchErr := error(nil)
+	for _, prov := range live {
+		items, err := r.d.Providers[prov].GetPages([]string{key})
+		if err != nil {
+			fetchErr = err
+			continue
+		}
+		fetch, src = items[0], prov
+		fetchErr = nil
+		break
+	}
+	if fetchErr != nil {
+		return nil, 0, fmt.Errorf("core: repair fetch of page %d of blob %d@%d: %w", loc.Page, loc.Blob, loc.Version, fetchErr)
+	}
+
+	// Candidates come ordered: the placement strategy's picks first (so
+	// repair traffic load-balances like writes do), the rest of the
+	// live fleet as fallback; skip nodes that already hold a copy.
+	holds := make(map[cluster.NodeID]bool, len(loc.Providers))
+	for _, p := range loc.Providers {
+		holds[p] = true
+	}
+
+	var added []cluster.NodeID
+	var copied int64
+	for _, dst := range candidates {
+		if len(added) >= need {
+			break
+		}
+		pr := r.d.Providers[dst]
+		if pr == nil || pr.isDown() || holds[dst] {
+			continue
+		}
+		if err := pr.PutPage(key, fetch.Data, fetch.Size); err != nil {
+			continue // destination died between pick and put: try the next
+		}
+		// Charge the provider-to-provider copy.
+		r.d.Env.RTT(src, dst)
+		r.d.Env.Scatter(src, []cluster.NodeID{dst}, fetch.Size)
+		holds[dst] = true
+		added = append(added, dst)
+		copied += fetch.Size
+	}
+	return added, copied, nil
+}
+
+// liveOf filters a replica set down to providers currently serving.
+func (r *Repairer) liveOf(replicas []cluster.NodeID) []cluster.NodeID {
+	out := make([]cluster.NodeID, 0, len(replicas))
+	for _, n := range replicas {
+		if pr := r.d.Providers[n]; pr != nil && !pr.isDown() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// liveProviders lists the deployment's currently-serving providers in
+// node order.
+func (r *Repairer) liveProviders() []cluster.NodeID {
+	out := make([]cluster.NodeID, 0, len(r.d.Providers))
+	for _, n := range r.d.PM.Providers() {
+		if pr := r.d.Providers[n]; pr != nil && !pr.isDown() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sweepLoop periodically repairs the latest snapshot of every blob.
+// It runs as an environment daemon when Options.RepairInterval > 0.
+// Each pass's outcome is recorded for LastSweep — a failing background
+// sweep must be observable, not silent.
+func (r *Repairer) sweepLoop(interval time.Duration) {
+	for {
+		r.d.Env.Sleep(interval)
+		r.mu.Lock()
+		stopped := r.stopped
+		r.mu.Unlock()
+		if stopped {
+			return
+		}
+		st, err := r.SweepOnce()
+		r.mu.Lock()
+		r.lastSweep, r.lastErr = st, err
+		r.mu.Unlock()
+	}
+}
+
+// LastSweep reports the most recent background sweep's stats and
+// error (zero values before the first sweep completes).
+func (r *Repairer) LastSweep() (RepairStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastSweep, r.lastErr
+}
+
+// SweepOnce repairs the latest snapshot of every blob in the
+// deployment, aggregating the stats. Per-blob errors abort the sweep;
+// lost pages do not (they are reported in the stats).
+func (r *Repairer) SweepOnce() (RepairStats, error) {
+	var st RepairStats
+	for _, blob := range r.d.VM.Blobs(r.cl.node) {
+		s, err := r.RepairBlob(blob, LatestVersion)
+		st.Add(s)
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// stop terminates the background sweep: no new pass starts once the
+// flag is set (RepairBlob checks it under runMu), and the daemon
+// exits at its next tick. stop deliberately does NOT join an
+// in-flight pass: on a simulated Env the closer would block a real
+// mutex on a daemon parked on virtual time — a deadlock the engine
+// cannot break — while letting the pass race teardown is benign
+// (operations against stopping providers return errors, which the
+// sweep records in lastErr, and page puts land harmlessly in RAM).
+func (r *Repairer) stop() {
+	r.mu.Lock()
+	r.stopped = true
+	r.mu.Unlock()
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// liveReplicas counts how many of a page's recorded providers are
+// currently serving.
+func liveReplicas(d *Deployment, loc PageLoc) int {
+	n := 0
+	for _, p := range loc.Providers {
+		if pr := d.Providers[p]; pr != nil && !pr.IsDown() {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRepairBlobRestoresReplication: after a provider dies, RepairBlob
+// brings every page of the latest snapshot back to the deployment's
+// replication factor, the rewritten leaves drop the dead provider, and
+// the blob then survives losing another replica.
+func TestRepairBlobRestoresReplication(t *testing.T) {
+	env := cluster.NewLocal(10, 5)
+	d, err := NewDeployment(env, Options{
+		PageSize:      64,
+		Replication:   2,
+		ProviderNodes: []cluster.NodeID{1, 2, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	data := bytes.Repeat([]byte("replica-repair-loop!"), 32) // 10 pages
+	if _, err := c.Write(blob, 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	d.Providers[2].SetDown(true)
+	st, err := d.RepairBlob(blob, LatestVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PagesDegraded == 0 || st.ReplicasAdded != st.PagesDegraded {
+		t.Fatalf("repair stats %+v: want every degraded page to gain exactly one replica", st)
+	}
+	if st.PagesLost != 0 {
+		t.Fatalf("repair reported %d lost pages", st.PagesLost)
+	}
+
+	// A fresh tree walk sees every page at full live replication, with
+	// the dead provider dropped from the leaves.
+	c2 := d.NewClient(5)
+	locs, err := c2.PageLocations(blob, LatestVersion, 0, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) == 0 {
+		t.Fatal("no page locations")
+	}
+	for _, loc := range locs {
+		if got := liveReplicas(d, loc); got != 2 {
+			t.Fatalf("page %d has %d live replicas after repair, want 2 (set %v)", loc.Page, got, loc.Providers)
+		}
+		for _, p := range loc.Providers {
+			if p == 2 {
+				t.Fatalf("page %d still lists the dead provider: %v", loc.Page, loc.Providers)
+			}
+		}
+	}
+
+	// Full replication means the blob survives losing one more replica.
+	d.Providers[1].SetDown(true)
+	buf := make([]byte, len(data))
+	if _, err := c2.Read(blob, LatestVersion, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("content mismatch after post-repair failure")
+	}
+
+	// A second repair pass heals the second failure too.
+	if _, err := d.RepairBlob(blob, LatestVersion); err != nil {
+		t.Fatal(err)
+	}
+	locs, err = d.NewClient(6).PageLocations(blob, LatestVersion, 0, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range locs {
+		if got := liveReplicas(d, loc); got != 2 {
+			t.Fatalf("page %d has %d live replicas after second repair, want 2", loc.Page, got)
+		}
+	}
+}
+
+// TestRepairClampsToSurvivingFleet: when fewer live providers remain
+// than the replication factor, repair settles for what the fleet can
+// hold instead of erroring, and a page with no live replica at all is
+// reported lost, not fatal.
+func TestRepairClampsToSurvivingFleet(t *testing.T) {
+	env := cluster.NewLocal(8, 4)
+	d, err := NewDeployment(env, Options{
+		PageSize:      64,
+		Replication:   2,
+		ProviderNodes: []cluster.NodeID{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	data := bytes.Repeat([]byte{0x5A}, 256)
+	if _, err := c.Write(blob, 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// One survivor: target clamps to 1, nothing to copy, no error.
+	d.Providers[2].SetDown(true)
+	st, err := d.RepairBlob(blob, LatestVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReplicasAdded != 0 || st.PagesLost != 0 {
+		t.Fatalf("clamped repair stats %+v: want no copies and no losses", st)
+	}
+
+	// The clamped pass must not rewrite leaves: provider 2's copies
+	// are recoverable, and if it comes back while provider 1 dies the
+	// data must still be readable through it.
+	d.Providers[2].SetDown(false)
+	d.Providers[1].SetDown(true)
+	buf := make([]byte, len(data))
+	if _, err := d.NewClient(3).Read(blob, LatestVersion, 0, buf); err != nil {
+		t.Fatalf("read through the recovered provider failed: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("content mismatch reading through the recovered provider")
+	}
+	// No survivors: every page is reported lost, still no error.
+	d.Providers[1].SetDown(true)
+	d.Providers[2].SetDown(true)
+	st, err = d.RepairBlob(blob, LatestVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PagesLost != st.PagesScanned || st.PagesScanned == 0 {
+		t.Fatalf("repair with no survivors: stats %+v, want every scanned page lost", st)
+	}
+}
+
+// TestRepairSweepBackground: with RepairInterval set, the background
+// sweep restores replication without anyone calling RepairBlob.
+func TestRepairSweepBackground(t *testing.T) {
+	env := cluster.NewLocal(10, 5)
+	d, err := NewDeployment(env, Options{
+		PageSize:       64,
+		Replication:    2,
+		ProviderNodes:  []cluster.NodeID{1, 2, 3, 4},
+		RepairInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	data := bytes.Repeat([]byte{0xC3}, 640)
+	if _, err := c.Write(blob, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	d.Providers[3].SetDown(true)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		healthy := true
+		locs, err := d.NewClient(5).PageLocations(blob, LatestVersion, 0, int64(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, loc := range locs {
+			if liveReplicas(d, loc) < 2 {
+				healthy = false
+				break
+			}
+		}
+		if healthy {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background sweep did not restore replication within 2s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRepairRaisesReplicationFactor: repair also serves as the
+// re-replication path when a blob was written below the current
+// target (e.g. the fleet grew or Replication was raised).
+func TestRepairRaisesReplicationFactor(t *testing.T) {
+	env := cluster.NewLocal(10, 5)
+	d, err := NewDeployment(env, Options{
+		PageSize:      64,
+		Replication:   1,
+		ProviderNodes: []cluster.NodeID{1, 2, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c := d.NewClient(0)
+	blob, _ := c.Create(0)
+	data := bytes.Repeat([]byte{0x77}, 320)
+	if _, err := c.Write(blob, 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	d.Opts.Replication = 3
+	st, err := d.RepairBlob(blob, LatestVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReplicasAdded != 2*st.PagesScanned {
+		t.Fatalf("raising 1->3 replicas: stats %+v, want 2 new copies per page", st)
+	}
+	locs, err := d.NewClient(5).PageLocations(blob, LatestVersion, 0, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range locs {
+		if got := liveReplicas(d, loc); got != 3 {
+			t.Fatalf("page %d has %d live replicas, want 3", loc.Page, got)
+		}
+	}
+}

@@ -371,6 +371,21 @@ func (vm *VersionManager) GetVersion(from cluster.NodeID, blob BlobID, v Version
 	return rec, nil
 }
 
+// Blobs lists every registered blob id in creation order (the repair
+// sweep's work list).
+func (vm *VersionManager) Blobs(from cluster.NodeID) []BlobID {
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	out := make([]BlobID, 0, len(vm.blobs))
+	for id := BlobID(1); id < vm.nextID; id++ {
+		if _, ok := vm.blobs[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Published returns the highest published version (possibly aborted
 // versions included in the count).
 func (vm *VersionManager) Published(from cluster.NodeID, blob BlobID) (Version, error) {
