@@ -1,7 +1,8 @@
 // Command bsfs-bench regenerates the paper's microbenchmark figures
 // (E1-E3), the extensions (X1 concurrent appends, X3 provider
 // failure/churn with replica repair) and the ablation
-// studies (A1-A4) on a simulated Grid'5000-style cluster.
+// studies (A1-A5, including A5's serial-vs-parallel client data path)
+// on a simulated Grid'5000-style cluster.
 //
 // Usage:
 //
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: e1 e2 e3 x1 x3 a1 a2 a3 a4, or 'all'")
+		exp      = flag.String("exp", "all", "experiment id: e1 e2 e3 x1 x3 a1 a2 a3 a4 a5, or 'all'")
 		clients  = flag.String("clients", "1,20,50,100,150,200,250", "comma-separated client counts")
 		sizeMB   = flag.Int64("size", 1024, "data per client in MB (paper: 1024)")
 		nodes    = flag.Int("nodes", 270, "cluster size (paper: 270)")

@@ -74,6 +74,11 @@ type StorageOpts struct {
 	// RAMDatanodes disables HDFS's write-through pipeline (ablation
 	// A4): datanodes buffer chunks in RAM like BlobSeer providers.
 	RAMDatanodes bool
+	// SerialDataPath disables the BSFS client data-path concurrency
+	// (ablation A5): provider scatter/gather contact one provider at a
+	// time, the writer commits every block synchronously, and the
+	// reader does no readahead.
+	SerialDataPath bool
 }
 
 func (o *StorageOpts) fillDefaults() {
@@ -148,15 +153,21 @@ func NewTestbed(spec ClusterSpec, opts StorageOpts) (*Testbed, error) {
 			MetaNodes:     meta,
 			Strategy:      strategy,
 			Provider:      core.ProviderConfig{MemCapacity: opts.MemCapacity},
+			SerialIO:      opts.SerialDataPath,
 		})
 		if err != nil {
 			return nil, err
 		}
-		tb.bsfsSvc = bsfs.NewService(dep, bsfs.Config{
+		fsCfg := bsfs.Config{
 			NamespaceNode: 0,
 			BlockSize:     opts.BlockSize,
 			DisableCache:  opts.DisableClientCache,
-		})
+		}
+		if opts.SerialDataPath {
+			fsCfg.MaxInFlightBlocks = -1
+			fsCfg.DisableReadahead = true
+		}
+		tb.bsfsSvc = bsfs.NewService(dep, fsCfg)
 		tb.NewFS = func(n cluster.NodeID) fsapi.FileSystem { return tb.bsfsSvc.NewFS(n) }
 	case "hdfs":
 		dep, err := hdfs.NewDeployment(env, hdfs.Config{

@@ -211,3 +211,35 @@ func TestA1PlacementAblation(t *testing.T) {
 		t.Fatalf("local-first placement (%.1f) should not beat striping (%.1f) for concurrent reads", local.PerClientMBps, striped.PerClientMBps)
 	}
 }
+
+func TestA5ParallelDataPathNotSlower(t *testing.T) {
+	// The A5 ablation's acceptance bar: the parallel/pipelined client
+	// data path must be at least as fast as the serial baseline, for
+	// both reads and writes. The simulation is deterministic, so a
+	// direct makespan comparison is stable.
+	for _, dir := range []struct {
+		name string
+		run  microRunner
+	}{
+		{"write", RunWriteDistinct},
+		{"read", RunReadDistinct},
+	} {
+		par, err := dir.run(microOpts("bsfs", 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		so := microOpts("bsfs", 12)
+		so.Storage.SerialDataPath = true
+		ser, err := dir.run(so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("A5 %s: parallel %.1f MB/s vs serial %.1f MB/s per client (makespan %s vs %s)",
+			dir.name, par.PerClientMBps, ser.PerClientMBps, par.Duration, ser.Duration)
+		// Allow a hair of tolerance: scheduling-order differences can
+		// shuffle identical charges by rounding.
+		if par.Duration > ser.Duration+ser.Duration/100 {
+			t.Fatalf("parallel %s path slower than serial: %s vs %s", dir.name, par.Duration, ser.Duration)
+		}
+	}
+}

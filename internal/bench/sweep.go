@@ -1,4 +1,4 @@
-// sweep.go defines the named experiments (E1..E5, X1..X2, A1..A4) as
+// sweep.go defines the named experiments (E1..E5, X1..X3, A1..A5) as
 // client-count sweeps over both storage systems — the figures and
 // tables of the paper's evaluation, regenerated.
 package bench
@@ -228,6 +228,38 @@ var Experiments = []Experiment{
 			}
 			WritePointsTable(w, "A4: HDFS write-through ablation (writes)", append(wt, ram...))
 			return err
+		},
+	},
+	{
+		ID:    "a5",
+		Title: "A5 ablation: serial vs parallel/pipelined client data path (bsfs reads + writes)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			var all []Point
+			for _, r := range []struct {
+				name string
+				fn   microRunner
+			}{
+				{"write", RunWriteDistinct},
+				{"read", RunReadDistinct},
+			} {
+				par, err := runSweep(r.fn, opts, []string{"bsfs"}, nil)
+				if err != nil {
+					return err
+				}
+				ser, err := runSweep(r.fn, opts, []string{"bsfs"}, func(m *MicroOpts) {
+					m.Storage.SerialDataPath = true
+				})
+				if err != nil {
+					return err
+				}
+				for i := range ser {
+					ser[i].Experiment = "A5-serial-" + r.name
+				}
+				all = append(all, par...)
+				all = append(all, ser...)
+			}
+			WritePointsTable(w, "A5: data-path concurrency ablation (parallel/pipelined vs serial)", all)
+			return nil
 		},
 	},
 }

@@ -41,6 +41,15 @@ type Config struct {
 	// CacheBlocks is the per-reader prefetch cache capacity in blocks
 	// (default 2).
 	CacheBlocks int
+	// MaxInFlightBlocks bounds the writer's asynchronous commit
+	// pipeline: up to this many full blocks may be queued or committing
+	// in the background while the application fills the next one
+	// (default 2). A negative value disables the pipeline; every block
+	// then commits synchronously in the caller.
+	MaxInFlightBlocks int
+	// DisableReadahead turns off the reader's background prefetch of
+	// the next block on sequential access.
+	DisableReadahead bool
 	// DisableCache bypasses the client cache entirely (ablation A2):
 	// every read and write goes straight to BlobSeer at request
 	// granularity.
@@ -53,6 +62,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.CacheBlocks <= 0 {
 		c.CacheBlocks = 2
+	}
+	if c.MaxInFlightBlocks == 0 {
+		c.MaxInFlightBlocks = 2
 	}
 }
 
@@ -129,9 +141,15 @@ func (f *FS) blobOf(path string) (core.BlobID, error) {
 	f.rtt()
 	payload, err := f.svc.ns.Payload(path)
 	if err != nil {
+		// Directories surface as fsapi.ErrIsDir here, typed rather
+		// than a payload-assertion panic below.
 		return 0, fmt.Errorf("bsfs: %s: %w", path, err)
 	}
-	return payload.(core.BlobID), nil
+	blob, ok := payload.(core.BlobID)
+	if !ok {
+		return 0, fmt.Errorf("bsfs: %s: %w: payload is %T, not a blob", path, fsapi.ErrNotSupported, payload)
+	}
+	return blob, nil
 }
 
 // Open returns a prefetching reader over the file's latest snapshot.
@@ -186,20 +204,22 @@ func (f *FS) SnapshotFile(path string, v core.Version, newPath string) error {
 	return f.svc.ns.SetSize(newPath, size)
 }
 
-// Versions lists the published snapshots of a file.
+// Versions lists the published snapshots of a file in one batched
+// version-manager round trip (Records), instead of one GetVersion RTT
+// per version.
 func (f *FS) Versions(path string) ([]core.Version, error) {
 	blob, err := f.blobOf(path)
 	if err != nil {
 		return nil, err
 	}
-	latest, _, err := f.blob.Latest(blob)
+	recs, err := f.svc.dep.VM.Records(f.node, blob)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]core.Version, 0, latest)
-	for v := core.Version(1); v <= latest; v++ {
-		if _, err := f.svc.dep.VM.GetVersion(f.node, blob, v); err == nil {
-			out = append(out, v)
+	out := make([]core.Version, 0, len(recs))
+	for _, rec := range recs {
+		if !rec.Aborted {
+			out = append(out, rec.Version)
 		}
 	}
 	return out, nil
@@ -216,8 +236,10 @@ func (f *FS) Stat(path string) (fsapi.FileInfo, error) {
 	// files (appends from other clients may have advanced it).
 	if !fi.IsDir {
 		if payload, perr := f.svc.ns.Payload(path); perr == nil {
-			if _, size, verr := f.blob.Latest(payload.(core.BlobID)); verr == nil && size > fi.Size {
-				fi.Size = size
+			if blob, ok := payload.(core.BlobID); ok {
+				if _, size, verr := f.blob.Latest(blob); verr == nil && size > fi.Size {
+					fi.Size = size
+				}
 			}
 		}
 	}
@@ -309,7 +331,27 @@ func (f *FS) BlockLocations(path string, off, length int64) ([]fsapi.BlockLocati
 
 // ---------------------------------------------------------------------
 // Writer: write-back block cache (§III.B — "delays committing writes
-// until a whole block has been filled in the cache").
+// until a whole block has been filled in the cache") with an
+// asynchronous commit pipeline: full blocks are handed to a single
+// background flusher with a bounded in-flight window, so the
+// application fills the next block while BlobSeer commits the previous
+// one. Append order is preserved because the one flusher requests every
+// version ticket; errors are deferred and surfaced by the next Write or
+// by Close.
+//
+// Error contract: when a commit fails — synchronously or in the
+// background — the writer is failed for good. The failed chunk and
+// everything still buffered or queued behind it are rolled back out of
+// the accepted byte count (committing bytes after a hole would corrupt
+// the file), Write reports how many bytes of its argument were actually
+// consumed, and every later Write/Close returns the original error.
+
+// pendingBlock is one block handed to the commit path. data nil means
+// a synthetic (size-only) block.
+type pendingBlock struct {
+	data []byte
+	size int64
+}
 
 type writer struct {
 	fs   *FS
@@ -320,15 +362,182 @@ type writer struct {
 	buf       []byte // real buffered bytes
 	synthBuf  int64  // synthetic buffered bytes
 	synthetic bool
-	written   int64 // total committed + buffered
+	written   int64 // bytes committed, queued or buffered
 	closed    bool
+
+	// Commit pipeline state. progSig is a one-shot wakeup re-armed on
+	// use: it parks producers waiting for window space and Close
+	// waiting for drain. The flusher daemon runs only while the queue
+	// is non-empty — an abandoned (never-Closed) writer pins no
+	// goroutine once its queue drains.
+	queue    []pendingBlock
+	inFlight int   // queued blocks plus the one being committed
+	flushErr error // first commit error; poisons the writer
+	progSig  cluster.Signal
+	flusher  bool // flusher daemon running
+
+	// committed counts bytes durably appended to the blob; pending
+	// counts bytes handed to the pipeline and not yet resolved. Both
+	// back the exact consumed-count computation on failure.
+	committed int64
+	pending   int64
 }
 
 func (f *FS) newWriter(path string, blob core.BlobID) *writer {
 	return &writer{fs: f, path: path, blob: blob}
 }
 
-// Write implements io.Writer with block-granular commit.
+// Written reports the bytes this writer has accepted: committed to the
+// blob, queued in the pipeline, or still buffered. After a commit
+// failure it reflects only bytes that reached (or can still reach) the
+// blob — the rollback side of Write's partial-consumption contract.
+func (w *writer) Written() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.written
+}
+
+// serialCommit reports whether blocks commit synchronously in the
+// caller instead of through the background pipeline.
+func (w *writer) serialCommit() bool {
+	return w.fs.svc.cfg.MaxInFlightBlocks < 0 || w.fs.svc.cfg.DisableCache
+}
+
+func (w *writer) progSigLocked() cluster.Signal {
+	if w.progSig == nil {
+		w.progSig = w.fs.svc.env.NewSignal()
+	}
+	return w.progSig
+}
+
+// dropBufferedLocked rolls still-buffered bytes out of the accepted
+// count: once a commit has failed they can never reach the blob.
+func (w *writer) dropBufferedLocked() {
+	w.written -= int64(len(w.buf)) + w.synthBuf
+	w.buf = nil
+	w.synthBuf = 0
+}
+
+// failWriteLocked settles a failed Write/WriteSynthetic call: it rolls
+// droppedNow bytes (the failed or never-queued chunk plus the call's
+// remaining buffer) out of the accepted count and returns how many of
+// the call's callLen bytes durably reached the blob. base and
+// queuedAtEntry snapshot committed/pending at call entry, pre is the
+// buffered byte count at entry; commits are FIFO, so whatever landed
+// beyond the entry backlog and the pre-existing buffer is the
+// committed prefix of this call's payload. By the time the error is
+// observed every successful commit has already been counted (failures
+// happen after all earlier successes), so the result is exact.
+func (w *writer) failWriteLocked(droppedNow, base, queuedAtEntry, pre, callLen int64) int64 {
+	w.written -= droppedNow
+	consumed := w.committed - base - queuedAtEntry - pre
+	if consumed < 0 {
+		consumed = 0
+	}
+	if consumed > callLen {
+		consumed = callLen
+	}
+	return consumed
+}
+
+// commit performs one block append against the blob (no writer locks
+// held). It is the single commit site shared by the serial path and
+// the background flusher.
+func (w *writer) commit(b pendingBlock) error {
+	var err error
+	if b.data != nil {
+		_, _, err = w.fs.blob.Append(w.blob, b.data)
+	} else {
+		_, _, err = w.fs.blob.AppendSynthetic(w.blob, b.size)
+	}
+	return err
+}
+
+// commitLocked hands one block to the commit path. w.mu must be held;
+// it is released across blocking operations and held again on return.
+// A non-nil error means the block did not — and never will — reach the
+// blob; the caller owns rolling its bytes back.
+func (w *writer) commitLocked(b pendingBlock) error {
+	if w.serialCommit() {
+		w.mu.Unlock()
+		err := w.commit(b)
+		w.mu.Lock()
+		if err != nil {
+			if w.flushErr == nil {
+				w.flushErr = err
+			}
+		} else {
+			w.committed += b.size
+		}
+		return err
+	}
+	for w.flushErr == nil && w.inFlight >= w.fs.svc.cfg.MaxInFlightBlocks {
+		sig := w.progSigLocked()
+		w.mu.Unlock()
+		sig.Wait()
+		w.mu.Lock()
+	}
+	if err := w.flushErr; err != nil {
+		return err
+	}
+	w.queue = append(w.queue, b)
+	w.inFlight++
+	w.pending += b.size
+	if !w.flusher {
+		w.flusher = true
+		w.fs.svc.env.Daemon(w.flushLoop)
+	}
+	return nil
+}
+
+// flushLoop is the writer's single background flusher: it commits
+// queued blocks in order (one ticket at a time, which is what keeps
+// appends ordered), records the first error, rolls skipped blocks back
+// out of the accepted byte count, and exits once the queue drains —
+// commitLocked restarts it with the next block.
+func (w *writer) flushLoop() {
+	for {
+		w.mu.Lock()
+		if len(w.queue) == 0 {
+			w.flusher = false
+			w.mu.Unlock()
+			return
+		}
+		b := w.queue[0]
+		w.queue = w.queue[1:]
+		skip := w.flushErr != nil
+		w.mu.Unlock()
+
+		var err error
+		if !skip {
+			err = w.commit(b)
+		}
+
+		w.mu.Lock()
+		if skip || err != nil {
+			w.written -= b.size
+			if err != nil && w.flushErr == nil {
+				w.flushErr = err
+			}
+		} else {
+			w.committed += b.size
+		}
+		w.inFlight--
+		w.pending -= b.size
+		sig := w.progSig
+		w.progSig = nil
+		w.mu.Unlock()
+		if sig != nil {
+			sig.Fire()
+		}
+	}
+}
+
+// Write implements io.Writer with block-granular commit through the
+// pipeline. On failure it returns exactly how many bytes of p durably
+// reached the blob — blocks that failed, were skipped behind a
+// failure, or still sat buffered are rolled back — and once any commit
+// has failed, every later call returns that error with n=0.
 func (w *writer) Write(p []byte) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -338,6 +547,11 @@ func (w *writer) Write(p []byte) (int, error) {
 	if w.synthetic {
 		return 0, fmt.Errorf("bsfs: mixing real and synthetic writes")
 	}
+	if err := w.flushErr; err != nil {
+		w.dropBufferedLocked()
+		return 0, err
+	}
+	pre, base, queued := int64(len(w.buf)), w.committed, w.pending
 	w.buf = append(w.buf, p...)
 	w.written += int64(len(p))
 	bs := w.fs.svc.cfg.BlockSize
@@ -349,15 +563,23 @@ func (w *writer) Write(p []byte) (int, error) {
 		if w.fs.svc.cfg.DisableCache {
 			n = int64(len(w.buf))
 		}
-		if err := w.flushReal(w.buf[:n]); err != nil {
-			return 0, err
-		}
+		// The remainder moves to a fresh array, so the chunk keeps
+		// exclusive ownership of the old one — no copy needed.
+		chunk := w.buf[:n:n]
 		w.buf = append([]byte(nil), w.buf[n:]...)
+		if err := w.commitLocked(pendingBlock{data: chunk, size: n}); err != nil {
+			// Neither the chunk nor anything buffered behind it will
+			// reach the blob; report the prefix of p that already did.
+			dropped := n + int64(len(w.buf))
+			w.buf = nil
+			return int(w.failWriteLocked(dropped, base, queued, pre, int64(len(p)))), err
+		}
 	}
 	return len(p), nil
 }
 
-// WriteSynthetic implements fsapi.Writer.
+// WriteSynthetic implements fsapi.Writer, with the same pipeline and
+// error contract as Write.
 func (w *writer) WriteSynthetic(n int64) (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -367,7 +589,12 @@ func (w *writer) WriteSynthetic(n int64) (int64, error) {
 	if len(w.buf) > 0 {
 		return 0, fmt.Errorf("bsfs: mixing real and synthetic writes")
 	}
+	if err := w.flushErr; err != nil {
+		w.dropBufferedLocked()
+		return 0, err
+	}
 	w.synthetic = true
+	pre, base, queued := w.synthBuf, w.committed, w.pending
 	w.synthBuf += n
 	w.written += n
 	bs := w.fs.svc.cfg.BlockSize
@@ -379,38 +606,57 @@ func (w *writer) WriteSynthetic(n int64) (int64, error) {
 		if w.fs.svc.cfg.DisableCache {
 			chunk = w.synthBuf
 		}
-		if _, _, err := w.fs.blob.AppendSynthetic(w.blob, chunk); err != nil {
-			return 0, err
-		}
 		w.synthBuf -= chunk
+		if err := w.commitLocked(pendingBlock{size: chunk}); err != nil {
+			dropped := chunk + w.synthBuf
+			w.synthBuf = 0
+			return w.failWriteLocked(dropped, base, queued, pre, n), err
+		}
 	}
 	return n, nil
 }
 
-func (w *writer) flushReal(chunk []byte) error {
-	_, _, err := w.fs.blob.Append(w.blob, chunk)
-	return err
-}
-
-// Close flushes the remainder and commits the file size.
+// Close commits the buffered remainder, drains the pipeline, surfaces
+// the first deferred commit error, and commits the file size.
 func (w *writer) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed {
+		w.mu.Unlock()
 		return nil
 	}
 	w.closed = true
-	if len(w.buf) > 0 {
-		if err := w.flushReal(w.buf); err != nil {
-			return err
-		}
-		w.buf = nil
+	var closeErr error
+	if w.flushErr != nil {
+		w.dropBufferedLocked()
 	}
-	if w.synthBuf > 0 {
-		if _, _, err := w.fs.blob.AppendSynthetic(w.blob, w.synthBuf); err != nil {
-			return err
+	if w.flushErr == nil {
+		var tail *pendingBlock
+		if len(w.buf) > 0 {
+			tail = &pendingBlock{data: w.buf, size: int64(len(w.buf))}
+			w.buf = nil
+		} else if w.synthBuf > 0 {
+			tail = &pendingBlock{size: w.synthBuf}
+			w.synthBuf = 0
 		}
-		w.synthBuf = 0
+		if tail != nil {
+			if err := w.commitLocked(*tail); err != nil {
+				w.written -= tail.size
+				closeErr = err
+			}
+		}
+	}
+	for w.inFlight > 0 {
+		sig := w.progSigLocked()
+		w.mu.Unlock()
+		sig.Wait()
+		w.mu.Lock()
+	}
+	if closeErr == nil {
+		closeErr = w.flushErr
+	}
+	w.mu.Unlock()
+	if closeErr != nil {
+		return closeErr
 	}
 	w.fs.rtt()
 	_, size, err := w.fs.blob.Latest(w.blob)
@@ -422,7 +668,10 @@ func (w *writer) Close() error {
 
 // ---------------------------------------------------------------------
 // Reader: whole-block prefetch cache (§III.B — "prefetches a whole
-// block when the requested data is not already cached").
+// block when the requested data is not already cached"), plus
+// background readahead: a sequential scan that reaches block bi kicks
+// off a concurrent fetch of block bi+1, overlapping the next block's
+// provider I/O with consumption of the current one.
 
 type reader struct {
 	fs   *FS
@@ -430,14 +679,22 @@ type reader struct {
 	ver  core.Version
 	size int64
 
-	mu     sync.Mutex
-	pos    int64
-	blocks map[int64][]byte // block index -> data (nil entry = synthetic fetched)
-	order  []int64          // LRU, most recent last
+	mu       sync.Mutex
+	pos      int64
+	closed   bool
+	lastBi   int64                    // last block accessed (-1 before any)
+	blocks   map[int64][]byte         // block index -> data (nil entry = synthetic fetched)
+	order    []int64                  // LRU, most recent last
+	inflight map[int64]cluster.Signal // fetches in progress, fired on completion
 }
 
 func (f *FS) newReader(blob core.BlobID, v core.Version, size int64) *reader {
-	return &reader{fs: f, blob: blob, ver: v, size: size, blocks: map[int64][]byte{}}
+	return &reader{
+		fs: f, blob: blob, ver: v, size: size,
+		lastBi:   -1,
+		blocks:   map[int64][]byte{},
+		inflight: map[int64]cluster.Signal{},
+	}
 }
 
 // Size implements fsapi.Reader.
@@ -527,30 +784,82 @@ func (r *reader) ReadSyntheticAt(off, length int64) (int64, error) {
 }
 
 // block returns block bi, fetching (prefetching the whole block) on
-// miss. synthetic fetches cover the block without materializing.
+// miss. synthetic fetches cover the block without materializing. A
+// miss that finds a readahead of bi already in flight waits for it
+// instead of fetching the same bytes twice.
 func (r *reader) block(bi int64, synthetic bool) ([]byte, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if data, ok := r.blocks[bi]; ok {
-		r.touch(bi)
-		return data, nil
+	for {
+		if data, ok := r.blocks[bi]; ok {
+			// A nil entry is a synthetic placeholder: it covers the
+			// block for synthetic traversal but holds no bytes, so a
+			// real read must drop it and fetch the data for real
+			// (synthetic readahead would otherwise poison later reads).
+			if data != nil || synthetic {
+				r.touch(bi)
+				r.noteAccessLocked(bi, synthetic)
+				r.mu.Unlock()
+				return data, nil
+			}
+			r.dropLocked(bi)
+			break
+		}
+		sig, ok := r.inflight[bi]
+		if !ok {
+			break
+		}
+		r.mu.Unlock()
+		sig.Wait()
+		r.mu.Lock()
+		// Re-check: on readahead success the block is cached; on
+		// failure it is absent again and we fall through to a
+		// foreground fetch that reports its own error.
 	}
+	sig := r.fs.svc.env.NewSignal()
+	r.inflight[bi] = sig
+	r.noteAccessLocked(bi, synthetic)
+	r.mu.Unlock()
+	data, err := r.fetch(bi, synthetic)
+	r.mu.Lock()
+	delete(r.inflight, bi)
+	if err == nil && !r.closed {
+		r.insertLocked(bi, data)
+	}
+	r.mu.Unlock()
+	sig.Fire()
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// fetch reads one whole block from BlobSeer (no reader locks held).
+func (r *reader) fetch(bi int64, synthetic bool) ([]byte, error) {
 	bs := r.fs.svc.cfg.BlockSize
 	start := bi * bs
 	blockLen := bs
 	if start+blockLen > r.size {
 		blockLen = r.size - start
 	}
-	var data []byte
 	if synthetic {
-		if _, err := r.fs.blob.ReadSynthetic(r.blob, r.ver, start, blockLen); err != nil {
-			return nil, err
+		_, err := r.fs.blob.ReadSynthetic(r.blob, r.ver, start, blockLen)
+		return nil, err
+	}
+	data := make([]byte, blockLen)
+	if _, err := r.fs.blob.Read(r.blob, r.ver, start, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// insertLocked caches a fetched block with LRU eviction. A synthetic
+// placeholder (nil) already present is upgraded to real bytes.
+func (r *reader) insertLocked(bi int64, data []byte) {
+	if old, ok := r.blocks[bi]; ok {
+		if old == nil && data != nil {
+			r.blocks[bi] = data
 		}
-	} else {
-		data = make([]byte, blockLen)
-		if _, err := r.fs.blob.Read(r.blob, r.ver, start, data); err != nil {
-			return nil, err
-		}
+		return
 	}
 	r.blocks[bi] = data
 	r.order = append(r.order, bi)
@@ -559,7 +868,57 @@ func (r *reader) block(bi int64, synthetic bool) ([]byte, error) {
 		r.order = r.order[1:]
 		delete(r.blocks, evict)
 	}
-	return data, nil
+}
+
+// noteAccessLocked tracks the scan position and, when the access
+// continues a forward sequential scan, starts a background readahead
+// of the next block. Readahead failures are dropped: the foreground
+// read of that block retries and surfaces the error itself.
+func (r *reader) noteAccessLocked(bi int64, synthetic bool) {
+	seq := bi == r.lastBi+1
+	r.lastBi = bi
+	if !seq || r.closed || r.fs.svc.cfg.DisableReadahead || r.fs.svc.cfg.DisableCache {
+		return
+	}
+	// A single-slot cache cannot hold the current block and its
+	// readahead at once; prefetching would evict the block being
+	// consumed and make the scan strictly slower.
+	if r.fs.svc.cfg.CacheBlocks < 2 {
+		return
+	}
+	next := bi + 1
+	if next*r.fs.svc.cfg.BlockSize >= r.size {
+		return
+	}
+	if _, ok := r.blocks[next]; ok {
+		return
+	}
+	if _, ok := r.inflight[next]; ok {
+		return
+	}
+	sig := r.fs.svc.env.NewSignal()
+	r.inflight[next] = sig
+	r.fs.svc.env.Daemon(func() {
+		data, err := r.fetch(next, synthetic)
+		r.mu.Lock()
+		delete(r.inflight, next)
+		if err == nil && !r.closed {
+			r.insertLocked(next, data)
+		}
+		r.mu.Unlock()
+		sig.Fire()
+	})
+}
+
+// dropLocked evicts one block from the cache.
+func (r *reader) dropLocked(bi int64) {
+	delete(r.blocks, bi)
+	for i, b := range r.order {
+		if b == bi {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return
+		}
+	}
 }
 
 func (r *reader) touch(bi int64) {
@@ -571,9 +930,11 @@ func (r *reader) touch(bi int64) {
 	}
 }
 
-// Close implements fsapi.Reader.
+// Close implements fsapi.Reader. In-flight readahead completes in the
+// background and discards its result.
 func (r *reader) Close() error {
 	r.mu.Lock()
+	r.closed = true
 	r.blocks = nil
 	r.order = nil
 	r.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -101,9 +102,19 @@ func TestSmallRecordReadsHitCache(t *testing.T) {
 			t.Fatalf("record at %d mismatch", off)
 		}
 	}
-	// All 32 record reads inside block 0 = exactly one cached block.
-	if len(rd.blocks) != 1 {
-		t.Fatalf("cache holds %d blocks, want 1", len(rd.blocks))
+	// All 32 record reads inside block 0 = one fetched block, plus at
+	// most its background readahead of block 1.
+	rd.mu.Lock()
+	_, hit0 := rd.blocks[0]
+	n := len(rd.blocks)
+	for bi := range rd.blocks {
+		if bi != 0 && bi != 1 {
+			t.Errorf("unexpected cached block %d", bi)
+		}
+	}
+	rd.mu.Unlock()
+	if !hit0 || n > 2 {
+		t.Fatalf("cache holds %d blocks (block0=%v), want block 0 plus at most its readahead", n, hit0)
 	}
 	_ = svc
 }
@@ -131,13 +142,14 @@ func TestReaderCacheEviction(t *testing.T) {
 
 func TestWriterCommitsWholeBlocks(t *testing.T) {
 	// Writes are delayed until a block fills (§III.B): after writing
-	// 1.5 blocks, only 1 block is committed; Close flushes the tail.
+	// 1.5 blocks, only the full block enters the commit pipeline (and
+	// lands in the background); Close flushes the tail.
 	svc, fs := newTestFS(t, Config{BlockSize: 256})
 	w, _ := fs.Create("/partial")
 	w.Write(make([]byte, 384))
 	blob, _ := svc.ns.Payload("/partial")
 	cl := svc.dep.NewClient(0)
-	_, size, _ := cl.Latest(blob.(core.BlobID))
+	size := awaitBlobSize(t, cl, blob.(core.BlobID), 256)
 	if size != 256 {
 		t.Fatalf("committed %d bytes before close, want 256", size)
 	}
@@ -145,6 +157,24 @@ func TestWriterCommitsWholeBlocks(t *testing.T) {
 	_, size, _ = cl.Latest(blob.(core.BlobID))
 	if size != 384 {
 		t.Fatalf("committed %d bytes after close, want 384", size)
+	}
+}
+
+// awaitBlobSize polls until the blob's committed size reaches want (the
+// writer pipeline commits full blocks in the background) and returns
+// the size it settled at.
+func awaitBlobSize(t *testing.T, cl *core.Client, blob core.BlobID, want int64) int64 {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, size, err := cl.Latest(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size >= want || time.Now().After(deadline) {
+			return size
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

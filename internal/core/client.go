@@ -25,9 +25,12 @@ var ErrSynthetic = errors.New("core: range contains synthetic pages; use ReadSyn
 // it. Repairer restores the replication factor before this happens.
 var ErrAllReplicasDown = errors.New("core: all replicas down")
 
-// Client issues BlobSeer operations from one cluster node. Clients are
-// not safe for concurrent use by multiple goroutines; create one per
-// simulated process.
+// Client issues BlobSeer operations from one cluster node. A Client is
+// safe for concurrent use by multiple goroutines (or simulated
+// processes): the cached blob geometry, write history and metadata
+// cache are mutex-protected, history records are append-only and
+// shared via capped snapshots, and the scatter/gather fan-outs join
+// all in-flight provider operations before returning.
 type Client struct {
 	d    *Deployment
 	node cluster.NodeID
@@ -294,20 +297,44 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 	dests := sortedNodes(perProv)
 	c.d.Env.RTT(c.node, farthestNode(c.d.Env, c.node, dests))
 	c.d.Env.Scatter(c.node, dests, total)
-	for _, prov := range dests {
+	var scMu sync.Mutex
+	var scErr error
+	failed := func() bool {
+		scMu.Lock()
+		defer scMu.Unlock()
+		return scErr != nil
+	}
+	// fanOut joins every worker before returning, so the abort below
+	// never races an in-flight put; workers stop issuing new puts as
+	// soon as any provider fails.
+	c.fanOut(dests, func(prov cluster.NodeID) {
 		pr := c.d.Providers[prov]
+		var err error
 		if pr == nil {
-			return 0, 0, fmt.Errorf("core: no provider on node %d", prov)
-		}
-		for _, pt := range perProv[prov] {
-			if err := pr.PutPage(pt.key, pt.data, pt.size); err != nil {
-				abortErr := c.d.VM.Abort(c.node, blob, rec.Version)
-				if abortErr != nil {
-					return 0, 0, fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
+			err = fmt.Errorf("core: no provider on node %d", prov)
+		} else {
+			for _, pt := range perProv[prov] {
+				if failed() {
+					return
 				}
-				return 0, 0, err
+				if err = pr.PutPage(pt.key, pt.data, pt.size); err != nil {
+					break
+				}
 			}
 		}
+		if err != nil {
+			scMu.Lock()
+			if scErr == nil {
+				scErr = err
+			}
+			scMu.Unlock()
+		}
+	})
+	if scErr != nil {
+		if abortErr := c.d.VM.Abort(c.node, blob, rec.Version); abortErr != nil {
+			return 0, 0, fmt.Errorf("%w (abort also failed: %v)", scErr, abortErr)
+		}
+		return 0, 0, scErr
 	}
 
 	// 5. Metadata tree nodes into the DHT.
@@ -497,11 +524,30 @@ func (c *Client) readCommon(blob BlobID, v Version, off, length int64, dst []byt
 	return length, nil
 }
 
+// fanOut runs fn once per node, concurrently through the environment's
+// WaitGroup so the same code overlaps provider I/O in both the Sim and
+// Local envs. It returns only after every invocation has finished: no
+// in-flight work leaks past it. With Options.SerialIO set (the A5
+// ablation baseline) nodes are visited one at a time instead.
+func (c *Client) fanOut(nodes []cluster.NodeID, fn func(cluster.NodeID)) {
+	if c.d.Opts.SerialIO || len(nodes) <= 1 {
+		for _, n := range nodes {
+			fn(n)
+		}
+		return
+	}
+	wg := c.d.Env.NewWaitGroup()
+	for _, n := range nodes {
+		wg.Go(func() { fn(n) })
+	}
+	wg.Wait()
+}
+
 // gatherPages fetches every non-hole leaf's page, grouped per provider
-// into batched rounds, with per-page replica failover: a provider that
-// fails mid-fetch only requeues its own pages onto their surviving
-// replicas instead of aborting the whole read. A page none of whose
-// replicas can serve fails with ErrAllReplicasDown.
+// into batched rounds fetched concurrently, with per-page replica
+// failover: a provider that fails mid-fetch only requeues its own pages
+// onto their surviving replicas instead of aborting the whole read. A
+// page none of whose replicas can serve fails with ErrAllReplicasDown.
 func (c *Client) gatherPages(leaves []PageLoc) (map[int64]PageFetch, error) {
 	type pendingPage struct {
 		loc     PageLoc
@@ -535,7 +581,8 @@ func (c *Client) gatherPages(leaves []PageLoc) (map[int64]PageFetch, error) {
 
 		var next []*pendingPage
 		var total, fromDisk int64
-		for _, prov := range srcs {
+		var gmu sync.Mutex // guards next, total, fromDisk, fetched
+		c.fanOut(srcs, func(prov cluster.NodeID) {
 			batch := perProv[prov]
 			pr := c.d.Providers[prov]
 			keys := make([]string, len(batch))
@@ -548,9 +595,13 @@ func (c *Client) gatherPages(leaves []PageLoc) (map[int64]PageFetch, error) {
 			} else {
 				items, err = pr.GetPages(keys)
 			}
+			gmu.Lock()
+			defer gmu.Unlock()
 			if err != nil {
 				// Provider failed mid-read: requeue its pages onto their
-				// remaining replicas.
+				// remaining replicas. Each page belongs to exactly one
+				// provider batch per round, so tried/lastErr are only
+				// touched by this worker.
 				for _, pp := range batch {
 					if pp.tried == nil {
 						pp.tried = make(map[cluster.NodeID]bool)
@@ -559,7 +610,7 @@ func (c *Client) gatherPages(leaves []PageLoc) (map[int64]PageFetch, error) {
 					pp.lastErr = err
 					next = append(next, pp)
 				}
-				continue
+				return
 			}
 			for i, it := range items {
 				fetched[batch[i].loc.Page] = it
@@ -568,7 +619,7 @@ func (c *Client) gatherPages(leaves []PageLoc) (map[int64]PageFetch, error) {
 					fromDisk += it.Size
 				}
 			}
-		}
+		})
 		// One round-trip charge per failover round; contacting a dead
 		// provider still costs its RTT.
 		diskFrac := 0.0

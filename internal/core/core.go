@@ -56,6 +56,10 @@ type Options struct {
 	// every blob's latest snapshot. 0 disables the sweep; RepairBlob
 	// stays available on demand.
 	RepairInterval time.Duration
+	// SerialIO disables the client data-path parallelism (the A5
+	// ablation baseline): page scatter and gather contact providers one
+	// at a time instead of fanning out concurrently.
+	SerialIO bool
 }
 
 func (o *Options) fillDefaults() {

@@ -371,6 +371,23 @@ func (vm *VersionManager) GetVersion(from cluster.NodeID, blob BlobID, v Version
 	return rec, nil
 }
 
+// Records returns the write records of every version up to the
+// publication frontier — aborted ones included, tagged as such — in a
+// single round trip: the batched alternative to calling GetVersion once
+// per version.
+func (vm *VersionManager) Records(from cluster.NodeID, blob BlobID) ([]WriteRecord, error) {
+	vm.env.RTT(from, vm.node)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	b, ok := vm.blobs[blob]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+	}
+	out := make([]WriteRecord, b.published)
+	copy(out, b.records[:b.published])
+	return out, nil
+}
+
 // Blobs lists every registered blob id in creation order (the repair
 // sweep's work list).
 func (vm *VersionManager) Blobs(from cluster.NodeID) []BlobID {

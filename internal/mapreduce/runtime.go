@@ -4,6 +4,7 @@
 package mapreduce
 
 import (
+	"errors"
 	"sync"
 	"time"
 
@@ -224,7 +225,9 @@ func (jt *jobTracker) prepare(cfg JobConfig) (*job, error) {
 	return j, nil
 }
 
-func errorsIsExists(err error) bool { return err == nil || err == fsapi.ErrExists }
+// errorsIsExists matches wrapped ErrExists too: file systems decorate
+// the sentinel with path context, which a == comparison would miss.
+func errorsIsExists(err error) bool { return err == nil || errors.Is(err, fsapi.ErrExists) }
 
 // launch enqueues the job's map tasks.
 func (jt *jobTracker) launch(j *job) {
