@@ -7,7 +7,7 @@
 //	E4  BenchmarkE4RandomTextWriter    — §IV.C application 1
 //	E5  BenchmarkE5DistributedGrep     — §IV.C application 2
 //	X1  BenchmarkX1ConcurrentAppend    — §V future work: shared appends
-//	X2  BenchmarkX2SnapshotIsolation   — §V future work: versioned jobs
+//	X4  BenchmarkX4SnapshotIsolation   — §V future work: versioned jobs
 //	A1-A4                              — ablations (see DESIGN.md)
 //
 // Each iteration builds a fresh simulated cluster, runs the workload in
@@ -118,7 +118,7 @@ func BenchmarkX1ConcurrentAppend(b *testing.B) {
 	b.Run("bsfs", func(b *testing.B) { benchMicro(b, "bsfs", bench.RunAppendShared) })
 }
 
-func BenchmarkX2SnapshotIsolation(b *testing.B) {
+func BenchmarkX4SnapshotIsolation(b *testing.B) {
 	var last []bench.AppResult
 	for i := 0; i < b.N; i++ {
 		opts := appOpts("bsfs")

@@ -31,6 +31,8 @@ func main() {
 		blockSize = flag.Int64("block", 64<<20, "BSFS block size in bytes")
 		replicas  = flag.Int("replicas", 1, "page replication factor")
 		dataDir   = flag.String("data", "", "directory for durable page logs (empty = in-memory)")
+		inflight  = flag.Int("inflight", 0, "writer commit-pipeline depth in blocks (0 = default, negative = synchronous)")
+		serialPub = flag.Bool("serial-publish", false, "disable version-manager group commit and batched publishes (debug baseline)")
 	)
 	flag.Parse()
 
@@ -44,12 +46,13 @@ func main() {
 		Replication:   *replicas,
 		ProviderNodes: nodes,
 		Provider:      core.ProviderConfig{Dir: *dataDir},
+		SerialPublish: *serialPub,
 	})
 	if err != nil {
 		log.Fatalf("bsfsd: %v", err)
 	}
 	defer dep.Close()
-	svc := bsfs.NewService(dep, bsfs.Config{BlockSize: *blockSize})
+	svc := bsfs.NewService(dep, bsfs.Config{BlockSize: *blockSize, MaxInFlightBlocks: *inflight})
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -2,13 +2,13 @@
 // (§IV.C): job completion time of Random Text Writer (E4) and
 // Distributed Grep (E5) through the MapReduce framework, with BSFS and
 // HDFS as storage back-ends, plus the versioned-workflow extension
-// (X2).
+// (X4).
 //
 // Usage:
 //
 //	mr-bench                       # E4 + E5 at paper scale
 //	mr-bench -app rtw -maps 250    # one application
-//	mr-bench -app x2               # snapshot workflow extension
+//	mr-bench -app x4               # snapshot workflow extension
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		app     = flag.String("app", "all", "application: rtw, grep, x2, or 'all'")
+		app     = flag.String("app", "all", "application: rtw, grep, x4, or 'all'")
 		maps    = flag.Int("maps", 250, "map tasks (paper: one per client node)")
 		sizeMB  = flag.Int64("size", 1024, "MB per map (paper: 1024)")
 		nodes   = flag.Int("nodes", 270, "cluster size")
@@ -55,24 +55,24 @@ func main() {
 		bench.WriteAppTable(os.Stdout, "E4: Random Text Writer (job completion time)", runBoth("rtw", bench.RunRandomTextWriter))
 	case "grep":
 		bench.WriteAppTable(os.Stdout, "E5: Distributed Grep (job completion time)", runBoth("grep", bench.RunDistributedGrep))
-	case "x2":
+	case "x4":
 		opts := base
 		opts.Storage = bench.StorageOpts{Kind: "bsfs", MemCapacity: *cacheMB * bench.MB}
 		results, err := bench.RunSnapshotWorkflow(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mr-bench: x2: %v\n", err)
+			fmt.Fprintf(os.Stderr, "mr-bench: x4: %v\n", err)
 			os.Exit(1)
 		}
-		bench.WriteAppTable(os.Stdout, "X2: concurrent MapReduce jobs on different snapshots (bsfs)", results)
+		bench.WriteAppTable(os.Stdout, "X4: concurrent MapReduce jobs on different snapshots (bsfs)", results)
 	case "all":
 		bench.WriteAppTable(os.Stdout, "E4: Random Text Writer (job completion time)", runBoth("rtw", bench.RunRandomTextWriter))
 		bench.WriteAppTable(os.Stdout, "E5: Distributed Grep (job completion time)", runBoth("grep", bench.RunDistributedGrep))
 		opts := base
 		opts.Storage = bench.StorageOpts{Kind: "bsfs", MemCapacity: *cacheMB * bench.MB}
 		if results, err := bench.RunSnapshotWorkflow(opts); err == nil {
-			bench.WriteAppTable(os.Stdout, "X2: concurrent MapReduce jobs on different snapshots (bsfs)", results)
+			bench.WriteAppTable(os.Stdout, "X4: concurrent MapReduce jobs on different snapshots (bsfs)", results)
 		} else {
-			fmt.Fprintf(os.Stderr, "mr-bench: x2: %v\n", err)
+			fmt.Fprintf(os.Stderr, "mr-bench: x4: %v\n", err)
 			os.Exit(1)
 		}
 	default:

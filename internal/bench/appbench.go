@@ -123,7 +123,7 @@ func RunDistributedGrep(opts AppOpts) (AppResult, error) {
 	return res, err
 }
 
-// RunSnapshotWorkflow is extension X2 (§V): two grep jobs run
+// RunSnapshotWorkflow is extension X4 (§V): two grep jobs run
 // concurrently over two different snapshots of one dataset while a
 // writer keeps appending to it — only expressible on a versioning
 // storage layer. Returns the two job completion times; correctness
@@ -131,7 +131,7 @@ func RunDistributedGrep(opts AppOpts) (AppResult, error) {
 func RunSnapshotWorkflow(opts AppOpts) ([]AppResult, error) {
 	opts.fillDefaults()
 	if opts.Storage.Kind != "bsfs" {
-		return nil, fmt.Errorf("bench: X2 requires versioning storage (bsfs), got %q", opts.Storage.Kind)
+		return nil, fmt.Errorf("bench: X4 requires versioning storage (bsfs), got %q", opts.Storage.Kind)
 	}
 	tb, err := NewTestbed(opts.Spec, opts.Storage)
 	if err != nil {
@@ -149,11 +149,11 @@ func RunSnapshotWorkflow(opts AppOpts) ([]AppResult, error) {
 		half := opts.BytesPerMap * int64(opts.Maps) / 2
 
 		// Snapshot 1: first half of the dataset.
-		if err := writeSynthFile(tb, 0, "/x2/data", half); err != nil {
+		if err := writeSynthFile(tb, 0, "/x4/data", half); err != nil {
 			runErr = err
 			return
 		}
-		v1s, err := fs.Versions("/x2/data")
+		v1s, err := fs.Versions("/x4/data")
 		if err != nil || len(v1s) == 0 {
 			runErr = fmt.Errorf("bench: snapshot 1: %v", err)
 			return
@@ -161,7 +161,7 @@ func RunSnapshotWorkflow(opts AppOpts) ([]AppResult, error) {
 		snap1 := v1s[len(v1s)-1]
 
 		// Snapshot 2: the full dataset.
-		aw, err := fs.Append("/x2/data")
+		aw, err := fs.Append("/x4/data")
 		if err != nil {
 			runErr = err
 			return
@@ -171,7 +171,7 @@ func RunSnapshotWorkflow(opts AppOpts) ([]AppResult, error) {
 			runErr = err
 			return
 		}
-		v2s, _ := fs.Versions("/x2/data")
+		v2s, _ := fs.Versions("/x4/data")
 		snap2 := v2s[len(v2s)-1]
 
 		wg := tb.Env.NewWaitGroup()
@@ -180,7 +180,7 @@ func RunSnapshotWorkflow(opts AppOpts) ([]AppResult, error) {
 		resMu <- struct{}{}
 		runGrep := func(idx int, snap core.Version, out string) {
 			wg.Go(func() {
-				job := apps.SyntheticGrep([]string{"/x2/data"}, out)
+				job := apps.SyntheticGrep([]string{"/x4/data"}, out)
 				job.Name = fmt.Sprintf("grep-snap%d", idx)
 				job.OpenInput = openSnapshot(snap)
 				r, err := mr.Submit(job)
@@ -192,7 +192,7 @@ func RunSnapshotWorkflow(opts AppOpts) ([]AppResult, error) {
 				}
 				<-resMu
 				results = append(results, AppResult{
-					Experiment: fmt.Sprintf("X2-snapshot-grep-%d", idx),
+					Experiment: fmt.Sprintf("X4-snapshot-grep-%d", idx),
 					Kind:       tb.Kind,
 					Maps:       r.Counters.MapTasks,
 					Completion: r.Duration,
@@ -204,15 +204,15 @@ func RunSnapshotWorkflow(opts AppOpts) ([]AppResult, error) {
 		// A concurrent writer keeps growing the dataset while both
 		// jobs run on their frozen snapshots.
 		wg.Go(func() {
-			aw, err := fs.Append("/x2/data")
+			aw, err := fs.Append("/x4/data")
 			if err != nil {
 				return
 			}
 			aw.WriteSynthetic(half / 2)
 			aw.Close()
 		})
-		runGrep(1, snap1, "/x2/out1")
-		runGrep(2, snap2, "/x2/out2")
+		runGrep(1, snap1, "/x4/out1")
+		runGrep(2, snap2, "/x4/out2")
 		wg.Wait()
 	})
 	if err == nil {

@@ -1,7 +1,7 @@
 // Package bench is the experiment harness that regenerates the paper's
 // evaluation (§IV): the three microbenchmarks (E1-E3), the two
-// application benchmarks (E4-E5), the future-work extensions (X1-X2)
-// and the ablations (A1-A4). Each run builds a fresh simulated
+// application benchmarks (E4-E5), the future-work extensions (X1-X4)
+// and the ablations (A1-A6). Each run builds a fresh simulated
 // Grid'5000-style cluster, deploys BSFS or HDFS on it, drives the
 // paper's workload and reports throughput or job completion time.
 package bench
@@ -79,6 +79,13 @@ type StorageOpts struct {
 	// time, the writer commits every block synchronously, and the
 	// reader does no readahead.
 	SerialDataPath bool
+	// SerialPublish disables the version manager's group-commit
+	// pipeline and the batched ticket/publish RPCs (ablation A6):
+	// every version pays its own RequestTicket and Publish round trip.
+	SerialPublish bool
+	// MaxInFlightBlocks overrides the BSFS writer pipeline depth
+	// (0 keeps the bsfs default; ignored with SerialDataPath).
+	MaxInFlightBlocks int
 }
 
 func (o *StorageOpts) fillDefaults() {
@@ -154,14 +161,16 @@ func NewTestbed(spec ClusterSpec, opts StorageOpts) (*Testbed, error) {
 			Strategy:      strategy,
 			Provider:      core.ProviderConfig{MemCapacity: opts.MemCapacity},
 			SerialIO:      opts.SerialDataPath,
+			SerialPublish: opts.SerialPublish,
 		})
 		if err != nil {
 			return nil, err
 		}
 		fsCfg := bsfs.Config{
-			NamespaceNode: 0,
-			BlockSize:     opts.BlockSize,
-			DisableCache:  opts.DisableClientCache,
+			NamespaceNode:     0,
+			BlockSize:         opts.BlockSize,
+			DisableCache:      opts.DisableClientCache,
+			MaxInFlightBlocks: opts.MaxInFlightBlocks,
 		}
 		if opts.SerialDataPath {
 			fsCfg.MaxInFlightBlocks = -1

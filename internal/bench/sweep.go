@@ -1,4 +1,4 @@
-// sweep.go defines the named experiments (E1..E5, X1..X3, A1..A5) as
+// sweep.go defines the named experiments (E1..E5, X1..X3, A1..A6) as
 // client-count sweeps over both storage systems — the figures and
 // tables of the paper's evaluation, regenerated.
 package bench
@@ -121,6 +121,29 @@ var Experiments = []Experiment{
 				Storage:        StorageOpts{Kind: "hdfs", MemCapacity: opts.MemCapacity},
 			})
 			fmt.Fprintf(w, "hdfs: concurrent append rejected as expected: %v\n", herr)
+			return nil
+		},
+	},
+	{
+		ID:    "x2",
+		Title: "X2: concurrent writers to one blob (publish throughput vs N writers, bsfs)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			opts.fillDefaults()
+			var pts []Point
+			for _, n := range opts.Clients {
+				res, err := RunPublishShared(PublishOpts{
+					Clients: n,
+					Spec:    opts.Spec,
+					Storage: StorageOpts{MemCapacity: opts.MemCapacity, Replication: opts.Replication},
+				})
+				if err != nil {
+					return fmt.Errorf("bench: x2 n=%d: %w", n, err)
+				}
+				fmt.Fprintf(w, "x2 n=%d: %d versions published, %.1f versions/s\n",
+					n, res.Versions, res.VersionsPerSec)
+				pts = append(pts, res.Point)
+			}
+			WritePointsTable(w, "X2: shared-blob publish throughput (group commit)", pts)
 			return nil
 		},
 	},
@@ -259,6 +282,33 @@ var Experiments = []Experiment{
 				all = append(all, ser...)
 			}
 			WritePointsTable(w, "A5: data-path concurrency ablation (parallel/pipelined vs serial)", all)
+			return nil
+		},
+	},
+	{
+		ID:    "a6",
+		Title: "A6 ablation: version-manager group commit on/off (shared-blob publish)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			opts.fillDefaults()
+			var all []Point
+			for _, n := range opts.Clients {
+				batched, serial, err := RunPublishAblation(PublishOpts{
+					Clients: n,
+					Spec:    opts.Spec,
+					Storage: StorageOpts{MemCapacity: opts.MemCapacity, Replication: opts.Replication},
+				})
+				if err != nil {
+					// Includes the sim assertion: batched publish
+					// throughput must not fall below serial.
+					return fmt.Errorf("bench: a6 n=%d: %w", n, err)
+				}
+				fmt.Fprintf(w, "a6 n=%d: group-commit %.1f versions/s, serial %.1f versions/s (%.2fx)\n",
+					n, batched.VersionsPerSec, serial.VersionsPerSec,
+					batched.VersionsPerSec/serial.VersionsPerSec)
+				serial.Point.Experiment = "A6-serial-publish"
+				all = append(all, batched.Point, serial.Point)
+			}
+			WritePointsTable(w, "A6: group-commit ablation (shared-blob publish)", all)
 			return nil
 		},
 	},

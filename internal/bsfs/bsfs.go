@@ -44,8 +44,13 @@ type Config struct {
 	// MaxInFlightBlocks bounds the writer's asynchronous commit
 	// pipeline: up to this many full blocks may be queued or committing
 	// in the background while the application fills the next one
-	// (default 2). A negative value disables the pipeline; every block
-	// then commits synchronously in the caller.
+	// (default 2). The flusher commits half-window runs through
+	// core.Client.AppendBatch, so depths >= 4 amortize the
+	// version-manager round trips across blocks while the other half
+	// of the window keeps filling; the default depth 2 is classic
+	// double-buffering (single-block commits). A negative value
+	// disables the pipeline; every block then commits synchronously in
+	// the caller.
 	MaxInFlightBlocks int
 	// DisableReadahead turns off the reader's background prefetch of
 	// the next block on sequential access.
@@ -335,9 +340,12 @@ func (f *FS) BlockLocations(path string, off, length int64) ([]fsapi.BlockLocati
 // asynchronous commit pipeline: full blocks are handed to a single
 // background flusher with a bounded in-flight window, so the
 // application fills the next block while BlobSeer commits the previous
-// one. Append order is preserved because the one flusher requests every
-// version ticket; errors are deferred and surfaced by the next Write or
-// by Close.
+// one. The flusher drains its queue in batches and commits each batch
+// through core.Client.AppendBatch, amortizing the version-manager
+// round trips (one ticket request, one group-commit publish) across
+// every in-flight block. Append order is preserved because the one
+// flusher requests every version ticket; errors are deferred and
+// surfaced by the next Write or by Close.
 //
 // Error contract: when a commit fails — synchronously or in the
 // background — the writer is failed for good. The failed chunk and
@@ -490,12 +498,23 @@ func (w *writer) commitLocked(b pendingBlock) error {
 	return nil
 }
 
-// flushLoop is the writer's single background flusher: it commits
-// queued blocks in order (one ticket at a time, which is what keeps
-// appends ordered), records the first error, rolls skipped blocks back
-// out of the accepted byte count, and exits once the queue drains —
-// commitLocked restarts it with the next block.
+// flushLoop is the writer's single background flusher: it drains the
+// whole queue each round and commits it in batched runs — one ticket
+// round trip, scatter fan-out and group-commit publish per run (the
+// one flusher requesting all tickets is what keeps appends ordered).
+// Runs are homogeneous (a writer may legally switch from real to
+// synthetic blocks at a block boundary, and core.AppendBatch rejects
+// mixed batches) and capped at half the in-flight window, so window
+// slots free up between runs and the application keeps filling blocks
+// while earlier ones commit. It records the first error, rolls failed
+// and skipped blocks back out of the accepted byte count, and exits
+// once the queue drains — commitLocked restarts it with the next
+// block.
 func (w *writer) flushLoop() {
+	maxRun := w.fs.svc.cfg.MaxInFlightBlocks / 2
+	if maxRun < 1 {
+		maxRun = 1
+	}
 	for {
 		w.mu.Lock()
 		if len(w.queue) == 0 {
@@ -503,34 +522,67 @@ func (w *writer) flushLoop() {
 			w.mu.Unlock()
 			return
 		}
-		b := w.queue[0]
-		w.queue = w.queue[1:]
+		batch := w.queue
+		w.queue = nil
 		skip := w.flushErr != nil
 		w.mu.Unlock()
 
-		var err error
-		if !skip {
-			err = w.commit(b)
-		}
-
-		w.mu.Lock()
-		if skip || err != nil {
-			w.written -= b.size
-			if err != nil && w.flushErr == nil {
-				w.flushErr = err
+		for start := 0; start < len(batch); {
+			synth := batch[start].data == nil
+			end := start + 1
+			for end < len(batch) && end-start < maxRun && (batch[end].data == nil) == synth {
+				end++
 			}
-		} else {
-			w.committed += b.size
-		}
-		w.inFlight--
-		w.pending -= b.size
-		sig := w.progSig
-		w.progSig = nil
-		w.mu.Unlock()
-		if sig != nil {
-			sig.Fire()
+			run := batch[start:end]
+			start = end
+
+			committed := 0
+			var err error
+			if !skip {
+				committed, err = w.commitRun(run)
+			}
+
+			w.mu.Lock()
+			for i, b := range run {
+				if !skip && i < committed {
+					w.committed += b.size
+				} else {
+					w.written -= b.size
+				}
+				w.inFlight--
+				w.pending -= b.size
+			}
+			if err != nil {
+				if w.flushErr == nil {
+					w.flushErr = err
+				}
+				skip = true
+			}
+			sig := w.progSig
+			w.progSig = nil
+			w.mu.Unlock()
+			if sig != nil {
+				sig.Fire()
+			}
 		}
 	}
+}
+
+// commitRun commits one homogeneous run of blocks; a single block
+// takes the plain append path.
+func (w *writer) commitRun(run []pendingBlock) (int, error) {
+	if len(run) == 1 {
+		if err := w.commit(run[0]); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	blocks := make([]core.AppendBlock, len(run))
+	for i, b := range run {
+		blocks[i] = core.AppendBlock{Data: b.data, Size: b.size}
+	}
+	versions, err := w.fs.blob.AppendBatch(w.blob, blocks)
+	return len(versions), err
 }
 
 // Write implements io.Writer with block-granular commit through the

@@ -381,3 +381,75 @@ func TestVersionsBatchedRoundTrip(t *testing.T) {
 	}
 	_ = svc
 }
+
+// TestWriterPipelineBatchedCommit verifies the flusher's batched drain
+// end-to-end: a deep in-flight window pushes multiple blocks through
+// one core.AppendBatch (visible as one version per block, all
+// published), and the bytes survive in append order.
+func TestWriterPipelineBatchedCommit(t *testing.T) {
+	svc, fs := newTestFS(t, Config{BlockSize: 256, MaxInFlightBlocks: 8})
+	data := make([]byte, 256*12+77)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	w, err := fs.Create("/pipe/batched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One big Write queues many full blocks at once, so the flusher's
+	// next drain grabs a multi-block batch.
+	if n, err := w.Write(data); err != nil || n != len(data) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, fs, "/pipe/batched"); !bytes.Equal(got, data) {
+		t.Fatal("batched pipeline corrupted or reordered bytes")
+	}
+	// Every block is one published version: 12 full + 1 tail.
+	vs, err := fs.Versions("/pipe/batched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 13 {
+		t.Fatalf("%d versions, want 13 (one per block)", len(vs))
+	}
+	_ = svc
+}
+
+// TestWriterPipelineBatchedFailureRollsBackBatch: when a batched
+// commit fails, the whole batch (and everything buffered behind it)
+// rolls out of the accepted byte count and the writer is poisoned.
+func TestWriterPipelineBatchedFailureRollsBackBatch(t *testing.T) {
+	svc, fs := newTestFS(t, Config{BlockSize: 128, MaxInFlightBlocks: 8})
+	w, err := fs.Create("/pipe/batchfail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setAllProvidersDown(svc, true)
+	defer setAllProvidersDown(svc, false)
+	var writeErr error
+	for i := 0; i < 50 && writeErr == nil; i++ {
+		_, writeErr = w.Write(make([]byte, 128))
+	}
+	closeErr := w.Close()
+	err = writeErr
+	if err == nil {
+		err = closeErr
+	}
+	if !errors.Is(err, core.ErrProviderDown) {
+		t.Fatalf("surfaced error = %v, want ErrProviderDown", err)
+	}
+	if written := w.(*writer).Written(); written != 0 {
+		t.Fatalf("accepted-byte count after total failure = %d, want 0", written)
+	}
+	// No version may have been published for the failed batches.
+	vs, err := fs.Versions("/pipe/batchfail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("%d versions published from failed batches, want 0", len(vs))
+	}
+}

@@ -133,6 +133,19 @@ type blobInfo struct {
 	history  []WriteRecord // contiguous from version 1
 }
 
+// appendHistory returns h extended by the delta records that
+// contiguously follow it (records already present, or past a gap, are
+// skipped). Appending to a capped snapshot copies instead of mutating
+// the shared backing array.
+func appendHistory(h history, delta []WriteRecord) history {
+	for _, r := range delta {
+		if int(r.Version) == len(h)+1 {
+			h = append(h, r)
+		}
+	}
+	return h
+}
+
 // Node returns the node this client runs on.
 func (c *Client) Node() cluster.NodeID { return c.node }
 
@@ -237,17 +250,23 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 		return 0, 0, err
 	}
 	c.mu.Lock()
-	for _, r := range t.History {
-		if int(r.Version) == len(bi.history)+1 {
-			bi.history = append(bi.history, r)
-		}
-	}
+	bi.history = appendHistory(bi.history, t.History)
 	// Records are append-only and never mutated, so a capped slice
 	// shares the backing array safely.
 	hist := history(bi.history[:len(bi.history):len(bi.history)])
 	c.mu.Unlock()
 	rec := t.Record
 	off = rec.Offset
+
+	// Any failure after the ticket was assigned must tombstone the
+	// version: a leaked pending ticket would wedge the publication
+	// frontier (and thus every later writer) forever.
+	abort := func(cause error) error {
+		if abortErr := c.d.VM.Abort(c.node, blob, rec.Version); abortErr != nil {
+			return fmt.Errorf("%w (abort also failed: %v)", cause, abortErr)
+		}
+		return cause
+	}
 
 	// 2. Page contents. Boundary pages of unaligned real writes merge
 	// with their true predecessor version (page-level read-modify-
@@ -258,14 +277,14 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 	if data != nil {
 		pages, err = c.assemblePages(blob, rec, hist, data, ps)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, abort(err)
 		}
 	}
 
 	// 3. Placement.
 	placement, err := c.d.PM.Place(c.node, int(hi-lo), c.d.Opts.Replication)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, abort(err)
 	}
 	placeMap := make(map[int64][]cluster.NodeID, hi-lo)
 	for i := int64(0); i < hi-lo; i++ {
@@ -274,12 +293,7 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 
 	// 4. Scatter pages to providers (one logical transfer; the store
 	// operations carry the real or synthetic contents).
-	type put struct {
-		key  string
-		data []byte
-		size int64
-	}
-	perProv := make(map[cluster.NodeID][]put)
+	perProv := make(map[cluster.NodeID][]pagePut)
 	var total int64
 	for p := lo; p < hi; p++ {
 		key := pageKey(rec.Blob, rec.Version, p)
@@ -291,9 +305,259 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 		}
 		total += size * int64(len(placeMap[p]))
 		for _, prov := range placeMap[p] {
-			perProv[prov] = append(perProv[prov], put{key: key, data: content, size: size})
+			perProv[prov] = append(perProv[prov], pagePut{key: key, data: content, size: size})
 		}
 	}
+	if scErr := c.scatterPuts(perProv, total); scErr != nil {
+		return 0, 0, abort(scErr)
+	}
+
+	// 5. Metadata tree nodes into the DHT.
+	nodes := buildNodes(rec, hist, ps, placeMap)
+	if err := c.meta.BatchPut(nodes); err != nil {
+		return 0, 0, abort(err)
+	}
+
+	// 6. Publish; blocks until the version is globally visible.
+	if err := c.d.VM.Publish(c.node, blob, rec.Version); err != nil {
+		return 0, 0, err
+	}
+	return rec.Version, off, nil
+}
+
+// AppendBlock is one element of a batched append: real bytes, or a
+// synthetic length when Data is nil.
+type AppendBlock struct {
+	Data []byte
+	Size int64 // synthetic byte count; ignored when Data is non-nil
+}
+
+func (b AppendBlock) length() int64 {
+	if b.Data != nil {
+		return int64(len(b.Data))
+	}
+	return b.Size
+}
+
+// AppendBatch appends blocks back-to-back as consecutive versions,
+// amortizing the version-manager round trips across the whole batch:
+// one RequestTickets call assigns every version (contiguously — no
+// other writer interleaves), the pages of all blocks scatter in one
+// fan-out, the metadata trees go out in one DHT batch, and one
+// PublishBatch call rides the manager's group-commit queue. It returns
+// the versions published, in block order. When assembly, placement,
+// scatter or metadata fail, the whole batch is aborted and no version
+// is published (len(versions) == 0); when publication itself fails
+// partway (a member was tombstoned under us), the longest published
+// prefix is returned alongside the error.
+//
+// With Options.SerialPublish set the batch degrades to one write()
+// round per block — the A6 ablation baseline — and a failure then
+// leaves the leading blocks that already committed published.
+func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, error) {
+	if len(blocks) == 0 {
+		return nil, nil
+	}
+	synthetic := blocks[0].Data == nil
+	for _, b := range blocks {
+		if b.length() <= 0 {
+			return nil, fmt.Errorf("%w: length %d", ErrBadWrite, b.length())
+		}
+		if (b.Data == nil) != synthetic {
+			return nil, fmt.Errorf("%w: mixed real and synthetic blocks", ErrBadWrite)
+		}
+	}
+	if c.d.Opts.SerialPublish || len(blocks) == 1 {
+		var out []Version
+		for _, b := range blocks {
+			v, _, err := c.write(blob, 0, b.length(), b.Data, true)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+
+	bi, err := c.info(blob)
+	if err != nil {
+		return nil, err
+	}
+	ps := bi.pageSize
+
+	// 1. One ticket round trip for the whole batch.
+	intents := make([]WriteIntent, len(blocks))
+	for i, b := range blocks {
+		intents[i] = WriteIntent{Off: -1, Length: b.length()}
+	}
+	c.mu.Lock()
+	since := Version(len(bi.history))
+	c.mu.Unlock()
+	tickets, err := c.d.VM.RequestTickets(c.node, blob, intents, since)
+	if err != nil {
+		return nil, err
+	}
+	// Each ticket's history delta is a prefix of the last one's, so one
+	// pass over the last delta merges everything. The merge lands in a
+	// LOCAL snapshot, not the client's cache: the delta contains this
+	// batch's own (still pending) records, and caching them before
+	// publication would freeze their Aborted=false state — a failed
+	// batch would then permanently poison this client's boundary
+	// merges on the blob. The cache is updated only after the batch
+	// publishes; on failure the next ticket's delta re-delivers the
+	// records with their tombstones set.
+	lastDelta := tickets[len(tickets)-1].History
+	c.mu.Lock()
+	snap := history(bi.history[:len(bi.history):len(bi.history)])
+	c.mu.Unlock()
+	local := appendHistory(snap, lastDelta)
+	hist := local[:len(local):len(local)]
+
+	recs := make([]WriteRecord, len(tickets))
+	versions := make([]Version, len(tickets))
+	for i, t := range tickets {
+		recs[i] = t.Record
+		versions[i] = t.Record.Version
+	}
+	abortAll := func(cause error) error {
+		// Keep aborting past a failed Abort: stopping early would leave
+		// the remaining tickets pending forever and wedge the frontier.
+		var abortErr error
+		for _, v := range versions {
+			if err := c.d.VM.Abort(c.node, blob, v); err != nil && abortErr == nil {
+				abortErr = err
+			}
+		}
+		if abortErr != nil {
+			return fmt.Errorf("%w (abort also failed: %v)", cause, abortErr)
+		}
+		return cause
+	}
+
+	// 2. Page contents. The batch spans one contiguous byte range, so a
+	// single extended buffer — the merged sub-page prefix of the first
+	// block plus the concatenated payload — covers every page of every
+	// version; in-batch boundary pages never read each other through
+	// the store (which would deadlock on unpublished predecessors).
+	base := recs[0].Offset
+	alignedStart := base - base%ps
+	var ext []byte
+	if !synthetic {
+		total := int64(0)
+		for _, b := range blocks {
+			total += int64(len(b.Data))
+		}
+		ext = make([]byte, (base-alignedStart)+total)
+		if base > alignedStart {
+			if err := c.mergeFragment(blob, recs[0].Version, hist, alignedStart, alignedStart, base, ps, ext[:base-alignedStart]); err != nil {
+				return nil, abortAll(err)
+			}
+		}
+		at := base - alignedStart
+		for _, b := range blocks {
+			copy(ext[at:], b.Data)
+			at += int64(len(b.Data))
+		}
+	}
+
+	// 3. Placement for every page of every version.
+	totalPages := 0
+	for _, rec := range recs {
+		lo, hi := pageSpan(rec.Offset, rec.Length, ps)
+		totalPages += int(hi - lo)
+	}
+	placement, err := c.d.PM.Place(c.node, totalPages, c.d.Opts.Replication)
+	if err != nil {
+		return nil, abortAll(err)
+	}
+
+	// 4. One scatter fan-out for the whole batch.
+	perProv := make(map[cluster.NodeID][]pagePut)
+	var total int64
+	slot := 0
+	for _, rec := range recs {
+		lo, hi := pageSpan(rec.Offset, rec.Length, ps)
+		for p := lo; p < hi; p++ {
+			key := pageKey(rec.Blob, rec.Version, p)
+			size := pageExtent(p, ps, rec.SizeAfter)
+			var content []byte
+			if !synthetic {
+				from := p*ps - alignedStart
+				content = ext[from : from+size]
+			}
+			provs := placement[slot]
+			slot++
+			total += size * int64(len(provs))
+			for _, prov := range provs {
+				perProv[prov] = append(perProv[prov], pagePut{key: key, data: content, size: size})
+			}
+		}
+	}
+	if scErr := c.scatterPuts(perProv, total); scErr != nil {
+		return nil, abortAll(scErr)
+	}
+
+	// 5. Every version's metadata tree in one DHT batch. Ticket i's
+	// history delta already delivered the records of tickets 0..i-1, so
+	// borrow computation sees the in-batch predecessors.
+	nodes := make(map[string][]byte)
+	slot = 0
+	for _, rec := range recs {
+		lo, hi := pageSpan(rec.Offset, rec.Length, ps)
+		placeMap := make(map[int64][]cluster.NodeID, hi-lo)
+		for p := lo; p < hi; p++ {
+			placeMap[p] = placement[slot]
+			slot++
+		}
+		for k, v := range buildNodes(rec, hist, ps, placeMap) {
+			nodes[k] = v
+		}
+	}
+	if err := c.meta.BatchPut(nodes); err != nil {
+		return nil, abortAll(err)
+	}
+
+	// 6. One publish round trip; the group-commit drainer advances the
+	// frontier across the whole batch in one pass.
+	if err := c.d.VM.PublishBatch(c.node, blob, versions); err != nil {
+		// Publication failed partway: a member was tombstoned under
+		// us, which takes a foreign Abort of this client's pending
+		// ticket — nothing in the system issues one today. Every
+		// member is resolved (published or aborted); report the
+		// longest published prefix, matching the serial path's
+		// semantics and the caller's FIFO byte accounting. Members
+		// past the gap may also have published — they cannot be
+		// retracted — but the tombstone already left a hole in the
+		// byte stream, so the conservative prefix is the only count
+		// that never claims bytes a reader could miss.
+		n := 0
+		for _, v := range versions {
+			if _, gerr := c.d.VM.GetVersion(c.node, blob, v); gerr != nil {
+				break
+			}
+			n++
+		}
+		return versions[:n], err
+	}
+	c.mu.Lock()
+	bi.history = appendHistory(bi.history, lastDelta)
+	c.mu.Unlock()
+	return versions, nil
+}
+
+// pagePut is one page store operation of a write scatter.
+type pagePut struct {
+	key  string
+	data []byte
+	size int64
+}
+
+// scatterPuts pushes per-provider page batches concurrently as one
+// logical transfer (one RTT charge, one Scatter charge). fanOut joins
+// every worker before returning, so a failed scatter never races an
+// in-flight put; workers stop issuing new puts as soon as any provider
+// fails, and the first error is returned for the caller to abort on.
+func (c *Client) scatterPuts(perProv map[cluster.NodeID][]pagePut, total int64) error {
 	dests := sortedNodes(perProv)
 	c.d.Env.RTT(c.node, farthestNode(c.d.Env, c.node, dests))
 	c.d.Env.Scatter(c.node, dests, total)
@@ -304,9 +568,6 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 		defer scMu.Unlock()
 		return scErr != nil
 	}
-	// fanOut joins every worker before returning, so the abort below
-	// never races an in-flight put; workers stop issuing new puts as
-	// soon as any provider fails.
 	c.fanOut(dests, func(prov cluster.NodeID) {
 		pr := c.d.Providers[prov]
 		var err error
@@ -330,27 +591,7 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 			scMu.Unlock()
 		}
 	})
-	if scErr != nil {
-		if abortErr := c.d.VM.Abort(c.node, blob, rec.Version); abortErr != nil {
-			return 0, 0, fmt.Errorf("%w (abort also failed: %v)", scErr, abortErr)
-		}
-		return 0, 0, scErr
-	}
-
-	// 5. Metadata tree nodes into the DHT.
-	nodes := buildNodes(rec, hist, ps, placeMap)
-	if err := c.meta.BatchPut(nodes); err != nil {
-		if abortErr := c.d.VM.Abort(c.node, blob, rec.Version); abortErr != nil {
-			return 0, 0, fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
-		}
-		return 0, 0, err
-	}
-
-	// 6. Publish; blocks until the version is globally visible.
-	if err := c.d.VM.Publish(c.node, blob, rec.Version); err != nil {
-		return 0, 0, err
-	}
-	return rec.Version, off, nil
+	return scErr
 }
 
 // pageExtent returns how many bytes of page p exist in a blob of the
@@ -405,9 +646,9 @@ func (c *Client) assemblePages(blob BlobID, rec WriteRecord, hist history, data 
 }
 
 // mergeFragment fills dst with bytes [from, to) of page pStart as of
-// the latest version before v whose span intersects the fragment. It
-// waits for that version's publication (concurrent-append safety); if
-// no version ever wrote the fragment it stays zero.
+// the latest non-aborted version before v whose span intersects the
+// fragment. It waits for that version's publication (concurrent-append
+// safety); if no version ever wrote the fragment it stays zero.
 func (c *Client) mergeFragment(blob BlobID, v Version, hist history, pStart, from, to, ps int64, dst []byte) error {
 	for w := v - 1; w >= 1; w-- {
 		r, ok := hist.record(w)
@@ -424,6 +665,13 @@ func (c *Client) mergeFragment(blob BlobID, v Version, hist history, pStart, fro
 			return err
 		}
 		if _, err := c.readInto(blob, w, from, dst); err != nil {
+			if errors.Is(err, ErrAborted) {
+				// The cached record predates w's abort (history
+				// snapshots are immutable, so a tombstone set after
+				// caching is invisible here). Fall back to an older
+				// owner exactly as a fresh record would have.
+				continue
+			}
 			return fmt.Errorf("core: read-modify-write of page %d @v%d: %w", pStart/ps, w, err)
 		}
 		return nil

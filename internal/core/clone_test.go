@@ -3,7 +3,10 @@ package core
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
+
+	"repro/internal/cluster"
 )
 
 func TestCloneSharesDataCopyOnWrite(t *testing.T) {
@@ -125,6 +128,112 @@ func TestCloneValidation(t *testing.T) {
 	}
 	if _, err := c.Clone(404, 1); !errors.Is(err, ErrNoSuchBlob) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestCloneDuringConcurrentWrites clones a blob at a mid-history
+// version while writers keep publishing to the source: the clone must
+// be frozen at exactly the source snapshot it was taken from — none of
+// the concurrent traffic leaks in — and must then diverge
+// independently.
+func TestCloneDuringConcurrentWrites(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 64})
+	c := d.NewClient(0)
+	src, err := c.Create(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed some history so the clone point sits mid-stream.
+	base := bytes.Repeat([]byte("seed!"), 30)
+	pin, err := c.Write(src, 0, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Writers keep appending while the clone is taken.
+	const writers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := d.NewClient(cluster.NodeID(i + 1))
+			payload := bytes.Repeat([]byte{byte('a' + i)}, 90)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := w.Append(src, payload); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}()
+	}
+
+	// Snapshot the pinned version's bytes, then clone it mid-traffic.
+	want := make([]byte, len(base))
+	if _, err := c.Read(src, pin, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := c.Clone(src, pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, cs, err := c.Latest(clone)
+	if err != nil || cv != pin || cs != int64(len(base)) {
+		t.Fatalf("clone latest = v%d size %d, %v; want v%d size %d", cv, cs, err, pin, len(base))
+	}
+	got := make([]byte, len(base))
+	if _, err := c.Read(clone, LatestVersion, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("clone content differs from the pinned source snapshot")
+	}
+
+	// The clone diverges on its own version line while writers hammer
+	// the source.
+	if _, _, err := c.Append(clone, []byte("clone-only")); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+
+	// Re-reading the clone at the pinned version is still byte-stable,
+	// and the source never sees the clone's write.
+	if _, err := c.Read(clone, pin, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("clone snapshot changed after concurrent source writes")
+	}
+	_, size, err := c.Latest(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if _, err := c.Read(src, LatestVersion, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf, []byte("clone-only")) {
+		t.Fatal("source absorbed the clone's divergent write")
+	}
+	// And the source's own history stayed intact at the pin point.
+	if _, err := c.Read(src, pin, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("source snapshot at the clone point changed")
 	}
 }
 

@@ -232,3 +232,54 @@ func TestVersionManagerRecordsBatch(t *testing.T) {
 		t.Fatalf("unknown blob err = %v", err)
 	}
 }
+
+// TestAppendBatchFailureDoesNotPoisonClient is the regression test for
+// the stale-history bug: a failed batch must not leave its own
+// (tombstoned) records cached with Aborted=false, or every later
+// unaligned write whose boundary merge intersects them would fail with
+// ErrAborted forever.
+func TestAppendBatchFailureDoesNotPoisonClient(t *testing.T) {
+	d := newLocalDeployment(t, Options{PageSize: 512, ProviderNodes: []cluster.NodeID{1, 2}})
+	c := d.NewClient(0)
+	blob, err := c.Create(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(blob, 0, bytes.Repeat([]byte{0x11}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Providers {
+		p.SetDown(true)
+	}
+	if _, err := c.AppendBatch(blob, []AppendBlock{
+		{Data: bytes.Repeat([]byte{0x22}, 100)},
+		{Data: bytes.Repeat([]byte{0x33}, 100)},
+	}); err == nil {
+		t.Fatal("batch succeeded with all providers down")
+	}
+	for _, p := range d.Providers {
+		p.SetDown(false)
+	}
+	// The recovered client must append again: its boundary merge sits
+	// inside the failed batch's tombstoned span and must skip it.
+	if _, _, err := c.Append(blob, bytes.Repeat([]byte{0x44}, 100)); err != nil {
+		t.Fatalf("append after failed batch: %v", err)
+	}
+	// The tombstoned spans stay in the history (appends land past
+	// them), so the recovered blob is seed, a 200-byte zero hole where
+	// the aborted batch sat, then the new append — and crucially none
+	// of the aborted batch's bytes.
+	_, size, err := c.Latest(blob)
+	if err != nil || size != 400 {
+		t.Fatalf("Latest = size %d, %v; want 400", size, err)
+	}
+	buf := make([]byte, 400)
+	if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := append(bytes.Repeat([]byte{0x11}, 100), make([]byte, 200)...)
+	want = append(want, bytes.Repeat([]byte{0x44}, 100)...)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("content after recovery does not match (aborted batch leaked or merge lost bytes)")
+	}
+}

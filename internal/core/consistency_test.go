@@ -1,0 +1,462 @@
+// consistency_test.go is a deterministic randomized stress harness for
+// the version manager's snapshot guarantees: N concurrent writers issue
+// overlapping writes, appends, batched appends and aborts against one
+// shared blob in the Sim environment, and afterwards every published
+// version is checked against the invariants the paper's versioning
+// model promises:
+//
+//   - versions are dense and monotonic (record i is version i+1, sizes
+//     and capacities never shrink);
+//   - every published snapshot equals the deterministic replay of its
+//     write-record prefix over a naive byte-array model;
+//   - aborted tickets never become a readable snapshot (GetVersion,
+//     Read, Clone and Latest all refuse them);
+//   - AwaitPublished never returns before the publication frontier
+//     reaches the awaited version.
+//
+// The randomness is seeded and consumed only before the simulation
+// starts, so each seed drives a reproducible op mix; the invariants are
+// checked a-posteriori from the records the version manager hands out,
+// which makes them independent of scheduling order. Run under -race
+// (see the CI consistency step: go test -run Consistency -race -count=2).
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// consistencySeeds are the fixed seeds every harness mode runs under.
+var consistencySeeds = []int64{1, 2, 3, 5, 8}
+
+const (
+	opWrite = iota // random (possibly sparse, unaligned) write
+	opAppend
+	opBatch // batched append through Client.AppendBatch
+	opAbort // ticket requested and aborted before any data moves
+)
+
+type consistOp struct {
+	kind   int
+	off    int64   // opWrite only; opAbort uses -1 (append-style ticket)
+	length int64   // opWrite/opAppend/opAbort
+	sizes  []int64 // opBatch block lengths
+}
+
+// tickets returns how many versions the op consumes.
+func (o consistOp) tickets() int {
+	if o.kind == opBatch {
+		return len(o.sizes)
+	}
+	return 1
+}
+
+// genConsistOps builds each writer's deterministic op list.
+func genConsistOps(rng *rand.Rand, writers, opsPer int, withAborts bool, ps int64) [][]consistOp {
+	out := make([][]consistOp, writers)
+	randLen := func() int64 {
+		if rng.Intn(4) == 0 {
+			return ps * int64(1+rng.Intn(3)) // page-aligned length
+		}
+		return 1 + rng.Int63n(5*ps) // unaligned, may straddle pages
+	}
+	for w := range out {
+		ops := make([]consistOp, opsPer)
+		for i := range ops {
+			k := rng.Intn(100)
+			switch {
+			case withAborts && k < 25:
+				ops[i] = consistOp{kind: opAbort, off: -1, length: randLen()}
+			case k < 55:
+				off := rng.Int63n(40 * ps) // overlapping and sparse spans
+				if rng.Intn(3) == 0 {
+					off -= off % ps // sometimes page-aligned
+				}
+				ops[i] = consistOp{kind: opWrite, off: off, length: randLen()}
+			case k < 80:
+				ops[i] = consistOp{kind: opAppend, length: randLen()}
+			default:
+				sizes := make([]int64, 2+rng.Intn(3))
+				for j := range sizes {
+					sizes[j] = randLen()
+				}
+				ops[i] = consistOp{kind: opBatch, sizes: sizes}
+			}
+		}
+		out[w] = ops
+	}
+	return out
+}
+
+// consistData deterministically fills a payload so the replay model can
+// regenerate it from (writer, op, block) coordinates alone.
+func consistData(seed int64, w, op, blk int, length int64) []byte {
+	b := make([]byte, length)
+	for i := range b {
+		b[i] = byte(int64(i)*7 + seed*131 + int64(w)*31 + int64(op)*17 + int64(blk)*53 + 1)
+	}
+	return b
+}
+
+// published is one writer's record of a version it published.
+type publishedVersion struct {
+	v    Version
+	data []byte
+}
+
+// runConsistencySeed drives one seeded run and checks every invariant.
+func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish bool) {
+	t.Helper()
+	const (
+		writers = 5
+		opsPer  = 8
+		ps      = int64(128)
+	)
+	rng := rand.New(rand.NewSource(seed))
+	plans := genConsistOps(rng, writers, opsPer, withAborts, ps)
+	totalTickets := 0
+	for _, ops := range plans {
+		for _, op := range ops {
+			totalTickets += op.tickets()
+		}
+	}
+	// AwaitPublished probe targets, consumed by checker processes that
+	// race the writers.
+	probes := make([]Version, 8)
+	for i := range probes {
+		probes[i] = Version(1 + rng.Intn(totalTickets))
+	}
+	sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(12))
+	env := cluster.NewSim(net)
+	provs := make([]cluster.NodeID, 11)
+	for i := range provs {
+		provs[i] = cluster.NodeID(i + 1)
+	}
+	d, err := NewDeployment(env, Options{PageSize: ps, ProviderNodes: provs, SerialPublish: serialPublish})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results := make([][]publishedVersion, writers) // written only by writer w
+	failures := make([]int, writers)
+	var writersDone atomic.Bool
+	var blob BlobID
+	eng.Go(func() {
+		c0 := d.NewClient(0)
+		b, err := c0.Create(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		blob = b
+		wg := env.NewWaitGroup()
+		for w := 0; w < writers; w++ {
+			node := cluster.NodeID(w + 1)
+			wg.Go(func() {
+				c := d.NewClient(node)
+				for i, op := range plans[w] {
+					switch op.kind {
+					case opAbort:
+						// A writer that fails right after its ticket:
+						// nothing scattered, nothing published.
+						tk, err := d.VM.RequestTicket(node, blob, op.off, op.length, 0)
+						if err != nil {
+							t.Errorf("writer %d op %d: ticket: %v", w, i, err)
+							return
+						}
+						if err := d.VM.Abort(node, blob, tk.Record.Version); err != nil {
+							t.Errorf("writer %d op %d: abort: %v", w, i, err)
+							return
+						}
+					case opWrite, opAppend:
+						data := consistData(seed, w, i, 0, op.length)
+						var v Version
+						var err error
+						if op.kind == opWrite {
+							v, err = c.Write(blob, op.off, data)
+						} else {
+							v, _, err = c.Append(blob, data)
+						}
+						if err != nil {
+							// Only abort fallout may fail a write: a
+							// boundary merge that raced a tombstone.
+							if !withAborts {
+								t.Errorf("writer %d op %d: %v", w, i, err)
+								return
+							}
+							failures[w]++
+							continue
+						}
+						results[w] = append(results[w], publishedVersion{v: v, data: data})
+					case opBatch:
+						blocks := make([]AppendBlock, len(op.sizes))
+						for j, sz := range op.sizes {
+							blocks[j] = AppendBlock{Data: consistData(seed, w, i, j, sz)}
+						}
+						vs, err := c.AppendBatch(blob, blocks)
+						for j, v := range vs {
+							results[w] = append(results[w], publishedVersion{v: v, data: blocks[j].Data})
+						}
+						if err != nil {
+							if !withAborts {
+								t.Errorf("writer %d op %d: batch: %v", w, i, err)
+								return
+							}
+							failures[w] += len(blocks) - len(vs)
+						}
+					}
+				}
+			})
+		}
+		// AwaitPublished probes run concurrently with the writers: the
+		// call may block, but once it returns the frontier must have
+		// reached the awaited version. A probe target may never be
+		// assigned when batch fallout skips tickets (serial mode), so
+		// the retry loop gives up once the writers are done.
+		probeWG := env.NewWaitGroup()
+		for pi := 0; pi < 2; pi++ {
+			targets := probes[pi*len(probes)/2 : (pi+1)*len(probes)/2]
+			node := cluster.NodeID(6 + pi)
+			probeWG.Go(func() {
+				for _, v := range targets {
+					awaited := false
+					for !awaited {
+						if err := d.VM.AwaitPublished(node, blob, v); err == nil {
+							awaited = true
+							break
+						}
+						if writersDone.Load() {
+							break // v was never assigned
+						}
+						env.Sleep(time.Millisecond) // ticket not assigned yet
+					}
+					if !awaited {
+						continue
+					}
+					pub, err := d.VM.Published(node, blob)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if pub < v {
+						t.Errorf("AwaitPublished(%d) returned with frontier at %d", v, pub)
+					}
+				}
+			})
+		}
+		wg.Wait()
+		writersDone.Store(true)
+		probeWG.Wait()
+		total := 0
+		for _, f := range failures {
+			total += f
+		}
+		if !withAborts && total != 0 {
+			t.Errorf("%d writes failed in an abort-free run", total)
+		}
+		if total > 0 {
+			t.Logf("seed %d: %d writes failed as abort fallout", seed, total)
+		}
+		verifyConsistency(t, d, blob, totalTickets, results, withAborts)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// verifyConsistency checks the harness invariants from the version
+// manager's records and versioned reads. Runs inside the simulation.
+func verifyConsistency(t *testing.T, d *Deployment, blob BlobID, totalTickets int, results [][]publishedVersion, withAborts bool) {
+	t.Helper()
+	versionData := make(map[Version][]byte)
+	for _, rs := range results {
+		for _, r := range rs {
+			if _, dup := versionData[r.v]; dup {
+				t.Errorf("version %d published twice", r.v)
+			}
+			versionData[r.v] = r.data
+		}
+	}
+
+	// Every assigned ticket resolved: the frontier reached the last
+	// version (a leaked pending ticket would leave it short). The
+	// ticket count may run below the plan when serial-mode batch
+	// fallout skips blocks, but never above it.
+	pub, err := d.VM.Published(0, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.VM.mu.Lock()
+	assigned := len(d.VM.blobs[blob].records)
+	unresolved := len(d.VM.blobs[blob].pending)
+	d.VM.mu.Unlock()
+	if int(pub) != assigned || unresolved != 0 {
+		t.Fatalf("frontier at %d with %d tickets assigned and %d pending: ticket leaked", pub, assigned, unresolved)
+	}
+	recs, err := d.VM.Records(0, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) > totalTickets {
+		t.Fatalf("%d records exceed the planned %d tickets", len(recs), totalTickets)
+	}
+	if !withAborts && len(recs) != totalTickets {
+		t.Fatalf("%d records, want %d", len(recs), totalTickets)
+	}
+
+	// Dense, monotonic history.
+	prevSize := int64(0)
+	for i, rec := range recs {
+		if rec.Version != Version(i+1) {
+			t.Fatalf("record %d holds version %d: history not dense", i, rec.Version)
+		}
+		if rec.SizeAfter < prevSize {
+			t.Fatalf("v%d shrank the blob: %d -> %d", rec.Version, prevSize, rec.SizeAfter)
+		}
+		if rec.CapAfter != capacityPages(rec.SizeAfter, d.Opts.PageSize) {
+			t.Fatalf("v%d capacity %d inconsistent with size %d", rec.Version, rec.CapAfter, rec.SizeAfter)
+		}
+		prevSize = rec.SizeAfter
+		if data, ok := versionData[rec.Version]; ok {
+			if rec.Aborted {
+				t.Fatalf("v%d was published by a writer but is tombstoned", rec.Version)
+			}
+			if rec.Length != int64(len(data)) {
+				t.Fatalf("v%d length %d, writer sent %d bytes", rec.Version, rec.Length, len(data))
+			}
+		} else if !rec.Aborted {
+			t.Fatalf("v%d is published but no writer owns it", rec.Version)
+		}
+	}
+
+	rdr := d.NewClient(0)
+
+	// Aborted tickets never become readable, clonable, or latest.
+	for _, rec := range recs {
+		if !rec.Aborted {
+			continue
+		}
+		if _, err := d.VM.GetVersion(0, blob, rec.Version); !errors.Is(err, ErrAborted) {
+			t.Fatalf("GetVersion(aborted v%d) = %v, want ErrAborted", rec.Version, err)
+		}
+		if _, err := rdr.Read(blob, rec.Version, 0, make([]byte, 1)); !errors.Is(err, ErrAborted) {
+			t.Fatalf("Read(aborted v%d) = %v, want ErrAborted", rec.Version, err)
+		}
+		if _, err := d.VM.Clone(0, blob, rec.Version); !errors.Is(err, ErrAborted) {
+			t.Fatalf("Clone(aborted v%d) = %v, want ErrAborted", rec.Version, err)
+		}
+	}
+	if rec, ok, err := d.VM.LatestRecord(0, blob); err != nil {
+		t.Fatal(err)
+	} else if ok && rec.Aborted {
+		t.Fatalf("Latest resolved to tombstoned v%d", rec.Version)
+	}
+
+	// Snapshot replay. Without aborts every snapshot must equal the
+	// model; with aborts the replay holds for the abort-free prefix,
+	// and every published version must still read its own span back
+	// verbatim (a snapshot always contains its own write).
+	firstAbort := Version(totalTickets + 1)
+	for _, rec := range recs {
+		if rec.Aborted {
+			firstAbort = rec.Version
+			break
+		}
+	}
+	model := []byte{}
+	for _, rec := range recs {
+		v := rec.Version
+		if v < firstAbort {
+			model = applyModelWrite(model, rec.Offset, versionData[v], rec.SizeAfter)
+			buf := make([]byte, rec.SizeAfter)
+			n, err := rdr.Read(blob, v, 0, buf)
+			if err != nil {
+				t.Fatalf("read full snapshot v%d: %v", v, err)
+			}
+			if int64(n) != rec.SizeAfter {
+				t.Fatalf("snapshot v%d: read %d of %d bytes", v, n, rec.SizeAfter)
+			}
+			if !bytes.Equal(buf, model) {
+				t.Fatalf("snapshot v%d diverges from the replay of records 1..%d (first diff at %d)",
+					v, v, firstDiff(buf, model))
+			}
+		} else if data, ok := versionData[v]; ok {
+			buf := make([]byte, len(data))
+			if _, err := rdr.Read(blob, v, rec.Offset, buf); err != nil {
+				t.Fatalf("read own span of v%d: %v", v, err)
+			}
+			if !bytes.Equal(buf, data) {
+				t.Fatalf("v%d does not contain its own write (first diff at %d)", v, firstDiff(buf, data))
+			}
+		}
+	}
+	if !withAborts && int(firstAbort) != totalTickets+1 {
+		t.Fatalf("abort-free run produced tombstone at v%d", firstAbort)
+	}
+}
+
+// applyModelWrite replays one write record onto the byte-array model.
+func applyModelWrite(model []byte, off int64, data []byte, sizeAfter int64) []byte {
+	for int64(len(model)) < sizeAfter {
+		model = append(model, 0)
+	}
+	copy(model[off:], data)
+	return model
+}
+
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			return i
+		}
+	}
+	return len(a)
+}
+
+// TestConsistencyRandomConcurrentWriters: overlapping unaligned
+// writes, appends and batched appends with no failures — every
+// published snapshot must equal the deterministic replay.
+func TestConsistencyRandomConcurrentWriters(t *testing.T) {
+	for _, seed := range consistencySeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runConsistencySeed(t, seed, false, false)
+		})
+	}
+}
+
+// TestConsistencyRandomAbortingWriters mixes in writer failures that
+// tombstone tickets before any data moves: aborted versions must stay
+// unreadable while the surviving history keeps its guarantees.
+func TestConsistencyRandomAbortingWriters(t *testing.T) {
+	for _, seed := range consistencySeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runConsistencySeed(t, seed, true, false)
+		})
+	}
+}
+
+// TestConsistencySerialPublishMode re-runs the harness with the
+// group-commit pipeline disabled: the A6 ablation baseline must uphold
+// exactly the same invariants (the knob changes scheduling, never
+// outcomes).
+func TestConsistencySerialPublishMode(t *testing.T) {
+	for _, seed := range consistencySeeds[:2] {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runConsistencySeed(t, seed, false, true)
+			runConsistencySeed(t, seed, true, true)
+		})
+	}
+}

@@ -60,6 +60,12 @@ type Options struct {
 	// ablation baseline): page scatter and gather contact providers one
 	// at a time instead of fanning out concurrently.
 	SerialIO bool
+	// SerialPublish disables the version manager's group-commit
+	// pipeline and the batched ticket/publish client path (the A6
+	// ablation baseline): every version pays its own RequestTicket and
+	// Publish round trip, and the manager applies each call in its own
+	// lock acquisition and frontier pass.
+	SerialPublish bool
 }
 
 func (o *Options) fillDefaults() {
@@ -97,10 +103,12 @@ func NewDeployment(env cluster.Env, opts Options) (*Deployment, error) {
 	if len(opts.ProviderNodes) == 0 {
 		return nil, fmt.Errorf("core: deployment needs at least one provider node")
 	}
+	vm := NewVersionManager(env, opts.VMNode)
+	vm.SetSerialPublish(opts.SerialPublish)
 	d := &Deployment{
 		Env:       env,
 		Opts:      opts,
-		VM:        NewVersionManager(env, opts.VMNode),
+		VM:        vm,
 		PM:        NewProviderManager(env, opts.VMNode, opts.ProviderNodes, opts.Strategy),
 		Providers: make(map[cluster.NodeID]*Provider, len(opts.ProviderNodes)),
 		Meta:      dht.NewCluster(opts.MetaNodes, opts.MetaVNodes, opts.MetaReplication),

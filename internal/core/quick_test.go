@@ -1,9 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/cluster"
 )
 
 // TestQuickPageSpanInvariants: the page span always covers the byte
@@ -73,6 +77,142 @@ func TestQuickCanonicalRangeTree(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(23))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestQuickPageExtentMatchesNaive checks pageExtent against the
+// obvious reference: count the bytes b in [p*ps, (p+1)*ps) with
+// b < size. Covers pages entirely before, straddling, and entirely
+// past the end of the blob, including zero-size blobs.
+func TestQuickPageExtentMatchesNaive(t *testing.T) {
+	f := func(pRaw, sizeRaw uint16, psExp uint8) bool {
+		ps := int64(1) << (psExp%6 + 1) // 2 B .. 64 B, small enough to loop
+		p := int64(pRaw % 64)
+		size := int64(sizeRaw % 4096)
+		naive := int64(0)
+		for b := p * ps; b < (p+1)*ps; b++ {
+			if b < size {
+				naive++
+			}
+		}
+		return pageExtent(p, ps, size) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHistoryDeltaMatchesNaive checks blobState.historyDelta
+// against the reference filter "records with version in (since, v)",
+// including out-of-range and inverted bounds.
+func TestQuickHistoryDeltaMatchesNaive(t *testing.T) {
+	f := func(nRaw, sinceRaw, vRaw uint8) bool {
+		n := int(nRaw % 24)
+		b := &blobState{}
+		for i := 0; i < n; i++ {
+			b.records = append(b.records, WriteRecord{Version: Version(i + 1), Offset: int64(i) * 10, Length: 10})
+		}
+		since := Version(sinceRaw % 32)
+		v := Version(vRaw % 32)
+		var naive []WriteRecord
+		for _, rec := range b.records {
+			if rec.Version > since && rec.Version < v {
+				naive = append(naive, rec)
+			}
+		}
+		got := b.historyDelta(since, v)
+		if len(got) != len(naive) {
+			return false
+		}
+		for i := range got {
+			if got[i].Version != naive[i].Version {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000, Rand: rand.New(rand.NewSource(32))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWriteReadMatchesByteModel drives random write sequences —
+// arbitrary offsets and lengths, zero-length rejects, page-boundary
+// straddles, sparse holes, appends and batched appends — through a
+// real deployment and compares every snapshot against a naive byte
+// array. This is the end-to-end property check for mergeFragment and
+// assemblePages: every boundary merge must reproduce exactly the bytes
+// the model says were there.
+func TestQuickWriteReadMatchesByteModel(t *testing.T) {
+	const ps = int64(32)
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(40 + trial)))
+		d := newLocalDeployment(t, Options{PageSize: ps, ProviderNodes: []cluster.NodeID{1, 2, 3}})
+		c := d.NewClient(0)
+		blob, err := c.Create(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zero-length writes are rejected up front, with no version
+		// burned.
+		if _, err := c.Write(blob, 5, nil); !errors.Is(err, ErrBadWrite) {
+			t.Fatalf("zero-length write: %v", err)
+		}
+		if _, err := c.AppendBatch(blob, []AppendBlock{{Data: []byte("x")}, {Size: 0}}); !errors.Is(err, ErrBadWrite) {
+			t.Fatalf("zero-length batch block: %v", err)
+		}
+		var model []byte
+		apply := func(off int64, data []byte) {
+			for int64(len(model)) < off+int64(len(data)) {
+				model = append(model, 0)
+			}
+			copy(model[off:], data)
+		}
+		fill := func(n int64) []byte {
+			b := make([]byte, n)
+			rng.Read(b)
+			return b
+		}
+		for op := 0; op < 14; op++ {
+			switch rng.Intn(3) {
+			case 0: // write at a random (page-straddling, maybe sparse) offset
+				off := rng.Int63n(int64(len(model)) + 3*ps + 1)
+				data := fill(1 + rng.Int63n(4*ps))
+				if _, err := c.Write(blob, off, data); err != nil {
+					t.Fatalf("trial %d op %d: write: %v", trial, op, err)
+				}
+				apply(off, data)
+			case 1: // append
+				data := fill(1 + rng.Int63n(3*ps))
+				_, off, err := c.Append(blob, data)
+				if err != nil {
+					t.Fatalf("trial %d op %d: append: %v", trial, op, err)
+				}
+				if off != int64(len(model)) {
+					t.Fatalf("trial %d op %d: append landed at %d, model end %d", trial, op, off, len(model))
+				}
+				apply(off, data)
+			case 2: // batched append (unaligned prefix merge path)
+				blocks := make([]AppendBlock, 2+rng.Intn(3))
+				for i := range blocks {
+					blocks[i] = AppendBlock{Data: fill(1 + rng.Int63n(2*ps))}
+				}
+				if _, err := c.AppendBatch(blob, blocks); err != nil {
+					t.Fatalf("trial %d op %d: batch: %v", trial, op, err)
+				}
+				for _, b := range blocks {
+					apply(int64(len(model)), b.Data)
+				}
+			}
+			buf := make([]byte, len(model))
+			n, err := c.Read(blob, LatestVersion, 0, buf)
+			if err != nil {
+				t.Fatalf("trial %d op %d: read: %v", trial, op, err)
+			}
+			if n != len(model) || !bytes.Equal(buf, model) {
+				t.Fatalf("trial %d op %d: snapshot diverges from byte model (read %d of %d)", trial, op, n, len(model))
+			}
+		}
 	}
 }
 

@@ -3,6 +3,15 @@
 // per-blob write history concurrent metadata builders need, and
 // publishes versions in ticket order so readers always see a
 // consistent, totally ordered sequence of snapshots.
+//
+// Publication runs through a group-commit pipeline: Publish and Abort
+// calls are enqueued and a single drainer applies whole batches under
+// one lock acquisition, advancing each touched blob's published
+// frontier once per batch and waking publishers and AwaitPublished
+// waiters in one sweep. The batched RPCs (RequestTickets,
+// PublishBatch) let clients amortize the manager round trip across
+// many in-flight writes; SerialPublish restores the one-call-one-pass
+// behavior for the A6 ablation.
 package core
 
 import (
@@ -19,6 +28,10 @@ var (
 	ErrNoSuchVersion = errors.New("core: no such version")
 	ErrAborted       = errors.New("core: version aborted")
 	ErrBadWrite      = errors.New("core: invalid write request")
+	// ErrAlreadyPublished is returned by Abort when the target version
+	// has already been published: a visible snapshot can never be
+	// retracted.
+	ErrAlreadyPublished = errors.New("core: version already published")
 )
 
 // Ticket is the version manager's reply to a write intent: the assigned
@@ -33,6 +46,13 @@ type Ticket struct {
 // Ticket0 is the writer's own pending record.
 type Ticket0 = WriteRecord
 
+// WriteIntent describes one write of a batched ticket request: a byte
+// span at Off (negative requests an append at the current end).
+type WriteIntent struct {
+	Off    int64
+	Length int64
+}
+
 // VersionManager runs on one node and serializes version assignment
 // for all blobs of a deployment.
 type VersionManager struct {
@@ -42,6 +62,26 @@ type VersionManager struct {
 	mu     sync.Mutex
 	nextID BlobID
 	blobs  map[BlobID]*blobState
+
+	// Group-commit state: Publish/Abort requests queue here and a
+	// single drainer daemon applies them batch-wise. serial disables
+	// the queue (ablation A6) and restores per-call processing.
+	serial   bool
+	queue    []*pubReq
+	draining bool
+}
+
+// pubReq is one Publish or Abort routed through the group-commit
+// queue. The drainer fills err/wait/p and fires done; the enqueuer
+// then waits on wait (publishes only) for visibility.
+type pubReq struct {
+	blob  BlobID
+	v     Version
+	abort bool
+	done  cluster.Signal // fired once the drainer applied the request
+	err   error
+	wait  cluster.Signal // publish: visibility signal (nil if already resolved)
+	p     *pendingWrite  // publish: pending entry, for the post-wait abort check
 }
 
 type blobState struct {
@@ -72,6 +112,12 @@ func NewVersionManager(env cluster.Env, node cluster.NodeID) *VersionManager {
 
 // Node returns the hosting node.
 func (vm *VersionManager) Node() cluster.NodeID { return vm.node }
+
+// SetSerialPublish disables (true) or enables (false) the group-commit
+// publish pipeline. Serial mode processes every Publish/Abort in its
+// own lock acquisition and frontier pass — the A6 ablation baseline.
+// Call before concurrent use.
+func (vm *VersionManager) SetSerialPublish(serial bool) { vm.serial = serial }
 
 // CreateBlob registers a new blob with the given page size and returns
 // its id. Version 0 (empty) is immediately readable.
@@ -106,16 +152,60 @@ func (vm *VersionManager) PageSize(from cluster.NodeID, blob BlobID) (int64, err
 // (sinceVersion, assigned version), letting writers cache earlier
 // prefixes.
 func (vm *VersionManager) RequestTicket(from cluster.NodeID, blob BlobID, off, length int64, sinceVersion Version) (Ticket, error) {
+	ts, err := vm.RequestTickets(from, blob, []WriteIntent{{Off: off, Length: length}}, sinceVersion)
+	if err != nil {
+		return Ticket{}, err
+	}
+	return ts[0], nil
+}
+
+// RequestTickets assigns consecutive versions to a batch of writes in
+// one round trip. The versions are guaranteed contiguous — no other
+// writer's ticket interleaves — so batched appends land back-to-back.
+// Each returned ticket carries the history delta (sinceVersion,
+// assigned version), which for ticket i includes the records of
+// tickets 0..i-1 of the same batch. A bad intent fails the whole batch
+// before any version is assigned.
+func (vm *VersionManager) RequestTickets(from cluster.NodeID, blob BlobID, intents []WriteIntent, sinceVersion Version) ([]Ticket, error) {
+	if len(intents) == 0 {
+		return nil, nil
+	}
 	vm.env.RTT(from, vm.node)
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	b, ok := vm.blobs[blob]
 	if !ok {
-		return Ticket{}, fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
 	}
-	if length <= 0 {
-		return Ticket{}, fmt.Errorf("%w: length %d", ErrBadWrite, length)
+	for _, in := range intents {
+		if in.Length <= 0 {
+			return nil, fmt.Errorf("%w: length %d", ErrBadWrite, in.Length)
+		}
 	}
+	out := make([]Ticket, len(intents))
+	for i, in := range intents {
+		out[i] = Ticket{Record: vm.assignLocked(b, blob, in.Off, in.Length)}
+	}
+	// One shared history copy: records are dense (every version has a
+	// record), so ticket i's delta (sinceVersion, v_i) is a prefix of
+	// the last ticket's delta — sub-slice instead of copying K times.
+	last := out[len(out)-1].Record.Version
+	hist := b.historyDelta(sinceVersion, last)
+	for i := range out {
+		n := int(out[i].Record.Version-sinceVersion) - 1
+		if n < 0 {
+			n = 0
+		}
+		if n > len(hist) {
+			n = len(hist)
+		}
+		out[i].History = hist[:n:n]
+	}
+	return out, nil
+}
+
+// assignLocked appends the next version's record and pending entry.
+func (vm *VersionManager) assignLocked(b *blobState, blob BlobID, off, length int64) WriteRecord {
 	prevSize := int64(0)
 	if n := len(b.records); n > 0 {
 		prevSize = b.records[n-1].SizeAfter
@@ -137,8 +227,7 @@ func (vm *VersionManager) RequestTicket(from cluster.NodeID, blob BlobID, off, l
 	}
 	b.records = append(b.records, rec)
 	b.pending[rec.Version] = &pendingWrite{done: vm.env.NewSignal()}
-	hist := b.historyDelta(sinceVersion, rec.Version)
-	return Ticket{Record: rec, History: hist}, nil
+	return rec
 }
 
 // historyDelta copies records with versions in (since, v).
@@ -162,35 +251,116 @@ func (b *blobState) historyDelta(since, v Version) []WriteRecord {
 // Publish declares version v's data and metadata fully written. It
 // blocks until v actually becomes visible, which happens once every
 // earlier version has been published or aborted — the version
-// manager's total-order guarantee.
+// manager's total-order guarantee. In group-commit mode (the default)
+// the call is enqueued and applied by the batch drainer.
 func (vm *VersionManager) Publish(from cluster.NodeID, blob BlobID, v Version) error {
 	vm.env.RTT(from, vm.node)
+	if vm.serial {
+		return vm.publishSerial(blob, v)
+	}
+	req := &pubReq{blob: blob, v: v, done: vm.env.NewSignal()}
+	vm.enqueue([]*pubReq{req})
+	return vm.awaitPublishReq(req)
+}
+
+// PublishBatch publishes several versions of one blob in a single
+// round trip: the whole batch enters the group-commit queue together,
+// so the drainer marks every version ready and advances the frontier
+// in one pass. It blocks until every version in the batch is visible
+// (or resolved as aborted) and returns the first error.
+func (vm *VersionManager) PublishBatch(from cluster.NodeID, blob BlobID, vs []Version) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	vm.env.RTT(from, vm.node)
+	if vm.serial {
+		// Mark every member ready before waiting on any visibility:
+		// waiting inline would deadlock an out-of-order batch on its
+		// own unmarked members.
+		type memberWait struct {
+			v    Version
+			wait cluster.Signal
+			p    *pendingWrite
+		}
+		var first error
+		var waits []memberWait
+		for _, v := range vs {
+			wait, p, err := vm.publishSerialStart(blob, v)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				continue
+			}
+			if wait != nil {
+				waits = append(waits, memberWait{v: v, wait: wait, p: p})
+			}
+		}
+		for _, m := range waits {
+			m.wait.Wait()
+			if err := vm.checkPublished(blob, m.v, m.p); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	reqs := make([]*pubReq, len(vs))
+	for i, v := range vs {
+		reqs[i] = &pubReq{blob: blob, v: v, done: vm.env.NewSignal()}
+	}
+	vm.enqueue(reqs)
+	var first error
+	for _, req := range reqs {
+		if err := vm.awaitPublishReq(req); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// publishSerial is the ablation (SerialPublish) path: one lock
+// acquisition and one frontier pass per call.
+func (vm *VersionManager) publishSerial(blob BlobID, v Version) error {
+	wait, p, err := vm.publishSerialStart(blob, v)
+	if err != nil || wait == nil {
+		return err
+	}
+	wait.Wait()
+	return vm.checkPublished(blob, v, p)
+}
+
+// publishSerialStart marks v ready under its own lock acquisition and
+// frontier pass (the serial ablation's cost model); waiting for
+// visibility is the caller's job, so batches can mark every member
+// before blocking on any of them.
+func (vm *VersionManager) publishSerialStart(blob BlobID, v Version) (cluster.Signal, *pendingWrite, error) {
 	vm.mu.Lock()
+	defer vm.mu.Unlock()
 	b, ok := vm.blobs[blob]
 	if !ok {
-		vm.mu.Unlock()
-		return fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+		return nil, nil, fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
 	}
-	p, ok := b.pending[v]
-	if !ok {
-		defer vm.mu.Unlock()
-		if v == 0 || int(v) > len(b.records) {
-			return fmt.Errorf("%w: %d@%d", ErrNoSuchVersion, blob, v)
-		}
-		if b.records[int(v)-1].Aborted {
-			return fmt.Errorf("%w: %d@%d", ErrAborted, blob, v)
-		}
-		return nil // already published
+	wait, p, err := vm.applyPublishLocked(b, blob, v)
+	if err == nil && wait != nil {
+		vm.advanceLocked(b)
 	}
-	if p.aborted {
-		vm.mu.Unlock()
-		return fmt.Errorf("%w: %d@%d", ErrAborted, blob, v)
+	return wait, p, err
+}
+
+// awaitPublishReq waits for the drainer to apply a queued publish and
+// then for the version's visibility.
+func (vm *VersionManager) awaitPublishReq(req *pubReq) error {
+	req.done.Wait()
+	if req.err != nil || req.wait == nil {
+		return req.err
 	}
-	p.ready = true
-	done := p.done
-	vm.advanceLocked(b)
-	vm.mu.Unlock()
-	done.Wait()
+	req.wait.Wait()
+	return vm.checkPublished(req.blob, req.v, req.p)
+}
+
+// checkPublished reports whether a version whose visibility signal
+// fired was published or aborted underneath its publisher.
+func (vm *VersionManager) checkPublished(blob BlobID, v Version, p *pendingWrite) error {
 	vm.mu.Lock()
 	aborted := p.aborted
 	vm.mu.Unlock()
@@ -200,27 +370,131 @@ func (vm *VersionManager) Publish(from cluster.NodeID, blob BlobID, v Version) e
 	return nil
 }
 
+// applyPublishLocked marks v ready. A nil wait with nil error means
+// the version was already published (idempotent re-publish).
+func (vm *VersionManager) applyPublishLocked(b *blobState, blob BlobID, v Version) (wait cluster.Signal, p *pendingWrite, err error) {
+	p, ok := b.pending[v]
+	if !ok {
+		if v == 0 || int(v) > len(b.records) {
+			return nil, nil, fmt.Errorf("%w: %d@%d", ErrNoSuchVersion, blob, v)
+		}
+		if b.records[int(v)-1].Aborted {
+			return nil, nil, fmt.Errorf("%w: %d@%d", ErrAborted, blob, v)
+		}
+		return nil, nil, nil // already published
+	}
+	if p.aborted {
+		return nil, nil, fmt.Errorf("%w: %d@%d", ErrAborted, blob, v)
+	}
+	p.ready = true
+	return p.done, p, nil
+}
+
 // Abort tombstones a pending version (writer failure). Its span remains
 // in the history — later concurrent writers may already have borrowed
 // node keys referencing it — but it is skipped in the publication order
-// and never becomes the visible snapshot.
+// and never becomes the visible snapshot. Aborting an already aborted
+// version is a no-op; an unknown version returns ErrNoSuchVersion and a
+// published one ErrAlreadyPublished (a visible snapshot cannot be
+// retracted). In group-commit mode the call rides the same queue as
+// Publish.
 func (vm *VersionManager) Abort(from cluster.NodeID, blob BlobID, v Version) error {
 	vm.env.RTT(from, vm.node)
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	b, ok := vm.blobs[blob]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+	if vm.serial {
+		vm.mu.Lock()
+		defer vm.mu.Unlock()
+		b, ok := vm.blobs[blob]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+		}
+		err := vm.applyAbortLocked(b, blob, v)
+		if err == nil {
+			vm.advanceLocked(b)
+		}
+		return err
 	}
+	req := &pubReq{blob: blob, v: v, abort: true, done: vm.env.NewSignal()}
+	vm.enqueue([]*pubReq{req})
+	req.done.Wait()
+	return req.err
+}
+
+// applyAbortLocked tombstones v if it is still pending.
+func (vm *VersionManager) applyAbortLocked(b *blobState, blob BlobID, v Version) error {
 	p, ok := b.pending[v]
 	if !ok {
-		return fmt.Errorf("%w: %d@%d (not pending)", ErrNoSuchVersion, blob, v)
+		if v == 0 || int(v) > len(b.records) {
+			return fmt.Errorf("%w: %d@%d", ErrNoSuchVersion, blob, v)
+		}
+		if b.records[int(v)-1].Aborted {
+			return nil // already aborted: idempotent
+		}
+		return fmt.Errorf("%w: %d@%d", ErrAlreadyPublished, blob, v)
+	}
+	if p.aborted {
+		return nil
 	}
 	p.aborted = true
 	b.records[int(v)-1].Aborted = true
 	p.done.Fire()
-	vm.advanceLocked(b)
 	return nil
+}
+
+// enqueue adds requests to the group-commit queue and ensures a
+// drainer is running. The requests enter the queue together, so one
+// drainer pass applies the whole batch.
+func (vm *VersionManager) enqueue(reqs []*pubReq) {
+	vm.mu.Lock()
+	vm.queue = append(vm.queue, reqs...)
+	start := !vm.draining
+	if start {
+		vm.draining = true
+	}
+	vm.mu.Unlock()
+	if start {
+		vm.env.Daemon(vm.drainLoop)
+	}
+}
+
+// drainLoop is the group-commit drainer: it repeatedly swaps out the
+// whole queue and applies it under a single lock acquisition — every
+// publish marked ready, every abort tombstoned, then one frontier
+// advance (and thus one waiter wake-up sweep) per touched blob. It
+// exits when the queue empties; the next enqueue restarts it.
+func (vm *VersionManager) drainLoop() {
+	for {
+		vm.mu.Lock()
+		if len(vm.queue) == 0 {
+			vm.draining = false
+			vm.mu.Unlock()
+			return
+		}
+		batch := vm.queue
+		vm.queue = nil
+		touched := make(map[BlobID]*blobState)
+		for _, req := range batch {
+			b, ok := vm.blobs[req.blob]
+			if !ok {
+				req.err = fmt.Errorf("%w: %d", ErrNoSuchBlob, req.blob)
+				continue
+			}
+			if req.abort {
+				req.err = vm.applyAbortLocked(b, req.blob, req.v)
+			} else {
+				req.wait, req.p, req.err = vm.applyPublishLocked(b, req.blob, req.v)
+			}
+			if req.err == nil {
+				touched[req.blob] = b
+			}
+		}
+		for _, b := range touched {
+			vm.advanceLocked(b)
+		}
+		vm.mu.Unlock()
+		for _, req := range batch {
+			req.done.Fire()
+		}
+	}
 }
 
 // advanceLocked publishes ready versions in order, skipping aborted

@@ -194,6 +194,246 @@ func TestGetVersionBounds(t *testing.T) {
 	}
 }
 
+// TestAbortTypedErrors: Abort's full outcome table. Unknown versions
+// are ErrNoSuchVersion, published ones ErrAlreadyPublished (a visible
+// snapshot cannot be retracted), pending ones abort (idempotently),
+// and unknown blobs are ErrNoSuchBlob — never a silent success or a
+// misleading "no such version" for a version that plainly exists.
+func TestAbortTypedErrors(t *testing.T) {
+	setup := func(t *testing.T) (*VersionManager, BlobID) {
+		t.Helper()
+		vm := localVM()
+		id, err := vm.CreateBlob(0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// v1: published. v2: pending. v3: aborted.
+		for i := 0; i < 3; i++ {
+			if _, err := vm.RequestTicket(0, id, -1, 50, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := vm.Publish(0, id, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Abort(0, id, 3); err != nil {
+			t.Fatal(err)
+		}
+		return vm, id
+	}
+	for _, tc := range []struct {
+		name string
+		blob BlobID // 0 = the real blob
+		v    Version
+		want error // nil = success
+	}{
+		{name: "unknown blob", blob: 999, v: 1, want: ErrNoSuchBlob},
+		{name: "version zero", v: 0, want: ErrNoSuchVersion},
+		{name: "never assigned", v: 99, want: ErrNoSuchVersion},
+		{name: "already published", v: 1, want: ErrAlreadyPublished},
+		{name: "pending", v: 2, want: nil},
+		{name: "already aborted", v: 3, want: nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			vm, id := setup(t)
+			if tc.blob != 0 {
+				id = tc.blob
+			}
+			err := vm.Abort(0, id, tc.v)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Abort = %v, want success", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Abort = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// The pending abort above is also effective, not just error-free.
+	vm, id := setup(t)
+	if err := vm.Abort(0, id, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.GetVersion(0, id, 2); !errors.Is(err, ErrNoSuchVersion) && !errors.Is(err, ErrAborted) {
+		t.Fatalf("GetVersion after abort = %v", err)
+	}
+	// Idempotent second abort of the same (now tombstoned) version.
+	if err := vm.Abort(0, id, 2); err != nil {
+		t.Fatalf("re-abort = %v, want nil", err)
+	}
+}
+
+// TestRequestTicketsBatch: one round trip assigns contiguous versions
+// with per-ticket history deltas, appends stack their offsets, and a
+// bad intent fails the whole batch before any version is burned.
+func TestRequestTicketsBatch(t *testing.T) {
+	vm := localVM()
+	id, _ := vm.CreateBlob(0, 100)
+	if _, err := vm.RequestTicket(0, id, 0, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := vm.RequestTickets(0, id, []WriteIntent{
+		{Off: -1, Length: 50},
+		{Off: -1, Length: 70},
+		{Off: 30, Length: 10},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("%d tickets, want 3", len(ts))
+	}
+	// Contiguous versions 2,3,4; appends stack back-to-back.
+	for i, want := range []struct {
+		v    Version
+		off  int64
+		size int64
+	}{{2, 100, 150}, {3, 150, 220}, {4, 30, 220}} {
+		rec := ts[i].Record
+		if rec.Version != want.v || rec.Offset != want.off || rec.SizeAfter != want.size {
+			t.Fatalf("ticket %d = %+v, want v%d off %d size %d", i, rec, want.v, want.off, want.size)
+		}
+	}
+	// Ticket i's history delta includes the batch's earlier tickets.
+	if len(ts[0].History) != 1 || ts[0].History[0].Version != 1 {
+		t.Fatalf("ticket 0 history = %+v", ts[0].History)
+	}
+	if len(ts[2].History) != 3 || ts[2].History[2].Version != 3 {
+		t.Fatalf("ticket 2 history = %+v", ts[2].History)
+	}
+
+	// A bad length rejects the whole batch atomically.
+	if _, err := vm.RequestTickets(0, id, []WriteIntent{{Off: -1, Length: 10}, {Off: 0, Length: 0}}, 0); !errors.Is(err, ErrBadWrite) {
+		t.Fatalf("bad batch err = %v", err)
+	}
+	ts2, err := vm.RequestTickets(0, id, []WriteIntent{{Off: -1, Length: 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts2[0].Record.Version != 5 {
+		t.Fatalf("version after rejected batch = %d, want 5 (no version burned)", ts2[0].Record.Version)
+	}
+	if _, err := vm.RequestTickets(0, 999, []WriteIntent{{Off: -1, Length: 1}}, 0); !errors.Is(err, ErrNoSuchBlob) {
+		t.Fatalf("unknown blob err = %v", err)
+	}
+	// Empty batches are a no-op, not a panic.
+	if ts, err := vm.RequestTickets(0, id, nil, 0); err != nil || len(ts) != 0 {
+		t.Fatalf("empty batch = %v, %v", ts, err)
+	}
+}
+
+// TestPublishBatchGroupCommit: a whole batch becomes visible in order
+// through one call, interleaved with a concurrent single publisher,
+// and the frontier advances across the batch in one drainer pass.
+func TestPublishBatchGroupCommit(t *testing.T) {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(4))
+	env := cluster.NewSim(net)
+	vm := NewVersionManager(env, 0)
+	eng.Go(func() {
+		id, _ := vm.CreateBlob(1, 100)
+		ts, err := vm.RequestTickets(1, id, []WriteIntent{
+			{Off: -1, Length: 10}, {Off: -1, Length: 10}, {Off: -1, Length: 10},
+		}, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		single, err := vm.RequestTicket(2, id, -1, 10, 0) // v4
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wg := env.NewWaitGroup()
+		wg.Go(func() {
+			// v4 publishes first but must wait for the batch.
+			if err := vm.Publish(2, id, single.Record.Version); err != nil {
+				t.Error(err)
+			}
+			pub, _ := vm.Published(2, id)
+			if pub < single.Record.Version {
+				t.Errorf("v4 visible with frontier at %d", pub)
+			}
+		})
+		wg.Go(func() {
+			env.Sleep(time.Second)
+			vs := []Version{ts[0].Record.Version, ts[1].Record.Version, ts[2].Record.Version}
+			if err := vm.PublishBatch(1, id, vs); err != nil {
+				t.Error(err)
+			}
+			pub, _ := vm.Published(1, id)
+			if pub < vs[2] {
+				t.Errorf("batch returned with frontier at %d, want >= %d", pub, vs[2])
+			}
+		})
+		wg.Wait()
+		v, size, err := vm.Latest(1, id)
+		if err != nil || v != 4 || size != 40 {
+			t.Errorf("Latest = %d/%d, %v", v, size, err)
+		}
+		// Re-publishing an already published batch is idempotent.
+		if err := vm.PublishBatch(1, id, []Version{1, 2, 3}); err != nil {
+			t.Errorf("re-publish batch: %v", err)
+		}
+		// Empty batches are a no-op.
+		if err := vm.PublishBatch(1, id, nil); err != nil {
+			t.Errorf("empty batch: %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublishBatchWithAbortedMember: a batch containing a tombstoned
+// version reports the abort while still publishing the live members.
+func TestPublishBatchWithAbortedMember(t *testing.T) {
+	vm := localVM()
+	id, _ := vm.CreateBlob(0, 100)
+	for i := 0; i < 3; i++ {
+		vm.RequestTicket(0, id, -1, 10, 0)
+	}
+	if err := vm.Abort(0, id, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.PublishBatch(0, id, []Version{1, 2, 3}); !errors.Is(err, ErrAborted) {
+		t.Fatalf("batch with aborted member = %v, want ErrAborted", err)
+	}
+	v, _, err := vm.Latest(0, id)
+	if err != nil || v != 3 {
+		t.Fatalf("Latest = %d, %v; want 3 (live members published)", v, err)
+	}
+}
+
+// TestSerialPublishModeEquivalence: with SetSerialPublish the same
+// sequences produce identical outcomes (the knob changes scheduling,
+// never semantics).
+func TestSerialPublishModeEquivalence(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		vm := localVM()
+		vm.SetSerialPublish(serial)
+		id, _ := vm.CreateBlob(0, 100)
+		ts, err := vm.RequestTickets(0, id, []WriteIntent{{Off: -1, Length: 25}, {Off: -1, Length: 25}}, 0)
+		if err != nil {
+			t.Fatalf("serial=%v: %v", serial, err)
+		}
+		// Publish in reverse ticket order: both modes must mark every
+		// member before waiting, or the batch would deadlock on itself.
+		if err := vm.PublishBatch(0, id, []Version{ts[1].Record.Version, ts[0].Record.Version}); err != nil {
+			t.Fatalf("serial=%v: %v", serial, err)
+		}
+		v, size, err := vm.Latest(0, id)
+		if err != nil || v != 2 || size != 50 {
+			t.Fatalf("serial=%v: Latest = %d/%d, %v", serial, v, size, err)
+		}
+		if err := vm.Abort(0, id, 1); !errors.Is(err, ErrAlreadyPublished) {
+			t.Fatalf("serial=%v: abort published = %v", serial, err)
+		}
+	}
+}
+
 func TestEmptyBlobLatest(t *testing.T) {
 	vm := localVM()
 	id, _ := vm.CreateBlob(0, 100)

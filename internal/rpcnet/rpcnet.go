@@ -92,6 +92,50 @@ func (s *Service) Write(args *WriteArgs, reply *WriteReply) error {
 	return err
 }
 
+// MaxVecChunks bounds the chunk count of one vectored write.
+const MaxVecChunks = 16
+
+// WriteVecArgs appends several chunks through a handle in one round
+// trip — the wire-level face of the batched commit pipeline: the BSFS
+// writer behind the handle queues the chunks' blocks and publishes
+// them through the version manager's group-commit path.
+type WriteVecArgs struct {
+	Handle uint64
+	Chunks [][]byte
+}
+
+// WriteVecReply reports the total bytes accepted across the chunks.
+type WriteVecReply struct{ N int64 }
+
+// WriteVec appends every chunk in order through an open handle,
+// stopping at the first failure. net/rpc drops the reply when a
+// handler errors, so a mid-batch error loses the accepted-byte count:
+// callers must treat a failed vectored write as indeterminate (the
+// writer behind the handle is poisoned anyway — see bsfs's writer
+// error contract).
+func (s *Service) WriteVec(args *WriteVecArgs, reply *WriteVecReply) error {
+	if len(args.Chunks) > MaxVecChunks {
+		return fmt.Errorf("rpcnet: %d chunks exceed max %d", len(args.Chunks), MaxVecChunks)
+	}
+	for _, c := range args.Chunks {
+		if len(c) > MaxChunk {
+			return fmt.Errorf("rpcnet: chunk %d exceeds max %d", len(c), MaxChunk)
+		}
+	}
+	w, err := s.writer(args.Handle)
+	if err != nil {
+		return err
+	}
+	for _, c := range args.Chunks {
+		n, err := w.Write(c)
+		reply.N += int64(n)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // CloseArgs closes a write handle.
 type CloseArgs struct{ Handle uint64 }
 
@@ -271,19 +315,23 @@ func (c *Client) stream(path string, app bool, data []byte) error {
 	if err := c.rpc.Call("BSFS.Open", &OpenArgs{Path: path, Append: app}, &open); err != nil {
 		return err
 	}
-	for off := 0; off < len(data); off += MaxChunk {
-		end := off + MaxChunk
-		if end > len(data) {
-			end = len(data)
+	// Batch up to MaxVecChunks chunks per vectored call, amortizing the
+	// RPC round trip the same way the server-side pipeline amortizes
+	// version-manager round trips.
+	for off := 0; off < len(data); {
+		var chunks [][]byte
+		for len(chunks) < MaxVecChunks && off < len(data) {
+			end := off + MaxChunk
+			if end > len(data) {
+				end = len(data)
+			}
+			chunks = append(chunks, data[off:end])
+			off = end
 		}
-		var wr WriteReply
-		if err := c.rpc.Call("BSFS.Write", &WriteArgs{Handle: open.Handle, Data: data[off:end]}, &wr); err != nil {
+		var wr WriteVecReply
+		if err := c.rpc.Call("BSFS.WriteVec", &WriteVecArgs{Handle: open.Handle, Chunks: chunks}, &wr); err != nil {
 			return err
 		}
-	}
-	if len(data) == 0 {
-		var wr WriteReply
-		_ = wr
 	}
 	var cl CloseReply
 	return c.rpc.Call("BSFS.Close", &CloseArgs{Handle: open.Handle}, &cl)

@@ -154,3 +154,58 @@ func TestEmptyFile(t *testing.T) {
 		t.Fatalf("empty get = %v, %v", got, err)
 	}
 }
+
+// TestWriteVecBatchedChunks drives the vectored write RPC directly:
+// many chunks land through one round trip and read back in order.
+func TestWriteVecBatchedChunks(t *testing.T) {
+	c := startServer(t)
+	var open OpenReply
+	if err := c.rpc.Call("BSFS.Open", &OpenArgs{Path: "/vec/f"}, &open); err != nil {
+		t.Fatal(err)
+	}
+	var chunks [][]byte
+	var want []byte
+	for i := 0; i < 5; i++ {
+		chunk := bytes.Repeat([]byte{byte('a' + i)}, 1000+i)
+		chunks = append(chunks, chunk)
+		want = append(want, chunk...)
+	}
+	var wr WriteVecReply
+	if err := c.rpc.Call("BSFS.WriteVec", &WriteVecArgs{Handle: open.Handle, Chunks: chunks}, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.N != int64(len(want)) {
+		t.Fatalf("WriteVec accepted %d bytes, want %d", wr.N, len(want))
+	}
+	var cl CloseReply
+	if err := c.rpc.Call("BSFS.Close", &CloseArgs{Handle: open.Handle}, &cl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("/vec/f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("vectored write round trip mismatch")
+	}
+
+	// Limits are enforced: too many chunks and oversized chunks reject.
+	var open2 OpenReply
+	if err := c.rpc.Call("BSFS.Open", &OpenArgs{Path: "/vec/limits"}, &open2); err != nil {
+		t.Fatal(err)
+	}
+	many := make([][]byte, MaxVecChunks+1)
+	for i := range many {
+		many[i] = []byte("x")
+	}
+	if err := c.rpc.Call("BSFS.WriteVec", &WriteVecArgs{Handle: open2.Handle, Chunks: many}, &wr); err == nil {
+		t.Fatal("oversized chunk count accepted")
+	}
+	if err := c.rpc.Call("BSFS.WriteVec", &WriteVecArgs{Handle: open2.Handle, Chunks: [][]byte{make([]byte, MaxChunk+1)}}, &wr); err == nil {
+		t.Fatal("oversized chunk accepted")
+	}
+	// Unknown handles are typed errors, not panics.
+	if err := c.rpc.Call("BSFS.WriteVec", &WriteVecArgs{Handle: 9999, Chunks: [][]byte{[]byte("y")}}, &wr); err == nil {
+		t.Fatal("unknown handle accepted")
+	}
+}
