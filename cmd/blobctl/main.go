@@ -10,6 +10,8 @@
 //	blobctl ls /data
 //	blobctl versions /data/input
 //	blobctl stat /data/input
+//	blobctl shards                           # version-manager tier topology
+//	blobctl shards /data/input               # which shard owns this file
 //	blobctl mv /data/input /data/renamed
 //	blobctl rm /data/renamed
 package main
@@ -32,6 +34,7 @@ commands:
   ls <dir>              list a directory
   stat <path>           show file metadata
   versions <path>       list a file's snapshots
+  shards [<path>]       show the version-manager tier (and a file's owning shard)
   mkdir <dir>           create a directory
   mv <old> <new>        rename
   rm <path>             delete`)
@@ -117,6 +120,22 @@ func main() {
 		}
 		for _, v := range vs {
 			fmt.Println(v)
+		}
+	case "shards":
+		if len(args) > 1 {
+			usage()
+		}
+		path := ""
+		if len(args) == 1 {
+			path = args[0]
+		}
+		sr, err := c.Shards(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("shards: %d\nnodes:  %v\n", sr.Count, sr.Nodes)
+		if path != "" {
+			fmt.Printf("file:   %s\nblob:   %d\nshard:  %d\n", path, sr.Blob, sr.Shard)
 		}
 	case "mkdir":
 		if len(args) != 1 {

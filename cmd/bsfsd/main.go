@@ -1,14 +1,17 @@
-// Command bsfsd hosts a BSFS deployment (BlobSeer version manager,
-// provider manager, providers, metadata DHT, and the BSFS namespace
-// manager) and serves the file system to remote clients over TCP.
-// Pair it with cmd/blobctl.
+// Command bsfsd hosts a BSFS deployment (BlobSeer version-manager
+// tier, provider manager, providers, metadata DHT, and the BSFS
+// namespace manager) and serves the file system to remote clients over
+// TCP. Pair it with cmd/blobctl.
 //
 // With -data, provider pages are persisted to write-ahead logs under
-// the given directory and survive restarts.
+// the given directory and survive restarts. With -vm-shards N, version
+// management is partitioned per blob across N independent shards
+// (blobctl's `shards` command shows the tier and any file's owner).
 //
 // Usage:
 //
 //	bsfsd -listen :7700 -providers 4 -page 262144 -data /var/lib/bsfsd
+//	bsfsd -listen :7700 -providers 8 -vm-shards 4
 package main
 
 import (
@@ -33,17 +36,29 @@ func main() {
 		dataDir   = flag.String("data", "", "directory for durable page logs (empty = in-memory)")
 		inflight  = flag.Int("inflight", 0, "writer commit-pipeline depth in blocks (0 = default, negative = synchronous)")
 		serialPub = flag.Bool("serial-publish", false, "disable version-manager group commit and batched publishes (debug baseline)")
+		vmShards  = flag.Int("vm-shards", 1, "version-manager shard count (blobs partition across shards by id)")
 	)
 	flag.Parse()
+	if *vmShards < 1 {
+		*vmShards = 1
+	}
 
-	env := cluster.NewLocal(*providers+1, 0)
+	// Node 0 hosts the masters (shard 0, provider manager, namespace),
+	// nodes 1..providers the page providers, and any extra shards get
+	// their own nodes after the providers.
+	env := cluster.NewLocal(*providers+*vmShards, 0)
 	nodes := make([]cluster.NodeID, *providers)
 	for i := range nodes {
 		nodes[i] = cluster.NodeID(i + 1)
 	}
+	vmNodes := make([]cluster.NodeID, *vmShards)
+	for i := 1; i < *vmShards; i++ {
+		vmNodes[i] = cluster.NodeID(*providers + i)
+	}
 	dep, err := core.NewDeployment(env, core.Options{
 		PageSize:      *pageSize,
 		Replication:   *replicas,
+		VMNodes:       vmNodes,
 		ProviderNodes: nodes,
 		Provider:      core.ProviderConfig{Dir: *dataDir},
 		SerialPublish: *serialPub,
@@ -58,8 +73,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("bsfsd: %v", err)
 	}
-	fmt.Printf("bsfsd: serving BSFS on %s (%d providers, page %d, block %d, replicas %d)\n",
-		l.Addr(), *providers, *pageSize, *blockSize, *replicas)
+	fmt.Printf("bsfsd: serving BSFS on %s (%d providers, page %d, block %d, replicas %d, vm shards %d)\n",
+		l.Addr(), *providers, *pageSize, *blockSize, *replicas, *vmShards)
 	if err := rpcnet.Serve(l, rpcnet.NewService(svc.NewFS(0))); err != nil {
 		log.Fatalf("bsfsd: %v", err)
 	}

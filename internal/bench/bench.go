@@ -86,6 +86,15 @@ type StorageOpts struct {
 	// MaxInFlightBlocks overrides the BSFS writer pipeline depth
 	// (0 keeps the bsfs default; ignored with SerialDataPath).
 	MaxInFlightBlocks int
+	// VMShards is the version-manager shard count (0/1 = the paper's
+	// single centralized manager on node 0; more spreads shards over
+	// the storage nodes and partitions blobs across them by id).
+	VMShards int
+	// VMServiceTime models each version-manager shard's per-RPC
+	// processing occupancy (requests to one shard queue for this long
+	// on its processor). 0 disables; the X5/A7 shard experiments set it
+	// to make the version-manager tier the measured bottleneck.
+	VMServiceTime time.Duration
 }
 
 func (o *StorageOpts) fillDefaults() {
@@ -152,10 +161,23 @@ func NewTestbed(spec ClusterSpec, opts StorageOpts) (*Testbed, error) {
 		if opts.LocalFirstPlacement {
 			strategy = core.NewLocalFirst(nodes)
 		}
+		// Version-manager shards: shard 0 on the master node (node 0,
+		// the paper's placement), extra shards spread evenly over the
+		// storage nodes.
+		shards := opts.VMShards
+		if shards < 1 {
+			shards = 1
+		}
+		vmNodes := []cluster.NodeID{0}
+		for i := 1; i < shards; i++ {
+			vmNodes = append(vmNodes, nodes[(i*len(nodes))/shards])
+		}
 		dep, err := core.NewDeployment(env, core.Options{
 			PageSize:      opts.PageSize,
 			Replication:   opts.Replication,
 			VMNode:        0,
+			VMNodes:       vmNodes,
+			VMServiceTime: opts.VMServiceTime,
 			ProviderNodes: nodes,
 			MetaNodes:     meta,
 			Strategy:      strategy,

@@ -1,6 +1,7 @@
-// sweep.go defines the named experiments (E1..E5, X1..X3, A1..A6) as
-// client-count sweeps over both storage systems — the figures and
-// tables of the paper's evaluation, regenerated.
+// sweep.go defines the named experiments (E1..E5, X1..X5, A1..A7) as
+// parameter sweeps over both storage systems — the figures and
+// tables of the paper's evaluation, regenerated, plus the extension
+// and ablation studies this repository adds.
 package bench
 
 import (
@@ -175,6 +176,43 @@ var Experiments = []Experiment{
 		},
 	},
 	{
+		ID:    "x5",
+		Title: "X5: sharded version manager (aggregate multi-blob publish throughput vs shard count)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			opts.fillDefaults()
+			// The sweep axis is the shard count, not the client count:
+			// a fixed multi-blob writer fleet drives the tier at every
+			// shard width. The run itself asserts the tentpole claim —
+			// 4 shards must out-publish the centralized baseline.
+			var pts []Point
+			var one, four float64
+			for _, sh := range []int{1, 2, 4, 8} {
+				res, err := RunShardPublish(ShardOpts{
+					Shards:  sh,
+					Spec:    opts.Spec,
+					Storage: StorageOpts{MemCapacity: opts.MemCapacity, Replication: opts.Replication},
+				})
+				if err != nil {
+					return fmt.Errorf("bench: x5 shards=%d: %w", sh, err)
+				}
+				fmt.Fprintf(w, "x5 shards=%d: %d versions published, %.1f versions/s\n",
+					sh, res.Versions, res.VersionsPerSec)
+				switch sh {
+				case 1:
+					one = res.VersionsPerSec
+				case 4:
+					four = res.VersionsPerSec
+				}
+				pts = append(pts, res.Point)
+			}
+			if four <= one {
+				return fmt.Errorf("bench: x5 sharding did not scale: 4 shards %.1f <= 1 shard %.1f versions/s", four, one)
+			}
+			WritePointsTable(w, "X5: multi-blob publish throughput vs version-manager shards", pts)
+			return nil
+		},
+	},
+	{
 		ID:    "a1",
 		Title: "A1 ablation: BlobSeer striping vs HDFS-style local-first placement (read side)",
 		Run: func(opts SweepOpts, w io.Writer) error {
@@ -309,6 +347,33 @@ var Experiments = []Experiment{
 				all = append(all, batched.Point, serial.Point)
 			}
 			WritePointsTable(w, "A6: group-commit ablation (shared-blob publish)", all)
+			return nil
+		},
+	},
+	{
+		ID:    "a7",
+		Title: "A7 ablation: version-manager tier sharded vs centralized (multi-blob publish)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			opts.fillDefaults()
+			var all []Point
+			for _, writers := range []int{8, 32, 64} {
+				sharded, single, err := RunShardAblation(ShardOpts{
+					Writers: writers,
+					Spec:    opts.Spec,
+					Storage: StorageOpts{MemCapacity: opts.MemCapacity, Replication: opts.Replication},
+				})
+				if err != nil {
+					// Includes the sim assertion: the sharded tier must
+					// not publish slower than the single-shard baseline.
+					return fmt.Errorf("bench: a7 writers=%d: %w", writers, err)
+				}
+				fmt.Fprintf(w, "a7 writers=%d: sharded %.1f versions/s, single %.1f versions/s (%.2fx)\n",
+					writers, sharded.VersionsPerSec, single.VersionsPerSec,
+					sharded.VersionsPerSec/single.VersionsPerSec)
+				single.Point.Experiment = "A7-single-shard"
+				all = append(all, sharded.Point, single.Point)
+			}
+			WritePointsTable(w, "A7: sharding ablation (multi-blob publish)", all)
 			return nil
 		},
 	},

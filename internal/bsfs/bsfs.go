@@ -142,6 +142,22 @@ func (f *FS) Append(path string) (fsapi.Writer, error) {
 	return f.newWriter(path, blob), nil
 }
 
+// VMShardNodes describes the version-manager tier behind this file
+// system: the shard hosting nodes in shard-index order (one entry for
+// a paper-style centralized deployment).
+func (f *FS) VMShardNodes() []cluster.NodeID { return f.svc.dep.VM.Nodes() }
+
+// ShardOf reports which version-manager shard owns a file: the blob id
+// behind the path and its shard index (id mod shard count — the same
+// pure routing function every client uses).
+func (f *FS) ShardOf(path string) (core.BlobID, int, error) {
+	blob, err := f.blobOf(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	return blob, f.svc.dep.VM.ShardIndex(blob), nil
+}
+
 func (f *FS) blobOf(path string) (core.BlobID, error) {
 	f.rtt()
 	payload, err := f.svc.ns.Payload(path)

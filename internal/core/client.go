@@ -149,6 +149,11 @@ func appendHistory(h history, delta []WriteRecord) history {
 // Node returns the node this client runs on.
 func (c *Client) Node() cluster.NodeID { return c.node }
 
+// vm resolves the version-manager shard owning a blob. The shard index
+// is encoded in the blob id (id mod shard count), so routing is local
+// arithmetic — the client never pays a lookup round trip.
+func (c *Client) vm(blob BlobID) *VersionManager { return c.d.VM.Shard(blob) }
+
 // Create registers a new blob with the given page size (0 uses the
 // deployment default).
 func (c *Client) Create(pageSize int64) (BlobID, error) {
@@ -172,7 +177,7 @@ func (c *Client) info(blob BlobID) (*blobInfo, error) {
 	if ok {
 		return bi, nil
 	}
-	ps, err := c.d.VM.PageSize(c.node, blob)
+	ps, err := c.vm(blob).PageSize(c.node, blob)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +203,7 @@ func (c *Client) PageSize(blob BlobID) (int64, error) {
 
 // Latest returns the newest published version and the blob size at it.
 func (c *Client) Latest(blob BlobID) (Version, int64, error) {
-	return c.d.VM.Latest(c.node, blob)
+	return c.vm(blob).Latest(c.node, blob)
 }
 
 // Write stores data at offset off, producing and publishing a new
@@ -245,7 +250,7 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 	c.mu.Lock()
 	since := Version(len(bi.history))
 	c.mu.Unlock()
-	t, err := c.d.VM.RequestTicket(c.node, blob, reqOff, length, since)
+	t, err := c.vm(blob).RequestTicket(c.node, blob, reqOff, length, since)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -262,7 +267,7 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 	// version: a leaked pending ticket would wedge the publication
 	// frontier (and thus every later writer) forever.
 	abort := func(cause error) error {
-		if abortErr := c.d.VM.Abort(c.node, blob, rec.Version); abortErr != nil {
+		if abortErr := c.vm(blob).Abort(c.node, blob, rec.Version); abortErr != nil {
 			return fmt.Errorf("%w (abort also failed: %v)", cause, abortErr)
 		}
 		return cause
@@ -319,7 +324,7 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 	}
 
 	// 6. Publish; blocks until the version is globally visible.
-	if err := c.d.VM.Publish(c.node, blob, rec.Version); err != nil {
+	if err := c.vm(blob).Publish(c.node, blob, rec.Version); err != nil {
 		return 0, 0, err
 	}
 	return rec.Version, off, nil
@@ -393,7 +398,7 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 	c.mu.Lock()
 	since := Version(len(bi.history))
 	c.mu.Unlock()
-	tickets, err := c.d.VM.RequestTickets(c.node, blob, intents, since)
+	tickets, err := c.vm(blob).RequestTickets(c.node, blob, intents, since)
 	if err != nil {
 		return nil, err
 	}
@@ -424,7 +429,7 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 		// the remaining tickets pending forever and wedge the frontier.
 		var abortErr error
 		for _, v := range versions {
-			if err := c.d.VM.Abort(c.node, blob, v); err != nil && abortErr == nil {
+			if err := c.vm(blob).Abort(c.node, blob, v); err != nil && abortErr == nil {
 				abortErr = err
 			}
 		}
@@ -519,7 +524,7 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 
 	// 6. One publish round trip; the group-commit drainer advances the
 	// frontier across the whole batch in one pass.
-	if err := c.d.VM.PublishBatch(c.node, blob, versions); err != nil {
+	if err := c.vm(blob).PublishBatch(c.node, blob, versions); err != nil {
 		// Publication failed partway: a member was tombstoned under
 		// us, which takes a foreign Abort of this client's pending
 		// ticket — nothing in the system issues one today. Every
@@ -532,7 +537,7 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 		// that never claims bytes a reader could miss.
 		n := 0
 		for _, v := range versions {
-			if _, gerr := c.d.VM.GetVersion(c.node, blob, v); gerr != nil {
+			if _, gerr := c.vm(blob).GetVersion(c.node, blob, v); gerr != nil {
 				break
 			}
 			n++
@@ -543,6 +548,61 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 	bi.history = appendHistory(bi.history, lastDelta)
 	c.mu.Unlock()
 	return versions, nil
+}
+
+// BlobAppend names one blob's block batch within a cross-blob append.
+type BlobAppend struct {
+	Blob   BlobID
+	Blocks []AppendBlock
+}
+
+// AppendMany appends batches to many blobs in one call, grouping the
+// work by version-manager shard: each shard's blobs are driven by one
+// worker (a shard serializes its own requests anyway), and the shard
+// groups proceed concurrently — the client-side face of the sharded
+// tier, where aggregate publish throughput scales with the number of
+// shards touched. Results align with reqs: out[i] holds the versions
+// published for reqs[i] (possibly a prefix on failure, matching
+// AppendBatch), and the first error encountered is returned after
+// every group has finished.
+func (c *Client) AppendMany(reqs []BlobAppend) ([][]Version, error) {
+	out := make([][]Version, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	groups := make(map[int][]int) // shard index -> indices into reqs
+	for i, req := range reqs {
+		s := c.d.VM.ShardIndex(req.Blob)
+		groups[s] = append(groups[s], i)
+	}
+	var mu sync.Mutex
+	var first error
+	var workers []func()
+	for _, idxs := range groups {
+		workers = append(workers, func() {
+			for _, i := range idxs {
+				vs, err := c.AppendBatch(reqs[i].Blob, reqs[i].Blocks)
+				mu.Lock()
+				out[i] = vs
+				if err != nil && first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}
+		})
+	}
+	if c.d.Opts.SerialIO || len(workers) == 1 {
+		for _, w := range workers {
+			w()
+		}
+	} else {
+		wg := c.d.Env.NewWaitGroup()
+		for _, w := range workers {
+			wg.Go(w)
+		}
+		wg.Wait()
+	}
+	return out, first
 }
 
 // pagePut is one page store operation of a write scatter.
@@ -661,7 +721,7 @@ func (c *Client) mergeFragment(blob BlobID, v Version, hist history, pStart, fro
 		if r.Aborted {
 			continue // tombstoned writer; fall back to an older owner
 		}
-		if err := c.d.VM.AwaitPublished(c.node, blob, w); err != nil {
+		if err := c.vm(blob).AwaitPublished(c.node, blob, w); err != nil {
 			return err
 		}
 		if _, err := c.readInto(blob, w, from, dst); err != nil {
@@ -935,9 +995,9 @@ func (c *Client) PageLocations(blob BlobID, v Version, off, length int64) ([]Pag
 // version); ok is false when the blob is empty.
 func (c *Client) resolveVersion(blob BlobID, v Version) (WriteRecord, bool, error) {
 	if v == LatestVersion {
-		return c.d.VM.LatestRecord(c.node, blob)
+		return c.vm(blob).LatestRecord(c.node, blob)
 	}
-	rec, err := c.d.VM.GetVersion(c.node, blob, v)
+	rec, err := c.vm(blob).GetVersion(c.node, blob, v)
 	if err != nil {
 		return WriteRecord{}, false, err
 	}
@@ -949,7 +1009,7 @@ func (c *Client) resolveVersion(blob BlobID, v Version) (WriteRecord, bool, erro
 // identical to source@v and diverges independently.
 func (c *Client) Clone(source BlobID, v Version) (BlobID, error) {
 	if v == LatestVersion {
-		rec, ok, err := c.d.VM.LatestRecord(c.node, source)
+		rec, ok, err := c.vm(source).LatestRecord(c.node, source)
 		if err != nil {
 			return 0, err
 		}
@@ -962,7 +1022,7 @@ func (c *Client) Clone(source BlobID, v Version) (BlobID, error) {
 	if err != nil {
 		return 0, err
 	}
-	ps, err := c.d.VM.PageSize(c.node, id)
+	ps, err := c.vm(id).PageSize(c.node, id)
 	if err != nil {
 		return 0, err
 	}

@@ -11,9 +11,13 @@
 //     load-balancing strategy;
 //   - metadata providers store versioned segment-tree nodes in a
 //     distributed hash table (package dht);
-//   - a centralized version manager assigns version numbers and
-//     publishes snapshots in a total order, which is what keeps heavy
-//     concurrent writes consistent without locking the data path.
+//   - a version-manager tier assigns version numbers and publishes
+//     snapshots in a per-blob total order, which is what keeps heavy
+//     concurrent writes consistent without locking the data path. The
+//     paper runs this as a single centralized node; this repository
+//     partitions it per blob across Options.VMNodes (see shard.go) so
+//     publish throughput scales past one node, while a single-shard
+//     deployment behaves exactly like the paper's.
 //
 // Deployment wires these services onto the nodes of a cluster.Env, and
 // Client implements the user-facing operations: create, read a byte
@@ -35,8 +39,22 @@ type Options struct {
 	PageSize int64
 	// Replication is the page replica count.
 	Replication int
-	// VMNode hosts the version manager and provider manager.
+	// VMNode hosts the provider manager and — when VMNodes is empty —
+	// the single version-manager shard. Kept as the one-shard
+	// compatibility alias for VMNodes.
 	VMNode cluster.NodeID
+	// VMNodes hosts the version-manager shards, one per entry: blobs
+	// are partitioned across them by id (shard = id mod len(VMNodes)),
+	// and each shard runs its own blob table, group-commit drainer and
+	// publication frontiers. Empty means the single shard on VMNode.
+	VMNodes []cluster.NodeID
+	// VMServiceTime models each shard's per-RPC processing occupancy
+	// in the simulated environment: requests to one shard queue for
+	// this long on its (single-threaded) processor. 0 — the default,
+	// and the only sensible value in the Local env, where Sleep burns
+	// real time — disables the model. The X5 experiment sets it to make
+	// the version-manager tier the measured bottleneck.
+	VMServiceTime time.Duration
 	// ProviderNodes host page providers.
 	ProviderNodes []cluster.NodeID
 	// MetaNodes host the metadata DHT (defaults to ProviderNodes).
@@ -72,6 +90,9 @@ func (o *Options) fillDefaults() {
 	if o.PageSize <= 0 {
 		o.PageSize = 256 << 10
 	}
+	if len(o.VMNodes) == 0 {
+		o.VMNodes = []cluster.NodeID{o.VMNode}
+	}
 	if o.Replication < 1 {
 		o.Replication = 1
 	}
@@ -88,9 +109,11 @@ func (o *Options) fillDefaults() {
 
 // Deployment is a running BlobSeer service fleet.
 type Deployment struct {
-	Env       cluster.Env
-	Opts      Options
-	VM        *VersionManager
+	Env  cluster.Env
+	Opts Options
+	// VM is the version-manager tier: the router over the shards on
+	// Opts.VMNodes (a single shard by default).
+	VM        *VersionRouter
 	PM        *ProviderManager
 	Providers map[cluster.NodeID]*Provider
 	Meta      *dht.Cluster
@@ -103,8 +126,9 @@ func NewDeployment(env cluster.Env, opts Options) (*Deployment, error) {
 	if len(opts.ProviderNodes) == 0 {
 		return nil, fmt.Errorf("core: deployment needs at least one provider node")
 	}
-	vm := NewVersionManager(env, opts.VMNode)
+	vm := NewVersionRouter(env, opts.VMNodes)
 	vm.SetSerialPublish(opts.SerialPublish)
+	vm.SetServiceTime(opts.VMServiceTime)
 	d := &Deployment{
 		Env:       env,
 		Opts:      opts,

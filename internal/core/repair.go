@@ -295,8 +295,11 @@ func (r *Repairer) LastSweep() (RepairStats, error) {
 }
 
 // SweepOnce repairs the latest snapshot of every blob in the
-// deployment, aggregating the stats. Per-blob errors abort the sweep;
-// lost pages do not (they are reported in the stats).
+// deployment, aggregating the stats. The work list is the version
+// router's merged cross-shard blob enumeration, so a multi-shard tier
+// is swept completely — every shard's blobs, in ascending id order.
+// Per-blob errors abort the sweep; lost pages do not (they are
+// reported in the stats).
 func (r *Repairer) SweepOnce() (RepairStats, error) {
 	var st RepairStats
 	for _, blob := range r.d.VM.Blobs(r.cl.node) {

@@ -1,0 +1,266 @@
+// shard_test.go covers the sharded version-manager tier: the pure
+// blob-id routing function, per-shard stride allocation, single-shard
+// identity with the paper's centralized manager, cross-shard blob
+// enumeration (and the repair sweep over it), clone shard affinity,
+// the modeled per-RPC service occupancy, and an end-to-end multi-shard
+// write/read through the client.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func localShardedDeployment(t *testing.T, shards int) *Deployment {
+	t.Helper()
+	env := cluster.NewLocal(8, 0)
+	vmNodes := make([]cluster.NodeID, shards)
+	for i := range vmNodes {
+		vmNodes[i] = cluster.NodeID(i)
+	}
+	d, err := NewDeployment(env, Options{
+		PageSize:      128,
+		ProviderNodes: []cluster.NodeID{1, 2, 3},
+		VMNodes:       vmNodes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// TestSingleShardRoutingIdentity: a one-shard tier is the paper's
+// centralized manager — every blob routes to shard 0 and ids come out
+// as the dense sequence 1, 2, 3, ...
+func TestSingleShardRoutingIdentity(t *testing.T) {
+	d := localShardedDeployment(t, 1)
+	if n := d.VM.NumShards(); n != 1 {
+		t.Fatalf("NumShards = %d, want 1", n)
+	}
+	for _, id := range []BlobID{1, 2, 3, 17, 1 << 40} {
+		if s := d.VM.ShardIndex(id); s != 0 {
+			t.Fatalf("ShardIndex(%d) = %d in a single-shard tier", id, s)
+		}
+		if d.VM.Shard(id) != d.VM.Shards()[0] {
+			t.Fatalf("Shard(%d) is not the sole shard", id)
+		}
+	}
+	c := d.NewClient(0)
+	for want := BlobID(1); want <= 3; want++ {
+		id, err := c.Create(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != want {
+			t.Fatalf("Create #%d returned id %d: single-shard allocation must stay dense", want, id)
+		}
+	}
+}
+
+// TestShardStrideAllocation: with S shards, CreateBlob round-robins
+// over them and every id encodes its owner (id mod S), with per-shard
+// ids striding by S.
+func TestShardStrideAllocation(t *testing.T) {
+	const shards = 4
+	d := localShardedDeployment(t, shards)
+	c := d.NewClient(0)
+	perShard := make(map[int][]BlobID)
+	for i := 0; i < 12; i++ {
+		id, err := c.Create(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := d.VM.ShardIndex(id)
+		if got := int(id % shards); got != idx {
+			t.Fatalf("blob %d: ShardIndex %d but id mod %d = %d", id, idx, shards, got)
+		}
+		if d.VM.Shard(id).ShardIndex() != idx {
+			t.Fatalf("blob %d routed to shard %d, want %d", id, d.VM.Shard(id).ShardIndex(), idx)
+		}
+		perShard[idx] = append(perShard[idx], id)
+	}
+	if len(perShard) != shards {
+		t.Fatalf("12 creations landed on %d of %d shards", len(perShard), shards)
+	}
+	for idx, ids := range perShard {
+		for i := 1; i < len(ids); i++ {
+			if ids[i] != ids[i-1]+shards {
+				t.Fatalf("shard %d ids %v do not stride by %d", idx, ids, shards)
+			}
+		}
+	}
+}
+
+// TestShardedWriteReadRoundTrip: blobs on different shards accept
+// writes and serve reads independently through one client.
+func TestShardedWriteReadRoundTrip(t *testing.T) {
+	d := localShardedDeployment(t, 2)
+	c := d.NewClient(1)
+	payloads := map[BlobID][]byte{}
+	for i := 0; i < 4; i++ {
+		id, err := c.Create(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte{byte('a' + i)}, 300+i*17)
+		if _, err := c.Write(id, 0, data); err != nil {
+			t.Fatalf("write blob %d: %v", id, err)
+		}
+		payloads[id] = data
+	}
+	seen := map[int]bool{}
+	for id, want := range payloads {
+		seen[d.VM.ShardIndex(id)] = true
+		buf := make([]byte, len(want))
+		if _, err := c.Read(id, LatestVersion, 0, buf); err != nil {
+			t.Fatalf("read blob %d: %v", id, err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("blob %d read back wrong bytes", id)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("4 blobs touched %d shards, want 2", len(seen))
+	}
+}
+
+// TestCloneStaysOnSourceShard: a clone's id is allocated from its
+// source's shard sequence, so the copied records stay shard-local and
+// routing stays pure.
+func TestCloneStaysOnSourceShard(t *testing.T) {
+	d := localShardedDeployment(t, 3)
+	c := d.NewClient(1)
+	var blobs []BlobID
+	for i := 0; i < 3; i++ {
+		id, err := c.Create(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write(id, 0, []byte("snapshot me")); err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, id)
+	}
+	for _, src := range blobs {
+		cl, err := c.Clone(src, LatestVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.VM.ShardIndex(cl) != d.VM.ShardIndex(src) {
+			t.Fatalf("clone %d of blob %d changed shard: %d -> %d",
+				cl, src, d.VM.ShardIndex(src), d.VM.ShardIndex(cl))
+		}
+		buf := make([]byte, len("snapshot me"))
+		if _, err := c.Read(cl, LatestVersion, 0, buf); err != nil {
+			t.Fatalf("read clone %d: %v", cl, err)
+		}
+	}
+}
+
+// TestBlobsMergedAcrossShards: the router's Blobs is the ascending
+// merge of every shard's (sparse, strided) id list — and the sweep the
+// repairer runs over it visits every shard's blobs.
+func TestBlobsMergedAcrossShards(t *testing.T) {
+	d := localShardedDeployment(t, 3)
+	c := d.NewClient(1)
+	var want []BlobID
+	for i := 0; i < 7; i++ {
+		id, err := c.Create(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write(id, 0, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, id)
+	}
+	got := d.VM.Blobs(0)
+	if len(got) != len(want) {
+		t.Fatalf("Blobs returned %d ids, want %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("Blobs not ascending: %v", got)
+		}
+	}
+	inList := map[BlobID]bool{}
+	for _, id := range got {
+		inList[id] = true
+	}
+	for _, id := range want {
+		if !inList[id] {
+			t.Fatalf("blob %d missing from merged enumeration %v", id, got)
+		}
+	}
+	st, err := d.Repair.SweepOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PagesScanned < len(want) {
+		t.Fatalf("cross-shard sweep scanned %d pages for %d one-page blobs", st.PagesScanned, len(want))
+	}
+}
+
+// TestVersionManagerBlobsSparseIDs: a shard's Blobs enumeration must
+// come from its blob table, not a dense range scan — with stride
+// allocation the range would skip every foreign id and, worse, any id
+// past a gap.
+func TestVersionManagerBlobsSparseIDs(t *testing.T) {
+	vm := NewVersionManagerShard(cluster.NewLocal(4, 0), 0, 2, 5)
+	var want []BlobID
+	for i := 0; i < 4; i++ {
+		id, err := vm.CreateBlob(1, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, id)
+	}
+	got := vm.Blobs(1)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Blobs = %v, want %v", got, want)
+	}
+}
+
+// TestServiceTimeQueuesRequests: with VMServiceTime set, concurrent
+// RPCs to one shard serialize on its modeled processor; K requests
+// arriving together take at least K*svc of virtual time to clear.
+func TestServiceTimeQueuesRequests(t *testing.T) {
+	const svc = 10 * time.Millisecond
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(4))
+	env := cluster.NewSim(net)
+	vm := NewVersionManager(env, 0)
+	vm.SetServiceTime(svc)
+	var elapsed time.Duration
+	eng.Go(func() {
+		id, err := vm.CreateBlob(1, 128)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start := env.Now()
+		wg := env.NewWaitGroup()
+		for i := 0; i < 4; i++ {
+			wg.Go(func() {
+				if _, err := vm.PageSize(1, id); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		wg.Wait()
+		elapsed = env.Now() - start
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 4*svc {
+		t.Fatalf("4 concurrent RPCs cleared in %v, want >= %v of modeled occupancy", elapsed, 4*svc)
+	}
+}

@@ -1,8 +1,15 @@
-// version.go implements BlobSeer's centralized version manager: the
-// entity that assigns version numbers to writes (tickets), keeps the
-// per-blob write history concurrent metadata builders need, and
+// version.go implements one shard of BlobSeer's version-manager tier:
+// the entity that assigns version numbers to writes (tickets), keeps
+// the per-blob write history concurrent metadata builders need, and
 // publishes versions in ticket order so readers always see a
 // consistent, totally ordered sequence of snapshots.
+//
+// The paper's version manager is a single node. This repository shards
+// it (see shard.go): each VersionManager owns the blobs whose ids are
+// congruent to its shard index modulo the shard count, allocating ids
+// with a per-shard stride so ownership is decidable from the id alone.
+// A one-shard manager allocates the dense sequence 1, 2, 3, ... and
+// behaves exactly like the paper's centralized one.
 //
 // Publication runs through a group-commit pipeline: Publish and Abort
 // calls are enqueued and a single drainer applies whole batches under
@@ -17,7 +24,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 )
@@ -54,10 +63,26 @@ type WriteIntent struct {
 }
 
 // VersionManager runs on one node and serializes version assignment
-// for all blobs of a deployment.
+// for the blobs of its shard (all blobs, in a single-shard tier).
 type VersionManager struct {
 	env  cluster.Env
 	node cluster.NodeID
+
+	// shard/stride define this manager's slice of the blob-id space:
+	// it owns every id congruent to shard modulo stride. A standalone
+	// manager is shard 0 of stride 1 and owns everything.
+	shard  int
+	stride BlobID
+
+	// svcTime > 0 models the manager's per-RPC processing occupancy:
+	// each incoming call holds the shard's (single-threaded) processor
+	// for svcTime of virtual time, so concurrent callers queue. This is
+	// what makes a centralized manager a measurable bottleneck in the
+	// simulation — and the sharded tier's aggregate throughput win
+	// measurable (experiment X5). 0 disables the model entirely.
+	svcMu   sync.Mutex
+	svcTime time.Duration
+	svcBusy time.Duration // virtual time the processor is busy until
 
 	mu     sync.Mutex
 	nextID BlobID
@@ -105,13 +130,66 @@ type pendingWrite struct {
 	done    cluster.Signal // fired when published or aborted
 }
 
-// NewVersionManager creates a version manager hosted on node.
+// NewVersionManager creates a standalone (single-shard) version
+// manager hosted on node: shard 0 of stride 1, allocating the dense id
+// sequence 1, 2, 3, ... exactly as the paper's centralized manager.
 func NewVersionManager(env cluster.Env, node cluster.NodeID) *VersionManager {
-	return &VersionManager{env: env, node: node, nextID: 1, blobs: make(map[BlobID]*blobState)}
+	return NewVersionManagerShard(env, node, 0, 1)
+}
+
+// NewVersionManagerShard creates shard `shard` of a `stride`-shard
+// version-manager tier, hosted on node. The shard allocates blob ids
+// congruent to shard modulo stride (starting at the smallest such id
+// >= 1), so the owning shard of any blob is the pure function
+// id mod stride — no lookup table, no routing RPC.
+func NewVersionManagerShard(env cluster.Env, node cluster.NodeID, shard, stride int) *VersionManager {
+	if stride < 1 || shard < 0 || shard >= stride {
+		panic(fmt.Sprintf("core: invalid version-manager shard %d of %d", shard, stride))
+	}
+	first := BlobID(shard)
+	if first == 0 {
+		first = BlobID(stride) // ids start at 1; shard 0's first id is the stride itself
+	}
+	return &VersionManager{
+		env:    env,
+		node:   node,
+		shard:  shard,
+		stride: BlobID(stride),
+		nextID: first,
+		blobs:  make(map[BlobID]*blobState),
+	}
 }
 
 // Node returns the hosting node.
 func (vm *VersionManager) Node() cluster.NodeID { return vm.node }
+
+// ShardIndex returns this manager's shard index within its tier.
+func (vm *VersionManager) ShardIndex() int { return vm.shard }
+
+// SetServiceTime sets the modeled per-RPC processing occupancy (see
+// the svcTime field). Call before concurrent use; 0 disables.
+func (vm *VersionManager) SetServiceTime(d time.Duration) { vm.svcTime = d }
+
+// serve charges the modeled request-processing occupancy: the caller
+// queues behind every earlier request's slot and holds the processor
+// for svcTime. Implemented as a busy-horizon so no blocking primitive
+// is needed — each request extends the horizon and sleeps (in virtual
+// time) until its own slot has passed.
+func (vm *VersionManager) serve() {
+	if vm.svcTime <= 0 {
+		return
+	}
+	now := vm.env.Now()
+	vm.svcMu.Lock()
+	start := vm.svcBusy
+	if start < now {
+		start = now
+	}
+	end := start + vm.svcTime
+	vm.svcBusy = end
+	vm.svcMu.Unlock()
+	vm.env.Sleep(end - now)
+}
 
 // SetSerialPublish disables (true) or enables (false) the group-commit
 // publish pipeline. Serial mode processes every Publish/Abort in its
@@ -120,16 +198,19 @@ func (vm *VersionManager) Node() cluster.NodeID { return vm.node }
 func (vm *VersionManager) SetSerialPublish(serial bool) { vm.serial = serial }
 
 // CreateBlob registers a new blob with the given page size and returns
-// its id. Version 0 (empty) is immediately readable.
+// its id — the next id of this shard's stride sequence, so the id
+// itself encodes the owning shard. Version 0 (empty) is immediately
+// readable.
 func (vm *VersionManager) CreateBlob(from cluster.NodeID, pageSize int64) (BlobID, error) {
 	if pageSize <= 0 {
 		return 0, fmt.Errorf("%w: page size %d", ErrBadWrite, pageSize)
 	}
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	id := vm.nextID
-	vm.nextID++
+	vm.nextID += vm.stride
 	vm.blobs[id] = &blobState{pageSize: pageSize, pending: make(map[Version]*pendingWrite)}
 	return id, nil
 }
@@ -137,6 +218,7 @@ func (vm *VersionManager) CreateBlob(from cluster.NodeID, pageSize int64) (BlobI
 // PageSize returns the blob's page size.
 func (vm *VersionManager) PageSize(from cluster.NodeID, blob BlobID) (int64, error) {
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	b, ok := vm.blobs[blob]
@@ -171,6 +253,7 @@ func (vm *VersionManager) RequestTickets(from cluster.NodeID, blob BlobID, inten
 		return nil, nil
 	}
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	b, ok := vm.blobs[blob]
@@ -255,6 +338,7 @@ func (b *blobState) historyDelta(since, v Version) []WriteRecord {
 // the call is enqueued and applied by the batch drainer.
 func (vm *VersionManager) Publish(from cluster.NodeID, blob BlobID, v Version) error {
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	if vm.serial {
 		return vm.publishSerial(blob, v)
 	}
@@ -273,6 +357,7 @@ func (vm *VersionManager) PublishBatch(from cluster.NodeID, blob BlobID, vs []Ve
 		return nil
 	}
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	if vm.serial {
 		// Mark every member ready before waiting on any visibility:
 		// waiting inline would deadlock an out-of-order batch on its
@@ -400,6 +485,7 @@ func (vm *VersionManager) applyPublishLocked(b *blobState, blob BlobID, v Versio
 // Publish.
 func (vm *VersionManager) Abort(from cluster.NodeID, blob BlobID, v Version) error {
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	if vm.serial {
 		vm.mu.Lock()
 		defer vm.mu.Unlock()
@@ -542,6 +628,7 @@ func (vm *VersionManager) advanceLocked(b *blobState) {
 // pages against their true predecessor instead of racing it.
 func (vm *VersionManager) AwaitPublished(from cluster.NodeID, blob BlobID, v Version) error {
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	vm.mu.Lock()
 	b, ok := vm.blobs[blob]
 	if !ok {
@@ -577,6 +664,7 @@ func (vm *VersionManager) Latest(from cluster.NodeID, blob BlobID) (Version, int
 // record. ok is false for an empty blob.
 func (vm *VersionManager) LatestRecord(from cluster.NodeID, blob BlobID) (WriteRecord, bool, error) {
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	b, ok := vm.blobs[blob]
@@ -600,6 +688,7 @@ func (vm *VersionManager) LatestRecord(from cluster.NodeID, blob BlobID) (WriteR
 // source and clone never see each other's subsequent writes.
 func (vm *VersionManager) Clone(from cluster.NodeID, source BlobID, v Version) (BlobID, error) {
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	src, ok := vm.blobs[source]
@@ -612,8 +701,11 @@ func (vm *VersionManager) Clone(from cluster.NodeID, source BlobID, v Version) (
 	if src.records[int(v)-1].Aborted {
 		return 0, fmt.Errorf("%w: %d@%d", ErrAborted, source, v)
 	}
+	// The clone's id comes off this shard's stride sequence, so a clone
+	// always lives on its source's shard (the records copy below stays
+	// a local operation) and routing stays a pure function of the id.
 	id := vm.nextID
-	vm.nextID++
+	vm.nextID += vm.stride
 	records := make([]WriteRecord, v)
 	copy(records, src.records[:v])
 	vm.blobs[id] = &blobState{
@@ -629,6 +721,7 @@ func (vm *VersionManager) Clone(from cluster.NodeID, source BlobID, v Version) (
 // versions and unpublished tickets are not readable snapshots).
 func (vm *VersionManager) GetVersion(from cluster.NodeID, blob BlobID, v Version) (WriteRecord, error) {
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	b, ok := vm.blobs[blob]
@@ -651,6 +744,7 @@ func (vm *VersionManager) GetVersion(from cluster.NodeID, blob BlobID, v Version
 // per version.
 func (vm *VersionManager) Records(from cluster.NodeID, blob BlobID) ([]WriteRecord, error) {
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	b, ok := vm.blobs[blob]
@@ -662,18 +756,21 @@ func (vm *VersionManager) Records(from cluster.NodeID, blob BlobID) ([]WriteReco
 	return out, nil
 }
 
-// Blobs lists every registered blob id in creation order (the repair
-// sweep's work list).
+// Blobs lists every registered blob id of this shard in ascending
+// order (the repair sweep's work list). The blobs map — not the dense
+// range up to nextID — is the source of truth: with per-shard stride
+// allocation the id space is sparse, and a range scan would silently
+// skip every id owned by another shard.
 func (vm *VersionManager) Blobs(from cluster.NodeID) []BlobID {
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	out := make([]BlobID, 0, len(vm.blobs))
-	for id := BlobID(1); id < vm.nextID; id++ {
-		if _, ok := vm.blobs[id]; ok {
-			out = append(out, id)
-		}
+	for id := range vm.blobs {
+		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -681,6 +778,7 @@ func (vm *VersionManager) Blobs(from cluster.NodeID) []BlobID {
 // versions included in the count).
 func (vm *VersionManager) Published(from cluster.NodeID, blob BlobID) (Version, error) {
 	vm.env.RTT(from, vm.node)
+	vm.serve()
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	b, ok := vm.blobs[blob]

@@ -75,11 +75,19 @@ func (r *Ring) Lookup(key string) []cluster.NodeID {
 		i = 0
 	}
 	out := make([]cluster.NodeID, 0, r.replication)
-	seen := make(map[cluster.NodeID]bool, r.replication)
+	// Distinctness via a linear scan of out: replication is tiny (<=3
+	// in practice), so this beats allocating a seen-map on every lookup
+	// — and Lookup runs once per metadata key on the client hot path.
 	for j := 0; len(out) < r.replication && j < len(r.points); j++ {
 		p := r.points[(i+j)%len(r.points)]
-		if !seen[p.node] {
-			seen[p.node] = true
+		dup := false
+		for _, n := range out {
+			if n == p.node {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, p.node)
 		}
 	}

@@ -268,6 +268,41 @@ func (s *Service) Versions(args *PathArgs, reply *VersionsReply) error {
 	return nil
 }
 
+// ShardsArgs optionally names a path; empty describes the tier only.
+type ShardsArgs struct{ Path string }
+
+// ShardsReply describes the server's version-manager tier and, when a
+// path was given, the file's owning shard.
+type ShardsReply struct {
+	// Count is the shard count; Nodes lists the shard hosting nodes in
+	// shard-index order.
+	Count int
+	Nodes []uint64
+	// Blob and Shard are set when a path was supplied: the blob id
+	// behind the file and its owning shard index (Blob mod Count).
+	Blob  uint64
+	Shard int
+}
+
+// Shards exposes the version-manager tier topology — the shard-aware
+// face of the service: remote tooling can see how blobs partition
+// without reaching into the deployment.
+func (s *Service) Shards(args *ShardsArgs, reply *ShardsReply) error {
+	nodes := s.fs.VMShardNodes()
+	reply.Count = len(nodes)
+	for _, n := range nodes {
+		reply.Nodes = append(reply.Nodes, uint64(n))
+	}
+	if args.Path != "" {
+		blob, shard, err := s.fs.ShardOf(args.Path)
+		if err != nil {
+			return err
+		}
+		reply.Blob, reply.Shard = uint64(blob), shard
+	}
+	return nil
+}
+
 // Serve accepts connections on l until it is closed.
 func Serve(l net.Listener, svc *Service) error {
 	srv := rpc.NewServer()
@@ -405,4 +440,12 @@ func (c *Client) Versions(path string) ([]uint64, error) {
 	var vr VersionsReply
 	err := c.rpc.Call("BSFS.Versions", &PathArgs{Path: path}, &vr)
 	return vr.Versions, err
+}
+
+// Shards describes the server's version-manager tier; a non-empty path
+// additionally resolves that file's blob id and owning shard.
+func (c *Client) Shards(path string) (ShardsReply, error) {
+	var sr ShardsReply
+	err := c.rpc.Call("BSFS.Shards", &ShardsArgs{Path: path}, &sr)
+	return sr, err
 }

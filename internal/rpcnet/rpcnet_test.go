@@ -13,10 +13,22 @@ import (
 // startServer boots a Local-env BSFS deployment behind a TCP listener
 // and returns a connected client.
 func startServer(t *testing.T) *Client {
+	return startShardedServer(t, 1)
+}
+
+// startShardedServer is startServer with a multi-shard version-manager
+// tier (extra shards on their own nodes after the providers, matching
+// bsfsd's -vm-shards layout).
+func startShardedServer(t *testing.T, shards int) *Client {
 	t.Helper()
-	env := cluster.NewLocal(4, 0)
+	env := cluster.NewLocal(3+shards, 0)
+	vmNodes := make([]cluster.NodeID, shards)
+	for i := 1; i < shards; i++ {
+		vmNodes[i] = cluster.NodeID(3 + i)
+	}
 	dep, err := core.NewDeployment(env, core.Options{
 		PageSize:      4 << 10,
+		VMNodes:       vmNodes,
 		ProviderNodes: []cluster.NodeID{1, 2, 3},
 	})
 	if err != nil {
@@ -152,6 +164,47 @@ func TestEmptyFile(t *testing.T) {
 	got, err := c.Get("/empty", 0)
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty get = %v, %v", got, err)
+	}
+}
+
+// TestShardsOverWire drives the shard-aware service surface against a
+// 2-shard server: the tier topology comes back, files resolve to their
+// owning shards (id mod count), consecutive files spread over both
+// shards, and data written through the sharded tier reads back intact.
+func TestShardsOverWire(t *testing.T) {
+	c := startShardedServer(t, 2)
+	sr, err := c.Shards("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Count != 2 || len(sr.Nodes) != 2 {
+		t.Fatalf("tier = %+v, want 2 shards", sr)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		path := "/sharded/f" + string(rune('0'+i))
+		payload := bytes.Repeat([]byte{byte('A' + i)}, 5000)
+		if err := c.Put(path, payload); err != nil {
+			t.Fatal(err)
+		}
+		fr, err := c.Shards(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Blob == 0 || int(fr.Blob%uint64(fr.Count)) != fr.Shard {
+			t.Fatalf("file %s: blob %d reported on shard %d (count %d)", path, fr.Blob, fr.Shard, fr.Count)
+		}
+		seen[fr.Shard] = true
+		got, err := c.Get(path, 0)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("file %s: round trip failed (%v)", path, err)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("4 files landed on %d shard(s), want both", len(seen))
+	}
+	if _, err := c.Shards("/missing"); err == nil {
+		t.Fatal("shard lookup of a missing file succeeded")
 	}
 }
 
