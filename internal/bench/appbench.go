@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"repro/internal/apps"
-	"repro/internal/bsfs"
 	"repro/internal/core"
 	"repro/internal/fsapi"
 	"repro/internal/mapreduce"
@@ -221,12 +220,12 @@ func RunSnapshotWorkflow(opts AppOpts) ([]AppResult, error) {
 	return results, err
 }
 
-// openSnapshot returns an OpenInput hook pinning a BSFS snapshot.
-func openSnapshot(version core.Version) func(fs fsapi.FileSystem, path string) (fsapi.Reader, error) {
-	return func(fs fsapi.FileSystem, path string) (fsapi.Reader, error) {
-		if bfs, ok := fs.(*bsfs.FS); ok {
-			return bfs.OpenVersion(path, version)
-		}
-		return fs.Open(path)
+// openSnapshot returns an OpenInput hook pinning a snapshot version,
+// forwarding the framework's per-attempt options (ctx) alongside. On a
+// non-versioning file system the AtVersion option surfaces the typed
+// fsapi.ErrNotSupported.
+func openSnapshot(version core.Version) func(fs fsapi.FileSystem, path string, opts ...fsapi.OpenOption) (fsapi.Reader, error) {
+	return func(fs fsapi.FileSystem, path string, opts ...fsapi.OpenOption) (fsapi.Reader, error) {
+		return fs.OpenAt(path, append(opts, fsapi.AtVersion(uint64(version)))...)
 	}
 }

@@ -117,12 +117,19 @@ func RunFaultChurn(opts FaultOpts) (FaultResult, error) {
 			wg.Go(func() {
 				t0 := tb.Env.Now()
 				c := dep.NewClient(node)
+				b, err := c.OpenBlob(blobs[i])
+				if err != nil {
+					if readErr == nil {
+						readErr = err
+					}
+					return
+				}
 				for done := int64(0); done < opts.BytesPerClient; done += opts.RecordSize {
 					want := opts.RecordSize
 					if done+want > opts.BytesPerClient {
 						want = opts.BytesPerClient - done
 					}
-					n, err := c.ReadSynthetic(blobs[i], core.LatestVersion, done, want)
+					n, err := b.ReadAt(nil, done, core.Synthetic(want))
 					if err != nil && readErr == nil {
 						readErr = err
 					}
@@ -148,14 +155,14 @@ func RunFaultChurn(opts FaultOpts) (FaultResult, error) {
 			loader := tb.loaderNode(node)
 			wg.Go(func() {
 				c := dep.NewClient(loader)
-				blob, err := c.Create(0)
+				b, err := c.CreateBlob(0)
 				if err == nil {
-					_, err = c.WriteSynthetic(blob, 0, opts.BytesPerClient)
+					blobs[i] = b.ID()
+					_, err = b.WriteAt(nil, 0, core.Synthetic(opts.BytesPerClient))
 				}
 				if err != nil && runErr == nil {
 					runErr = err
 				}
-				blobs[i] = blob
 			})
 		}
 		wg.Wait()
@@ -203,7 +210,12 @@ func RunFaultChurn(opts FaultOpts) (FaultResult, error) {
 		// counting only live providers.
 		verifier := dep.NewClient(0)
 		for _, blob := range blobs {
-			locs, err := verifier.PageLocations(blob, core.LatestVersion, 0, opts.BytesPerClient)
+			vb, err := verifier.OpenBlob(blob)
+			if err != nil {
+				runErr = err
+				return
+			}
+			locs, err := vb.Locations(0, opts.BytesPerClient)
 			if err != nil {
 				runErr = err
 				return

@@ -15,8 +15,11 @@
 //
 // Because the underlying store versions every write, BSFS also offers
 // what the paper's future-work section asks for: concurrent appends to
-// a single file and snapshot reads (OpenVersion) that let workflows run
-// on frozen views of a dataset while it keeps changing.
+// a single file and snapshot reads (OpenAt with fsapi.AtVersion) that
+// let workflows run on frozen views of a dataset while it keeps
+// changing. Every open accepts an fsapi.WithCtx option scoping the
+// returned reader or writer to an op-scoped cluster.Ctx, so deadlines
+// and cancellation propagate down through the blob client's fan-outs.
 package bsfs
 
 import (
@@ -45,7 +48,7 @@ type Config struct {
 	// pipeline: up to this many full blocks may be queued or committing
 	// in the background while the application fills the next one
 	// (default 2). The flusher commits half-window runs through
-	// core.Client.AppendBatch, so depths >= 4 amortize the
+	// core.Blob.Append batches, so depths >= 4 amortize the
 	// version-manager round trips across blocks while the other half
 	// of the window keeps filling; the default depth 2 is classic
 	// double-buffering (single-block commits). A negative value
@@ -118,28 +121,37 @@ func (f *FS) Node() cluster.NodeID { return f.node }
 func (f *FS) rtt() { f.svc.env.RTT(f.node, f.svc.node) }
 
 // Create registers a new file backed by a fresh blob and returns a
-// block-buffered writer.
-func (f *FS) Create(path string) (fsapi.Writer, error) {
-	blob, err := f.blob.Create(0)
+// block-buffered writer. An fsapi.WithCtx option scopes the writer's
+// commits; fsapi.AtVersion is not meaningful here and is rejected.
+func (f *FS) Create(path string, opts ...fsapi.OpenOption) (fsapi.Writer, error) {
+	s := fsapi.ApplyOpenOptions(opts)
+	if s.HasVersion {
+		return nil, fmt.Errorf("%w: bsfs create at a pinned version", fsapi.ErrNotSupported)
+	}
+	b, err := f.blob.CreateBlob(0)
 	if err != nil {
 		return nil, err
 	}
 	f.rtt()
-	if err := f.svc.ns.CreateFile(path, blob); err != nil {
+	if err := f.svc.ns.CreateFile(path, b.ID()); err != nil {
 		return nil, fmt.Errorf("bsfs: create %s: %w", path, err)
 	}
-	return f.newWriter(path, blob), nil
+	return f.newWriter(path, b, s.Ctx), nil
 }
 
 // Append opens an existing file for appending; multiple clients may
 // append to the same file concurrently (BlobSeer serializes the
-// versions).
-func (f *FS) Append(path string) (fsapi.Writer, error) {
-	blob, err := f.blobOf(path)
+// versions). An fsapi.WithCtx option scopes the writer's commits.
+func (f *FS) Append(path string, opts ...fsapi.OpenOption) (fsapi.Writer, error) {
+	s := fsapi.ApplyOpenOptions(opts)
+	if s.HasVersion {
+		return nil, fmt.Errorf("%w: bsfs append at a pinned version", fsapi.ErrNotSupported)
+	}
+	b, err := f.blobOf(path)
 	if err != nil {
 		return nil, err
 	}
-	return f.newWriter(path, blob), nil
+	return f.newWriter(path, b, s.Ctx), nil
 }
 
 // VMShardNodes describes the version-manager tier behind this file
@@ -151,53 +163,57 @@ func (f *FS) VMShardNodes() []cluster.NodeID { return f.svc.dep.VM.Nodes() }
 // behind the path and its shard index (id mod shard count — the same
 // pure routing function every client uses).
 func (f *FS) ShardOf(path string) (core.BlobID, int, error) {
-	blob, err := f.blobOf(path)
+	b, err := f.blobOf(path)
 	if err != nil {
 		return 0, 0, err
 	}
-	return blob, f.svc.dep.VM.ShardIndex(blob), nil
+	return b.ID(), f.svc.dep.VM.ShardIndex(b.ID()), nil
 }
 
-func (f *FS) blobOf(path string) (core.BlobID, error) {
+func (f *FS) blobOf(path string) (*core.Blob, error) {
 	f.rtt()
 	payload, err := f.svc.ns.Payload(path)
 	if err != nil {
 		// Directories surface as fsapi.ErrIsDir here, typed rather
 		// than a payload-assertion panic below.
-		return 0, fmt.Errorf("bsfs: %s: %w", path, err)
+		return nil, fmt.Errorf("bsfs: %s: %w", path, err)
 	}
-	blob, ok := payload.(core.BlobID)
+	id, ok := payload.(core.BlobID)
 	if !ok {
-		return 0, fmt.Errorf("bsfs: %s: %w: payload is %T, not a blob", path, fsapi.ErrNotSupported, payload)
+		return nil, fmt.Errorf("bsfs: %s: %w: payload is %T, not a blob", path, fsapi.ErrNotSupported, payload)
 	}
-	return blob, nil
+	return f.blob.OpenBlob(id)
 }
 
-// Open returns a prefetching reader over the file's latest snapshot.
-func (f *FS) Open(path string) (fsapi.Reader, error) {
-	blob, err := f.blobOf(path)
-	if err != nil {
-		return nil, err
-	}
-	v, size, err := f.blob.Latest(blob)
-	if err != nil {
-		return nil, err
-	}
-	return f.newReader(blob, v, size), nil
-}
+// Open returns a prefetching reader over the file's latest snapshot —
+// OpenAt with no options.
+func (f *FS) Open(path string) (fsapi.Reader, error) { return f.OpenAt(path) }
 
-// OpenVersion returns a reader over a specific snapshot of the file —
-// the versioning integration of the paper's future-work section (§V).
-func (f *FS) OpenVersion(path string, v core.Version) (fsapi.Reader, error) {
-	blob, err := f.blobOf(path)
+// OpenAt returns a prefetching reader over the file: its latest
+// snapshot by default, or a frozen one pinned with fsapi.AtVersion —
+// the versioning integration of the paper's future-work section (§V),
+// expressed through the shared fsapi contract so frameworks need no
+// BSFS-specific side door. An fsapi.WithCtx option makes every read
+// through the returned reader cancellable.
+func (f *FS) OpenAt(path string, opts ...fsapi.OpenOption) (fsapi.Reader, error) {
+	s := fsapi.ApplyOpenOptions(opts)
+	b, err := f.blobOf(path)
 	if err != nil {
 		return nil, err
 	}
-	rec, err := f.svc.dep.VM.GetVersion(f.node, blob, v)
+	if s.HasVersion {
+		v := core.Version(s.Version)
+		rec, err := f.svc.dep.VM.GetVersion(f.node, b.ID(), v)
+		if err != nil {
+			return nil, err
+		}
+		return f.newReader(b, v, rec.SizeAfter, s.Ctx), nil
+	}
+	v, size, err := b.Latest(core.WithCtx(s.Ctx))
 	if err != nil {
 		return nil, err
 	}
-	return f.newReader(blob, v, rec.SizeAfter), nil
+	return f.newReader(b, v, size, s.Ctx), nil
 }
 
 // SnapshotFile registers newPath as a copy-on-write branch of path at
@@ -206,19 +222,19 @@ func (f *FS) OpenVersion(path string, v core.Version) (fsapi.Reader, error) {
 // roll-back to previous snapshots" capability the paper motivates
 // (§II.B), made writable.
 func (f *FS) SnapshotFile(path string, v core.Version, newPath string) error {
-	blob, err := f.blobOf(path)
+	b, err := f.blobOf(path)
 	if err != nil {
 		return err
 	}
-	clone, err := f.blob.Clone(blob, v)
+	clone, err := b.Snapshot(core.AtVersion(v))
 	if err != nil {
 		return err
 	}
 	f.rtt()
-	if err := f.svc.ns.CreateFile(newPath, clone); err != nil {
+	if err := f.svc.ns.CreateFile(newPath, clone.ID()); err != nil {
 		return err
 	}
-	_, size, err := f.blob.Latest(clone)
+	_, size, err := clone.Latest()
 	if err != nil {
 		return err
 	}
@@ -226,14 +242,14 @@ func (f *FS) SnapshotFile(path string, v core.Version, newPath string) error {
 }
 
 // Versions lists the published snapshots of a file in one batched
-// version-manager round trip (Records), instead of one GetVersion RTT
-// per version.
+// version-manager round trip (Blob.History), instead of one GetVersion
+// RTT per version.
 func (f *FS) Versions(path string) ([]core.Version, error) {
-	blob, err := f.blobOf(path)
+	b, err := f.blobOf(path)
 	if err != nil {
 		return nil, err
 	}
-	recs, err := f.svc.dep.VM.Records(f.node, blob)
+	recs, err := b.History()
 	if err != nil {
 		return nil, err
 	}
@@ -257,9 +273,11 @@ func (f *FS) Stat(path string) (fsapi.FileInfo, error) {
 	// files (appends from other clients may have advanced it).
 	if !fi.IsDir {
 		if payload, perr := f.svc.ns.Payload(path); perr == nil {
-			if blob, ok := payload.(core.BlobID); ok {
-				if _, size, verr := f.blob.Latest(blob); verr == nil && size > fi.Size {
-					fi.Size = size
+			if id, ok := payload.(core.BlobID); ok {
+				if b, berr := f.blob.OpenBlob(id); berr == nil {
+					if _, size, verr := b.Latest(); verr == nil && size > fi.Size {
+						fi.Size = size
+					}
 				}
 			}
 		}
@@ -297,11 +315,11 @@ func (f *FS) Delete(path string) error {
 // BlockLocations aggregates page-level placement into per-block host
 // lists, best-covered host first (§III.B data-layout exposure).
 func (f *FS) BlockLocations(path string, off, length int64) ([]fsapi.BlockLocation, error) {
-	blob, err := f.blobOf(path)
+	b, err := f.blobOf(path)
 	if err != nil {
 		return nil, err
 	}
-	v, size, err := f.blob.Latest(blob)
+	v, size, err := b.Latest()
 	if err != nil {
 		return nil, err
 	}
@@ -311,10 +329,7 @@ func (f *FS) BlockLocations(path string, off, length int64) ([]fsapi.BlockLocati
 	if off+length > size {
 		length = size - off
 	}
-	ps, err := f.blob.PageSize(blob)
-	if err != nil {
-		return nil, err
-	}
+	ps := b.PageSize()
 	bs := f.svc.cfg.BlockSize
 	var out []fsapi.BlockLocation
 	for blockStart := off - off%bs; blockStart < off+length; blockStart += bs {
@@ -322,7 +337,7 @@ func (f *FS) BlockLocations(path string, off, length int64) ([]fsapi.BlockLocati
 		if blockStart+blockLen > size {
 			blockLen = size - blockStart
 		}
-		locs, err := f.blob.PageLocations(blob, v, blockStart, blockLen)
+		locs, err := b.Locations(blockStart, blockLen, core.AtVersion(v))
 		if err != nil {
 			return nil, err
 		}
@@ -357,7 +372,7 @@ func (f *FS) BlockLocations(path string, off, length int64) ([]fsapi.BlockLocati
 // background flusher with a bounded in-flight window, so the
 // application fills the next block while BlobSeer commits the previous
 // one. The flusher drains its queue in batches and commits each batch
-// through core.Client.AppendBatch, amortizing the version-manager
+// through core.Blob.Append batches, amortizing the version-manager
 // round trips (one ticket request, one group-commit publish) across
 // every in-flight block. Append order is preserved because the one
 // flusher requests every version ticket; errors are deferred and
@@ -380,7 +395,8 @@ type pendingBlock struct {
 type writer struct {
 	fs   *FS
 	path string
-	blob core.BlobID
+	b    *core.Blob
+	ctx  *cluster.Ctx // op scope bound at open; cancels pending commits
 
 	mu        sync.Mutex
 	buf       []byte // real buffered bytes
@@ -407,8 +423,8 @@ type writer struct {
 	pending   int64
 }
 
-func (f *FS) newWriter(path string, blob core.BlobID) *writer {
-	return &writer{fs: f, path: path, blob: blob}
+func (f *FS) newWriter(path string, b *core.Blob, ctx *cluster.Ctx) *writer {
+	return &writer{fs: f, path: path, b: b, ctx: ctx}
 }
 
 // Written reports the bytes this writer has accepted: committed to the
@@ -468,12 +484,13 @@ func (w *writer) failWriteLocked(droppedNow, base, queuedAtEntry, pre, callLen i
 // held). It is the single commit site shared by the serial path and
 // the background flusher.
 func (w *writer) commit(b pendingBlock) error {
-	var err error
+	var blocks []core.AppendBlock
 	if b.data != nil {
-		_, _, err = w.fs.blob.Append(w.blob, b.data)
+		blocks = core.Blocks(b.data)
 	} else {
-		_, _, err = w.fs.blob.AppendSynthetic(w.blob, b.size)
+		blocks = core.SyntheticBlocks(b.size)
 	}
+	_, _, err := w.b.Append(blocks, core.WithCtx(w.ctx))
 	return err
 }
 
@@ -519,7 +536,7 @@ func (w *writer) commitLocked(b pendingBlock) error {
 // round trip, scatter fan-out and group-commit publish per run (the
 // one flusher requesting all tickets is what keeps appends ordered).
 // Runs are homogeneous (a writer may legally switch from real to
-// synthetic blocks at a block boundary, and core.AppendBatch rejects
+// synthetic blocks at a block boundary, and core.Blob.Append rejects
 // mixed batches) and capped at half the in-flight window, so window
 // slots free up between runs and the application keeps filling blocks
 // while earlier ones commit. It records the first error, rolls failed
@@ -597,7 +614,7 @@ func (w *writer) commitRun(run []pendingBlock) (int, error) {
 	for i, b := range run {
 		blocks[i] = core.AppendBlock{Data: b.data, Size: b.size}
 	}
-	versions, err := w.fs.blob.AppendBatch(w.blob, blocks)
+	versions, _, err := w.b.Append(blocks, core.WithCtx(w.ctx))
 	return len(versions), err
 }
 
@@ -727,7 +744,7 @@ func (w *writer) Close() error {
 		return closeErr
 	}
 	w.fs.rtt()
-	_, size, err := w.fs.blob.Latest(w.blob)
+	_, size, err := w.b.Latest()
 	if err != nil {
 		return err
 	}
@@ -743,9 +760,10 @@ func (w *writer) Close() error {
 
 type reader struct {
 	fs   *FS
-	blob core.BlobID
+	b    *core.Blob
 	ver  core.Version
 	size int64
+	ctx  *cluster.Ctx // op scope bound at open; cancels fetches
 
 	mu       sync.Mutex
 	pos      int64
@@ -756,9 +774,9 @@ type reader struct {
 	inflight map[int64]cluster.Signal // fetches in progress, fired on completion
 }
 
-func (f *FS) newReader(blob core.BlobID, v core.Version, size int64) *reader {
+func (f *FS) newReader(b *core.Blob, v core.Version, size int64, ctx *cluster.Ctx) *reader {
 	return &reader{
-		fs: f, blob: blob, ver: v, size: size,
+		fs: f, b: b, ver: v, size: size, ctx: ctx,
 		lastBi:   -1,
 		blocks:   map[int64][]byte{},
 		inflight: map[int64]cluster.Signal{},
@@ -793,14 +811,14 @@ func (r *reader) ReadAt(p []byte, off int64) (int, error) {
 		want = r.size - off
 	}
 	if r.fs.svc.cfg.DisableCache {
-		n, err := r.fs.blob.Read(r.blob, r.ver, off, p[:want])
+		n, err := r.b.ReadAt(p[:want], off, core.AtVersion(r.ver), core.WithCtx(r.ctx))
 		if err != nil {
 			return 0, err
 		}
-		if int64(n) < int64(len(p)) {
-			return n, io.EOF
+		if n < int64(len(p)) {
+			return int(n), io.EOF
 		}
-		return n, nil
+		return int(n), nil
 	}
 	bs := r.fs.svc.cfg.BlockSize
 	var done int64
@@ -833,7 +851,7 @@ func (r *reader) ReadSyntheticAt(off, length int64) (int64, error) {
 		length = r.size - off
 	}
 	if r.fs.svc.cfg.DisableCache {
-		return r.fs.blob.ReadSynthetic(r.blob, r.ver, off, length)
+		return r.b.ReadAt(nil, off, core.AtVersion(r.ver), core.Synthetic(length), core.WithCtx(r.ctx))
 	}
 	bs := r.fs.svc.cfg.BlockSize
 	var done int64
@@ -910,11 +928,11 @@ func (r *reader) fetch(bi int64, synthetic bool) ([]byte, error) {
 		blockLen = r.size - start
 	}
 	if synthetic {
-		_, err := r.fs.blob.ReadSynthetic(r.blob, r.ver, start, blockLen)
+		_, err := r.b.ReadAt(nil, start, core.AtVersion(r.ver), core.Synthetic(blockLen), core.WithCtx(r.ctx))
 		return nil, err
 	}
 	data := make([]byte, blockLen)
-	if _, err := r.fs.blob.Read(r.blob, r.ver, start, data); err != nil {
+	if _, err := r.b.ReadAt(data, start, core.AtVersion(r.ver), core.WithCtx(r.ctx)); err != nil {
 		return nil, err
 	}
 	return data, nil

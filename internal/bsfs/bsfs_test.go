@@ -147,14 +147,17 @@ func TestWriterCommitsWholeBlocks(t *testing.T) {
 	svc, fs := newTestFS(t, Config{BlockSize: 256})
 	w, _ := fs.Create("/partial")
 	w.Write(make([]byte, 384))
-	blob, _ := svc.ns.Payload("/partial")
-	cl := svc.dep.NewClient(0)
-	size := awaitBlobSize(t, cl, blob.(core.BlobID), 256)
+	payload, _ := svc.ns.Payload("/partial")
+	bh, err := svc.dep.NewClient(0).OpenBlob(payload.(core.BlobID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := awaitBlobSize(t, bh, 256)
 	if size != 256 {
 		t.Fatalf("committed %d bytes before close, want 256", size)
 	}
 	w.Close()
-	_, size, _ = cl.Latest(blob.(core.BlobID))
+	_, size, _ = bh.Latest()
 	if size != 384 {
 		t.Fatalf("committed %d bytes after close, want 384", size)
 	}
@@ -163,11 +166,11 @@ func TestWriterCommitsWholeBlocks(t *testing.T) {
 // awaitBlobSize polls until the blob's committed size reaches want (the
 // writer pipeline commits full blocks in the background) and returns
 // the size it settled at.
-func awaitBlobSize(t *testing.T, cl *core.Client, blob core.BlobID, want int64) int64 {
+func awaitBlobSize(t *testing.T, b *core.Blob, want int64) int64 {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		_, size, err := cl.Latest(blob)
+		_, size, err := b.Latest()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -263,7 +266,7 @@ func TestOpenVersionSnapshots(t *testing.T) {
 	w.Write(bytes.Repeat([]byte("B"), 64))
 	w.Close()
 
-	old, err := fs.OpenVersion("/ds", snap)
+	old, err := fs.OpenAt("/ds", fsapi.AtVersion(uint64(snap)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -77,7 +77,7 @@ func TestReaderSnapshotUnaffectedByLaterWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.blob.Write(blob, 128, bytes.Repeat([]byte("B"), 64)); err != nil {
+	if _, err := blob.WriteAt(bytes.Repeat([]byte("B"), 64), 128); err != nil {
 		t.Fatal(err)
 	}
 

@@ -36,20 +36,25 @@ func TestConcurrentSubPageAppendsLoseNothing(t *testing.T) {
 	var blob BlobID
 	eng.Go(func() {
 		c0 := d.NewClient(0)
-		b, err := c0.Create(0)
+		b0, err := c0.CreateBlob(0)
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		blob = b
+		blob = b0.ID()
 		wg := env.NewWaitGroup()
 		for a := 0; a < appenders; a++ {
 			node := cluster.NodeID(a + 1)
 			wg.Go(func() {
 				c := d.NewClient(node)
+				bh, err := c.OpenBlob(blob)
+				if err != nil {
+					t.Error(err)
+					return
+				}
 				payload := bytes.Repeat([]byte{byte('A' + a)}, perAppend)
 				for r := 0; r < rounds; r++ {
-					if _, _, err := c.Append(blob, payload); err != nil {
+					if _, _, err := bh.Append(Blocks(payload)); err != nil {
 						t.Errorf("appender %d round %d: %v", a, r, err)
 						return
 					}
@@ -59,13 +64,13 @@ func TestConcurrentSubPageAppendsLoseNothing(t *testing.T) {
 		wg.Wait()
 
 		total := int64(appenders * perAppend * rounds)
-		_, size, err := c0.Latest(blob)
+		_, size, err := b0.Latest()
 		if err != nil || size != total {
 			t.Errorf("size = %d, want %d (%v)", size, total, err)
 			return
 		}
 		buf := make([]byte, total)
-		if _, err := c0.Read(blob, LatestVersion, 0, buf); err != nil {
+		if _, err := b0.ReadAt(buf, 0); err != nil {
 			t.Error(err)
 			return
 		}
@@ -116,15 +121,15 @@ func TestAwaitPublished(t *testing.T) {
 			mu.Unlock()
 		}
 		wg.Go(func() {
-			if err := vm.AwaitPublished(2, id, 2); err != nil {
+			if err := vm.AwaitPublished(bg, 2, id, 2); err != nil {
 				t.Error(err)
 			}
 			add("awaited")
 		})
 		wg.Go(func() {
-			vm.Publish(1, id, 1)
+			vm.Publish(bg, 1, id, 1)
 			add("p1")
-			vm.Publish(1, id, 2)
+			vm.Publish(bg, 1, id, 2)
 			add("p2")
 		})
 		wg.Wait()
@@ -132,11 +137,11 @@ func TestAwaitPublished(t *testing.T) {
 			t.Errorf("order = %v", order)
 		}
 		// Await on an already published version returns immediately.
-		if err := vm.AwaitPublished(2, id, 1); err != nil {
+		if err := vm.AwaitPublished(bg, 2, id, 1); err != nil {
 			t.Error(err)
 		}
 		// Await on a never-assigned version errors.
-		if err := vm.AwaitPublished(2, id, 99); err == nil {
+		if err := vm.AwaitPublished(bg, 2, id, 99); err == nil {
 			t.Error("await on unassigned version succeeded")
 		}
 	})
@@ -158,7 +163,7 @@ func TestAwaitPublishedUnblockedByAbort(t *testing.T) {
 		done := false
 		wg := env.NewWaitGroup()
 		wg.Go(func() {
-			vm.AwaitPublished(2, id, 1)
+			vm.AwaitPublished(bg, 2, id, 1)
 			done = true
 		})
 		wg.Go(func() {
@@ -190,19 +195,24 @@ func TestInterleavedWritersManyBlobs(t *testing.T) {
 	}
 	eng.Go(func() {
 		c0 := d.NewClient(0)
-		blobs := make([]BlobID, 5)
+		blobs := make([]*Blob, 5)
 		for i := range blobs {
-			blobs[i], _ = c0.Create(0)
+			blobs[i], _ = c0.CreateBlob(0)
 		}
 		wg := env.NewWaitGroup()
 		for w := 0; w < 15; w++ {
 			node := cluster.NodeID(w + 1)
-			blob := blobs[w%5]
+			blob := blobs[w%5].ID()
 			wg.Go(func() {
 				c := d.NewClient(node)
+				bh, err := c.OpenBlob(blob)
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
 				payload := []byte(fmt.Sprintf("writer-%02d-payload", w))
 				for r := 0; r < 5; r++ {
-					if _, _, err := c.Append(blob, payload); err != nil {
+					if _, _, err := bh.Append(Blocks(payload)); err != nil {
 						t.Errorf("writer %d: %v", w, err)
 						return
 					}
@@ -211,7 +221,7 @@ func TestInterleavedWritersManyBlobs(t *testing.T) {
 		}
 		wg.Wait()
 		for i, blob := range blobs {
-			_, size, err := c0.Latest(blob)
+			_, size, err := blob.Latest()
 			if err != nil {
 				t.Errorf("blob %d: %v", i, err)
 				continue
@@ -221,7 +231,7 @@ func TestInterleavedWritersManyBlobs(t *testing.T) {
 				t.Errorf("blob %d size = %d, want %d", i, size, want)
 			}
 			buf := make([]byte, size)
-			if _, err := c0.Read(blob, LatestVersion, 0, buf); err != nil {
+			if _, err := blob.ReadAt(buf, 0); err != nil {
 				t.Errorf("blob %d read: %v", i, err)
 			}
 			if bytes.IndexByte(buf, 0) >= 0 {

@@ -88,14 +88,14 @@ func BenchmarkLocalWriteRead(b *testing.B) {
 	b.SetBytes(2 << 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		blob, err := c.Create(0)
+		blob, err := c.CreateBlob(0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.Write(blob, 0, payload); err != nil {
+		if _, err := blob.WriteAt(payload, 0); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+		if _, err := blob.ReadAt(buf, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,7 +115,7 @@ func BenchmarkVersionManagerTicket(b *testing.B) {
 			b.Fatal(err)
 		}
 		since = tk.Record.Version
-		if err := vm.Publish(1, id, tk.Record.Version); err != nil {
+		if err := vm.Publish(bg, 1, id, tk.Record.Version); err != nil {
 			b.Fatal(err)
 		}
 	}

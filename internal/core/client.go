@@ -2,7 +2,10 @@
 // (ticket -> page placement -> page scatter -> metadata publish ->
 // version publish), the versioned read protocol (tree walk -> parallel
 // page gather), and the page-location primitive BSFS exposes to the
-// MapReduce scheduler.
+// MapReduce scheduler. The public face of all of it is the blob handle
+// (blob.go): Client opens handles, handles perform operations, options
+// (options.go) select the variant, and an op-scoped cluster.Ctx can
+// cancel any of it mid-flight.
 package core
 
 import (
@@ -18,19 +21,26 @@ import (
 
 // ErrSynthetic is returned when a caller asks for real bytes from a
 // range containing synthetic (size-only) pages.
-var ErrSynthetic = errors.New("core: range contains synthetic pages; use ReadSynthetic")
+var ErrSynthetic = errors.New("core: range contains synthetic pages; read with the Synthetic option")
 
 // ErrAllReplicasDown is returned when every provider holding a copy of
 // a page is unreachable: the data exists but no live replica can serve
 // it. Repairer restores the replication factor before this happens.
 var ErrAllReplicasDown = errors.New("core: all replicas down")
 
-// Client issues BlobSeer operations from one cluster node. A Client is
-// safe for concurrent use by multiple goroutines (or simulated
-// processes): the cached blob geometry, write history and metadata
-// cache are mutex-protected, history records are append-only and
-// shared via capped snapshots, and the scatter/gather fan-outs join
-// all in-flight provider operations before returning.
+// ErrCanceled re-exports the typed cancellation error operations
+// surface when their cluster.Ctx is canceled or its deadline expires.
+// Match with errors.Is.
+var ErrCanceled = cluster.ErrCanceled
+
+// Client issues BlobSeer operations from one cluster node. Per-blob
+// operations run through *Blob handles (OpenBlob / CreateBlob); the
+// Client itself carries only the cross-blob surface. A Client is safe
+// for concurrent use by multiple goroutines (or simulated processes):
+// the cached blob geometry, write history and metadata cache are
+// mutex-protected, history records are append-only and shared via
+// capped snapshots, and the scatter/gather fan-outs join all in-flight
+// provider operations before returning.
 type Client struct {
 	d    *Deployment
 	node cluster.NodeID
@@ -154,20 +164,36 @@ func (c *Client) Node() cluster.NodeID { return c.node }
 // arithmetic — the client never pays a lookup round trip.
 func (c *Client) vm(blob BlobID) *VersionManager { return c.d.VM.Shard(blob) }
 
-// Create registers a new blob with the given page size (0 uses the
-// deployment default).
-func (c *Client) Create(pageSize int64) (BlobID, error) {
+// CreateBlob registers a new blob with the given page size (0 uses the
+// deployment default) and returns its handle.
+func (c *Client) CreateBlob(pageSize int64) (*Blob, error) {
 	if pageSize <= 0 {
 		pageSize = c.d.Opts.PageSize
 	}
 	id, err := c.d.VM.CreateBlob(c.node, pageSize)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	c.mu.Lock()
-	c.blobs[id] = &blobInfo{pageSize: pageSize}
+	bi, ok := c.blobs[id]
+	if !ok {
+		bi = &blobInfo{pageSize: pageSize}
+		c.blobs[id] = bi
+	}
 	c.mu.Unlock()
-	return id, nil
+	return &Blob{c: c, id: id, bi: bi}, nil
+}
+
+// OpenBlob returns a handle to an existing blob. The handle owns the
+// cached blob metadata: the first open of a blob fetches its geometry
+// from the owning version-manager shard, later opens and operations
+// serve it from the client cache.
+func (c *Client) OpenBlob(id BlobID) (*Blob, error) {
+	bi, err := c.info(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Blob{c: c, id: id, bi: bi}, nil
 }
 
 func (c *Client) info(blob BlobID) (*blobInfo, error) {
@@ -192,49 +218,17 @@ func (c *Client) info(blob BlobID) (*blobInfo, error) {
 	return bi, nil
 }
 
-// PageSize returns the blob's page size.
-func (c *Client) PageSize(blob BlobID) (int64, error) {
-	bi, err := c.info(blob)
-	if err != nil {
-		return 0, err
-	}
-	return bi.pageSize, nil
-}
-
-// Latest returns the newest published version and the blob size at it.
-func (c *Client) Latest(blob BlobID) (Version, int64, error) {
-	return c.vm(blob).Latest(c.node, blob)
-}
-
-// Write stores data at offset off, producing and publishing a new
-// version, which it returns. Unaligned boundaries are read-modified
-// against the latest published snapshot.
-func (c *Client) Write(blob BlobID, off int64, data []byte) (Version, error) {
-	v, _, err := c.write(blob, off, int64(len(data)), data, false)
-	return v, err
-}
-
-// Append adds data at the end of the blob; it returns the new version
-// and the offset the data landed at.
-func (c *Client) Append(blob BlobID, data []byte) (Version, int64, error) {
-	return c.write(blob, 0, int64(len(data)), data, true)
-}
-
-// WriteSynthetic records a write of length bytes at off without moving
-// real data (cluster-scale benchmarks).
-func (c *Client) WriteSynthetic(blob BlobID, off, length int64) (Version, error) {
-	v, _, err := c.write(blob, off, length, nil, false)
-	return v, err
-}
-
-// AppendSynthetic appends length synthetic bytes.
-func (c *Client) AppendSynthetic(blob BlobID, length int64) (Version, int64, error) {
-	return c.write(blob, 0, length, nil, true)
-}
-
-func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (Version, int64, error) {
+// write runs the write protocol for one version: ticket, page
+// assembly, placement, scatter, metadata, publish. Any failure — or a
+// cancellation of s.ctx — after the ticket was assigned aborts the
+// version, so the publication frontier never wedges on a leaked
+// pending ticket.
+func (c *Client) write(s opSettings, blob BlobID, off, length int64, data []byte, app bool) (Version, int64, error) {
 	if length <= 0 {
 		return 0, 0, fmt.Errorf("%w: length %d", ErrBadWrite, length)
+	}
+	if err := s.ctx.Err(); err != nil {
+		return 0, 0, canceled("write", err) // before the ticket: nothing to release
 	}
 	bi, err := c.info(blob)
 	if err != nil {
@@ -272,6 +266,9 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 		}
 		return cause
 	}
+	if err := s.ctx.Err(); err != nil {
+		return 0, 0, abort(canceled("write", err))
+	}
 
 	// 2. Page contents. Boundary pages of unaligned real writes merge
 	// with their true predecessor version (page-level read-modify-
@@ -280,7 +277,7 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 	lo, hi := pageSpan(off, length, ps)
 	var pages map[int64][]byte
 	if data != nil {
-		pages, err = c.assemblePages(blob, rec, hist, data, ps)
+		pages, err = c.assemblePages(s, blob, rec, hist, data, ps)
 		if err != nil {
 			return 0, 0, abort(err)
 		}
@@ -313,18 +310,39 @@ func (c *Client) write(blob BlobID, off, length int64, data []byte, app bool) (V
 			perProv[prov] = append(perProv[prov], pagePut{key: key, data: content, size: size})
 		}
 	}
-	if scErr := c.scatterPuts(perProv, total); scErr != nil {
+	if scErr := c.scatterPuts(s.ctx, perProv, total); scErr != nil {
 		return 0, 0, abort(scErr)
 	}
 
 	// 5. Metadata tree nodes into the DHT.
+	if err := s.ctx.Err(); err != nil {
+		return 0, 0, abort(canceled("write", err))
+	}
 	nodes := buildNodes(rec, hist, ps, placeMap)
 	if err := c.meta.BatchPut(nodes); err != nil {
 		return 0, 0, abort(err)
 	}
 
-	// 6. Publish; blocks until the version is globally visible.
-	if err := c.vm(blob).Publish(c.node, blob, rec.Version); err != nil {
+	// 6. Publish. The default blocks until the version is globally
+	// visible; AwaitPublication(false) returns once it is queued. A
+	// cancellation while awaiting visibility aborts the version — the
+	// ticket is released either way — unless publication won the race,
+	// in which case the write simply succeeded.
+	if !s.await {
+		if err := c.vm(blob).PublishBatchAsync(c.node, blob, []Version{rec.Version}); err != nil {
+			return 0, 0, abort(err)
+		}
+		return rec.Version, off, nil
+	}
+	if err := c.vm(blob).Publish(s.ctx, c.node, blob, rec.Version); err != nil {
+		if errors.Is(err, ErrCanceled) {
+			if abortErr := c.vm(blob).Abort(c.node, blob, rec.Version); abortErr != nil {
+				if errors.Is(abortErr, ErrAlreadyPublished) {
+					return rec.Version, off, nil // publication beat the cancel
+				}
+				return 0, 0, fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
+			}
+		}
 		return 0, 0, err
 	}
 	return rec.Version, off, nil
@@ -344,49 +362,58 @@ func (b AppendBlock) length() int64 {
 	return b.Size
 }
 
-// AppendBatch appends blocks back-to-back as consecutive versions,
+// appendBlocks appends blocks back-to-back as consecutive versions,
 // amortizing the version-manager round trips across the whole batch:
 // one RequestTickets call assigns every version (contiguously — no
 // other writer interleaves), the pages of all blocks scatter in one
 // fan-out, the metadata trees go out in one DHT batch, and one
 // PublishBatch call rides the manager's group-commit queue. It returns
-// the versions published, in block order. When assembly, placement,
-// scatter or metadata fail, the whole batch is aborted and no version
-// is published (len(versions) == 0); when publication itself fails
-// partway (a member was tombstoned under us), the longest published
-// prefix is returned alongside the error.
+// the versions published in block order and the offset the first block
+// landed at. When assembly, placement, scatter or metadata fail — or
+// the op's Ctx is canceled before publication — the whole batch is
+// aborted and no version is published (len(versions) == 0); when
+// publication itself fails partway (a member was tombstoned or the Ctx
+// expired mid-wait), the longest published prefix is returned
+// alongside the error.
 //
 // With Options.SerialPublish set the batch degrades to one write()
 // round per block — the A6 ablation baseline — and a failure then
 // leaves the leading blocks that already committed published.
-func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, error) {
+func (c *Client) appendBlocks(s opSettings, blob BlobID, blocks []AppendBlock) ([]Version, int64, error) {
 	if len(blocks) == 0 {
-		return nil, nil
+		return nil, 0, nil
 	}
 	synthetic := blocks[0].Data == nil
 	for _, b := range blocks {
 		if b.length() <= 0 {
-			return nil, fmt.Errorf("%w: length %d", ErrBadWrite, b.length())
+			return nil, 0, fmt.Errorf("%w: length %d", ErrBadWrite, b.length())
 		}
 		if (b.Data == nil) != synthetic {
-			return nil, fmt.Errorf("%w: mixed real and synthetic blocks", ErrBadWrite)
+			return nil, 0, fmt.Errorf("%w: mixed real and synthetic blocks", ErrBadWrite)
 		}
 	}
 	if c.d.Opts.SerialPublish || len(blocks) == 1 {
 		var out []Version
-		for _, b := range blocks {
-			v, _, err := c.write(blob, 0, b.length(), b.Data, true)
+		var first int64
+		for i, b := range blocks {
+			v, off, err := c.write(s, blob, 0, b.length(), b.Data, true)
 			if err != nil {
-				return out, err
+				return out, first, err
+			}
+			if i == 0 {
+				first = off
 			}
 			out = append(out, v)
 		}
-		return out, nil
+		return out, first, nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return nil, 0, canceled("append", err)
 	}
 
 	bi, err := c.info(blob)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ps := bi.pageSize
 
@@ -400,7 +427,7 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 	c.mu.Unlock()
 	tickets, err := c.vm(blob).RequestTickets(c.node, blob, intents, since)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Each ticket's history delta is a prefix of the last one's, so one
 	// pass over the last delta merges everything. The merge lands in a
@@ -424,19 +451,18 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 		recs[i] = t.Record
 		versions[i] = t.Record.Version
 	}
+	base := recs[0].Offset
 	abortAll := func(cause error) error {
-		// Keep aborting past a failed Abort: stopping early would leave
-		// the remaining tickets pending forever and wedge the frontier.
-		var abortErr error
-		for _, v := range versions {
-			if err := c.vm(blob).Abort(c.node, blob, v); err != nil && abortErr == nil {
-				abortErr = err
-			}
-		}
-		if abortErr != nil {
+		// One atomic batch abort: every member resolves under a single
+		// version-manager lock acquisition, so no ticket is ever left
+		// pending and the frontier cannot wedge.
+		if abortErr := c.vm(blob).AbortBatch(c.node, blob, versions); abortErr != nil {
 			return fmt.Errorf("%w (abort also failed: %v)", cause, abortErr)
 		}
 		return cause
+	}
+	if err := s.ctx.Err(); err != nil {
+		return nil, 0, abortAll(canceled("append", err))
 	}
 
 	// 2. Page contents. The batch spans one contiguous byte range, so a
@@ -444,7 +470,6 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 	// block plus the concatenated payload — covers every page of every
 	// version; in-batch boundary pages never read each other through
 	// the store (which would deadlock on unpublished predecessors).
-	base := recs[0].Offset
 	alignedStart := base - base%ps
 	var ext []byte
 	if !synthetic {
@@ -454,8 +479,8 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 		}
 		ext = make([]byte, (base-alignedStart)+total)
 		if base > alignedStart {
-			if err := c.mergeFragment(blob, recs[0].Version, hist, alignedStart, alignedStart, base, ps, ext[:base-alignedStart]); err != nil {
-				return nil, abortAll(err)
+			if err := c.mergeFragment(s.ctx, blob, recs[0].Version, hist, alignedStart, alignedStart, base, ps, ext[:base-alignedStart]); err != nil {
+				return nil, 0, abortAll(err)
 			}
 		}
 		at := base - alignedStart
@@ -473,7 +498,7 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 	}
 	placement, err := c.d.PM.Place(c.node, totalPages, c.d.Opts.Replication)
 	if err != nil {
-		return nil, abortAll(err)
+		return nil, 0, abortAll(err)
 	}
 
 	// 4. One scatter fan-out for the whole batch.
@@ -498,13 +523,16 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 			}
 		}
 	}
-	if scErr := c.scatterPuts(perProv, total); scErr != nil {
-		return nil, abortAll(scErr)
+	if scErr := c.scatterPuts(s.ctx, perProv, total); scErr != nil {
+		return nil, 0, abortAll(scErr)
 	}
 
 	// 5. Every version's metadata tree in one DHT batch. Ticket i's
 	// history delta already delivered the records of tickets 0..i-1, so
 	// borrow computation sees the in-batch predecessors.
+	if err := s.ctx.Err(); err != nil {
+		return nil, 0, abortAll(canceled("append", err))
+	}
 	nodes := make(map[string][]byte)
 	slot = 0
 	for _, rec := range recs {
@@ -519,22 +547,38 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 		}
 	}
 	if err := c.meta.BatchPut(nodes); err != nil {
-		return nil, abortAll(err)
+		return nil, 0, abortAll(err)
 	}
 
 	// 6. One publish round trip; the group-commit drainer advances the
 	// frontier across the whole batch in one pass.
-	if err := c.vm(blob).PublishBatch(c.node, blob, versions); err != nil {
-		// Publication failed partway: a member was tombstoned under
-		// us, which takes a foreign Abort of this client's pending
-		// ticket — nothing in the system issues one today. Every
-		// member is resolved (published or aborted); report the
-		// longest published prefix, matching the serial path's
-		// semantics and the caller's FIFO byte accounting. Members
-		// past the gap may also have published — they cannot be
-		// retracted — but the tombstone already left a hole in the
-		// byte stream, so the conservative prefix is the only count
-		// that never claims bytes a reader could miss.
+	var pubErr error
+	if !s.await {
+		if err := c.vm(blob).PublishBatchAsync(c.node, blob, versions); err != nil {
+			return nil, 0, abortAll(err)
+		}
+		c.mu.Lock()
+		bi.history = appendHistory(bi.history, lastDelta)
+		c.mu.Unlock()
+		return versions, base, nil
+	}
+	pubErr = c.vm(blob).PublishBatch(s.ctx, c.node, blob, versions)
+	if pubErr != nil {
+		// Publication failed partway: a member was tombstoned under us
+		// or the Ctx was canceled mid-wait. Resolve every member with
+		// one atomic batch abort — canceled waits leave tickets
+		// ready-but-unconfirmed, and AbortBatch tombstones whatever
+		// has not published yet under a single lock acquisition, which
+		// guarantees the members still published afterwards are a
+		// contiguous prefix of the batch. Report that prefix: it is
+		// exact (nothing published lies past it), matches the serial
+		// path's semantics, and backs the caller's FIFO byte
+		// accounting.
+		if errors.Is(pubErr, ErrCanceled) {
+			if abortErr := c.vm(blob).AbortBatch(c.node, blob, versions); abortErr != nil {
+				pubErr = fmt.Errorf("%w (abort also failed: %v)", pubErr, abortErr)
+			}
+		}
 		n := 0
 		for _, v := range versions {
 			if _, gerr := c.vm(blob).GetVersion(c.node, blob, v); gerr != nil {
@@ -542,12 +586,12 @@ func (c *Client) AppendBatch(blob BlobID, blocks []AppendBlock) ([]Version, erro
 			}
 			n++
 		}
-		return versions[:n], err
+		return versions[:n], base, pubErr
 	}
 	c.mu.Lock()
 	bi.history = appendHistory(bi.history, lastDelta)
 	c.mu.Unlock()
-	return versions, nil
+	return versions, base, nil
 }
 
 // BlobAppend names one blob's block batch within a cross-blob append.
@@ -562,18 +606,20 @@ type BlobAppend struct {
 // groups proceed concurrently — the client-side face of the sharded
 // tier, where aggregate publish throughput scales with the number of
 // shards touched. Results align with reqs: out[i] holds the versions
-// published for reqs[i] (possibly a prefix on failure, matching
-// AppendBatch), and the first error encountered is returned after
-// every group has finished.
-func (c *Client) AppendMany(reqs []BlobAppend) ([][]Version, error) {
+// published for reqs[i] (possibly a prefix on failure, matching the
+// batch semantics of Blob.Append), and the first error encountered is
+// returned after every group has finished. Options (WithCtx,
+// AwaitPublication) apply to every batch.
+func (c *Client) AppendMany(reqs []BlobAppend, opts ...WriteOption) ([][]Version, error) {
+	s := resolveWriteOpts(opts)
 	out := make([][]Version, len(reqs))
 	if len(reqs) == 0 {
 		return out, nil
 	}
 	groups := make(map[int][]int) // shard index -> indices into reqs
 	for i, req := range reqs {
-		s := c.d.VM.ShardIndex(req.Blob)
-		groups[s] = append(groups[s], i)
+		sh := c.d.VM.ShardIndex(req.Blob)
+		groups[sh] = append(groups[sh], i)
 	}
 	var mu sync.Mutex
 	var first error
@@ -581,7 +627,7 @@ func (c *Client) AppendMany(reqs []BlobAppend) ([][]Version, error) {
 	for _, idxs := range groups {
 		workers = append(workers, func() {
 			for _, i := range idxs {
-				vs, err := c.AppendBatch(reqs[i].Blob, reqs[i].Blocks)
+				vs, _, err := c.appendBlocks(s, reqs[i].Blob, reqs[i].Blocks)
 				mu.Lock()
 				out[i] = vs
 				if err != nil && first == nil {
@@ -616,14 +662,18 @@ type pagePut struct {
 // logical transfer (one RTT charge, one Scatter charge). fanOut joins
 // every worker before returning, so a failed scatter never races an
 // in-flight put; workers stop issuing new puts as soon as any provider
-// fails, and the first error is returned for the caller to abort on.
-func (c *Client) scatterPuts(perProv map[cluster.NodeID][]pagePut, total int64) error {
+// fails or ctx is canceled, and the first error is returned for the
+// caller to abort on.
+func (c *Client) scatterPuts(ctx *cluster.Ctx, perProv map[cluster.NodeID][]pagePut, total int64) error {
 	dests := sortedNodes(perProv)
 	c.d.Env.RTT(c.node, farthestNode(c.d.Env, c.node, dests))
 	c.d.Env.Scatter(c.node, dests, total)
 	var scMu sync.Mutex
 	var scErr error
 	failed := func() bool {
+		if ctx.Done() {
+			return true
+		}
 		scMu.Lock()
 		defer scMu.Unlock()
 		return scErr != nil
@@ -651,6 +701,11 @@ func (c *Client) scatterPuts(perProv map[cluster.NodeID][]pagePut, total int64) 
 			scMu.Unlock()
 		}
 	})
+	if scErr == nil {
+		if err := ctx.Err(); err != nil {
+			return canceled("scatter", err)
+		}
+	}
 	return scErr
 }
 
@@ -671,7 +726,7 @@ func pageExtent(p, ps, size int64) int64 {
 // buffers, merging unaligned boundary pages with the latest version
 // whose span covers the uncovered fragment — per the ticket history,
 // not the racing "latest" — waiting for its publication first.
-func (c *Client) assemblePages(blob BlobID, rec WriteRecord, hist history, data []byte, ps int64) (map[int64][]byte, error) {
+func (c *Client) assemblePages(s opSettings, blob BlobID, rec WriteRecord, hist history, data []byte, ps int64) (map[int64][]byte, error) {
 	off, length := rec.Offset, int64(len(data))
 	lo, hi := pageSpan(off, length, ps)
 	pages := make(map[int64][]byte, hi-lo)
@@ -689,12 +744,12 @@ func (c *Client) assemblePages(blob BlobID, rec WriteRecord, hist history, data 
 			covTo = extent
 		}
 		if covFrom > 0 {
-			if err := c.mergeFragment(blob, rec.Version, hist, pStart, pStart, pStart+covFrom, ps, buf[:covFrom]); err != nil {
+			if err := c.mergeFragment(s.ctx, blob, rec.Version, hist, pStart, pStart, pStart+covFrom, ps, buf[:covFrom]); err != nil {
 				return nil, err
 			}
 		}
 		if covTo < extent {
-			if err := c.mergeFragment(blob, rec.Version, hist, pStart, pStart+covTo, pStart+extent, ps, buf[covTo:]); err != nil {
+			if err := c.mergeFragment(s.ctx, blob, rec.Version, hist, pStart, pStart+covTo, pStart+extent, ps, buf[covTo:]); err != nil {
 				return nil, err
 			}
 		}
@@ -708,8 +763,9 @@ func (c *Client) assemblePages(blob BlobID, rec WriteRecord, hist history, data 
 // mergeFragment fills dst with bytes [from, to) of page pStart as of
 // the latest non-aborted version before v whose span intersects the
 // fragment. It waits for that version's publication (concurrent-append
-// safety); if no version ever wrote the fragment it stays zero.
-func (c *Client) mergeFragment(blob BlobID, v Version, hist history, pStart, from, to, ps int64, dst []byte) error {
+// safety; the wait is cancellable through ctx); if no version ever
+// wrote the fragment it stays zero.
+func (c *Client) mergeFragment(ctx *cluster.Ctx, blob BlobID, v Version, hist history, pStart, from, to, ps int64, dst []byte) error {
 	for w := v - 1; w >= 1; w-- {
 		r, ok := hist.record(w)
 		if !ok {
@@ -721,10 +777,13 @@ func (c *Client) mergeFragment(blob BlobID, v Version, hist history, pStart, fro
 		if r.Aborted {
 			continue // tombstoned writer; fall back to an older owner
 		}
-		if err := c.vm(blob).AwaitPublished(c.node, blob, w); err != nil {
+		if err := c.vm(blob).AwaitPublished(ctx, c.node, blob, w); err != nil {
 			return err
 		}
-		if _, err := c.readInto(blob, w, from, dst); err != nil {
+		s := defaultSettings()
+		s.ctx = ctx
+		s.version = w
+		if _, err := c.readCommon(s, blob, from, int64(len(dst)), dst); err != nil {
 			if errors.Is(err, ErrAborted) {
 				// The cached record predates w's abort (history
 				// snapshots are immutable, so a tombstone set after
@@ -739,30 +798,17 @@ func (c *Client) mergeFragment(blob BlobID, v Version, hist history, pStart, fro
 	return nil // hole: zeros
 }
 
-// Read fills p with bytes at offset off of the given version
-// (LatestVersion for the newest). It returns the number of bytes read;
-// short reads happen at the end of the blob.
-func (c *Client) Read(blob BlobID, v Version, off int64, p []byte) (int, error) {
-	return c.readInto(blob, v, off, p)
-}
-
-// ReadSynthetic traverses the read path for length bytes without
-// materializing them; it returns the number of bytes covered. It works
-// on both real and synthetic blobs.
-func (c *Client) ReadSynthetic(blob BlobID, v Version, off, length int64) (int64, error) {
-	return c.readCommon(blob, v, off, length, nil)
-}
-
-func (c *Client) readInto(blob BlobID, v Version, off int64, p []byte) (int, error) {
-	n, err := c.readCommon(blob, v, off, int64(len(p)), p)
-	return int(n), err
-}
-
-// readCommon implements the read protocol. If dst is non-nil the bytes
-// are materialized into it (error if the range holds synthetic pages).
-func (c *Client) readCommon(blob BlobID, v Version, off, length int64, dst []byte) (int64, error) {
+// readCommon implements the read protocol for the snapshot addressed
+// by s.version. If dst is non-nil the bytes are materialized into it
+// (error if the range holds synthetic pages); a nil dst traverses the
+// path for length bytes without materializing. Cancellation of s.ctx
+// is honored between protocol steps and between gather rounds.
+func (c *Client) readCommon(s opSettings, blob BlobID, off, length int64, dst []byte) (int64, error) {
 	if length <= 0 || off < 0 {
 		return 0, nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return 0, canceled("read", err)
 	}
 	bi, err := c.info(blob)
 	if err != nil {
@@ -770,14 +816,14 @@ func (c *Client) readCommon(blob BlobID, v Version, off, length int64, dst []byt
 	}
 	ps := bi.pageSize
 
-	rec, ok, err := c.resolveVersion(blob, v)
+	rec, ok, err := c.resolveVersion(blob, s.version)
 	if err != nil {
 		return 0, err
 	}
 	if !ok || off >= rec.SizeAfter {
 		return 0, nil
 	}
-	v = rec.Version
+	v := rec.Version
 	size := rec.SizeAfter
 	if off+length > size {
 		length = size - off
@@ -785,14 +831,15 @@ func (c *Client) readCommon(blob BlobID, v Version, off, length int64, dst []byt
 	capPages := capacityPages(size, ps)
 
 	// Tree walk: one batched DHT get per level. The root node lives in
-	// the key space of the version's owning blob (differs after Clone).
+	// the key space of the version's owning blob (differs after
+	// Snapshot branching).
 	lo, hi := pageSpan(off, length, ps)
 	leaves, err := walkTree(rec.Blob, v, capPages, lo, hi, c.meta)
 	if err != nil {
 		return 0, err
 	}
 
-	fetched, err := c.gatherPages(leaves)
+	fetched, err := c.gatherPages(s.ctx, leaves)
 	if err != nil {
 		return 0, err
 	}
@@ -856,7 +903,10 @@ func (c *Client) fanOut(nodes []cluster.NodeID, fn func(cluster.NodeID)) {
 // failover: a provider that fails mid-fetch only requeues its own pages
 // onto their surviving replicas instead of aborting the whole read. A
 // page none of whose replicas can serve fails with ErrAllReplicasDown.
-func (c *Client) gatherPages(leaves []PageLoc) (map[int64]PageFetch, error) {
+// Cancellation is honored between rounds and before each provider
+// batch: a canceled gather stops issuing fetches, joins its in-flight
+// workers, and returns an error matching ErrCanceled.
+func (c *Client) gatherPages(ctx *cluster.Ctx, leaves []PageLoc) (map[int64]PageFetch, error) {
 	type pendingPage struct {
 		loc     PageLoc
 		tried   map[cluster.NodeID]bool // replicas that already failed
@@ -871,6 +921,9 @@ func (c *Client) gatherPages(leaves []PageLoc) (map[int64]PageFetch, error) {
 	}
 	fetched := make(map[int64]PageFetch, len(pending)) // page index -> fetch
 	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, canceled("gather", err)
+		}
 		perProv := make(map[cluster.NodeID][]*pendingPage)
 		for _, pp := range pending {
 			prov, err := c.pickReplica(pp.loc.Providers, pp.tried)
@@ -891,6 +944,9 @@ func (c *Client) gatherPages(leaves []PageLoc) (map[int64]PageFetch, error) {
 		var total, fromDisk int64
 		var gmu sync.Mutex // guards next, total, fromDisk, fetched
 		c.fanOut(srcs, func(prov cluster.NodeID) {
+			if ctx.Done() {
+				return // canceled: the round check below surfaces it
+			}
 			batch := perProv[prov]
 			pr := c.d.Providers[prov]
 			keys := make([]string, len(batch))
@@ -936,6 +992,9 @@ func (c *Client) gatherPages(leaves []PageLoc) (map[int64]PageFetch, error) {
 		}
 		c.d.Env.RTT(c.node, farthestNode(c.d.Env, c.node, srcs))
 		c.d.Env.Gather(c.node, srcs, total, diskFrac)
+		if err := ctx.Err(); err != nil {
+			return nil, canceled("gather", err)
+		}
 		pending = next
 	}
 	return fetched, nil
@@ -967,16 +1026,17 @@ func (c *Client) pickReplica(replicas []cluster.NodeID, tried map[cluster.NodeID
 	return 0, ErrAllReplicasDown
 }
 
-// PageLocations exposes the page-to-provider distribution of a range,
-// the primitive added for the Hadoop scheduler's locality decisions
-// (paper §III.B).
-func (c *Client) PageLocations(blob BlobID, v Version, off, length int64) ([]PageLoc, error) {
+// locations implements Blob.Locations.
+func (c *Client) locations(s opSettings, blob BlobID, off, length int64) ([]PageLoc, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, canceled("locations", err)
+	}
 	bi, err := c.info(blob)
 	if err != nil {
 		return nil, err
 	}
 	ps := bi.pageSize
-	rec, ok, err := c.resolveVersion(blob, v)
+	rec, ok, err := c.resolveVersion(blob, s.version)
 	if err != nil {
 		return nil, err
 	}
@@ -1002,34 +1062,6 @@ func (c *Client) resolveVersion(blob BlobID, v Version) (WriteRecord, bool, erro
 		return WriteRecord{}, false, err
 	}
 	return rec, true, nil
-}
-
-// Clone branches a new blob off a published snapshot of an existing
-// one: O(1) data movement, copy-on-write thereafter. The clone starts
-// identical to source@v and diverges independently.
-func (c *Client) Clone(source BlobID, v Version) (BlobID, error) {
-	if v == LatestVersion {
-		rec, ok, err := c.vm(source).LatestRecord(c.node, source)
-		if err != nil {
-			return 0, err
-		}
-		if !ok {
-			return 0, fmt.Errorf("%w: cloning an empty blob", ErrNoSuchVersion)
-		}
-		v = rec.Version
-	}
-	id, err := c.d.VM.Clone(c.node, source, v)
-	if err != nil {
-		return 0, err
-	}
-	ps, err := c.vm(id).PageSize(c.node, id)
-	if err != nil {
-		return 0, err
-	}
-	c.mu.Lock()
-	c.blobs[id] = &blobInfo{pageSize: ps}
-	c.mu.Unlock()
-	return id, nil
 }
 
 func sortedNodes[V any](m map[cluster.NodeID]V) []cluster.NodeID {

@@ -33,12 +33,12 @@ func newLocalDeployment(t *testing.T, opts Options) *Deployment {
 func TestWriteReadRoundTrip(t *testing.T) {
 	d := newLocalDeployment(t, Options{})
 	c := d.NewClient(0)
-	blob, err := c.Create(0)
+	blob, err := c.CreateBlob(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data := []byte("hello, blobseer! this is a paper reproduction.")
-	v, err := c.Write(blob, 0, data)
+	v, err := blob.WriteAt(data, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,11 +46,11 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		t.Fatalf("version = %d", v)
 	}
 	buf := make([]byte, len(data))
-	n, err := c.Read(blob, LatestVersion, 0, buf)
+	n, err := blob.ReadAt(buf, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != len(data) || !bytes.Equal(buf, data) {
+	if n != int64(len(data)) || !bytes.Equal(buf, data) {
 		t.Fatalf("read %d bytes: %q", n, buf[:n])
 	}
 }
@@ -58,16 +58,16 @@ func TestWriteReadRoundTrip(t *testing.T) {
 func TestMultiPageWrite(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 64})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	data := make([]byte, 1000)
 	for i := range data {
 		data[i] = byte(i % 251)
 	}
-	if _, err := c.Write(blob, 0, data); err != nil {
+	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 1000)
-	if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := blob.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, data) {
@@ -75,7 +75,7 @@ func TestMultiPageWrite(t *testing.T) {
 	}
 	// Sub-range read across page boundaries.
 	sub := make([]byte, 200)
-	n, err := c.Read(blob, LatestVersion, 150, sub)
+	n, err := blob.ReadAt(sub, 150)
 	if err != nil || n != 200 {
 		t.Fatalf("sub-read: %d, %v", n, err)
 	}
@@ -87,20 +87,20 @@ func TestMultiPageWrite(t *testing.T) {
 func TestVersioningKeepsSnapshots(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 16})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
-	v1, _ := c.Write(blob, 0, []byte("AAAAAAAAAAAAAAAA")) // one page
-	v2, _ := c.Write(blob, 0, []byte("BBBBBBBB"))         // overwrite first half
+	blob, _ := c.CreateBlob(0)
+	v1, _ := blob.WriteAt([]byte("AAAAAAAAAAAAAAAA"), 0) // one page
+	v2, _ := blob.WriteAt([]byte("BBBBBBBB"), 0)         // overwrite first half
 	if v1 != 1 || v2 != 2 {
 		t.Fatalf("versions = %d, %d", v1, v2)
 	}
 	buf := make([]byte, 16)
-	if _, err := c.Read(blob, v1, 0, buf); err != nil {
+	if _, err := blob.ReadAt(buf, 0, AtVersion(v1)); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf) != "AAAAAAAAAAAAAAAA" {
 		t.Fatalf("v1 = %q (old snapshot mutated!)", buf)
 	}
-	if _, err := c.Read(blob, v2, 0, buf); err != nil {
+	if _, err := blob.ReadAt(buf, 0, AtVersion(v2)); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf) != "BBBBBBBBAAAAAAAA" {
@@ -111,14 +111,14 @@ func TestVersioningKeepsSnapshots(t *testing.T) {
 func TestUnalignedWriteReadModify(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 10})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
-	c.Write(blob, 0, []byte("0123456789abcdefghij")) // 2 pages
+	blob, _ := c.CreateBlob(0)
+	blob.WriteAt([]byte("0123456789abcdefghij"), 0) // 2 pages
 	// Overwrite the middle, straddling the page boundary, unaligned.
-	if _, err := c.Write(blob, 7, []byte("XYZW")); err != nil {
+	if _, err := blob.WriteAt([]byte("XYZW"), 7); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 20)
-	c.Read(blob, LatestVersion, 0, buf)
+	blob.ReadAt(buf, 0)
 	if string(buf) != "0123456XYZWbcdefghij" {
 		t.Fatalf("merged = %q", buf)
 	}
@@ -127,11 +127,11 @@ func TestUnalignedWriteReadModify(t *testing.T) {
 func TestAppendGrowsBlob(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 8})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	var want []byte
 	for i := 0; i < 10; i++ {
 		chunk := bytes.Repeat([]byte{byte('a' + i)}, 5)
-		_, off, err := c.Append(blob, chunk)
+		_, off, err := blob.Append(Blocks(chunk))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,12 +140,12 @@ func TestAppendGrowsBlob(t *testing.T) {
 		}
 		want = append(want, chunk...)
 	}
-	_, size, _ := c.Latest(blob)
+	_, size, _ := blob.Latest()
 	if size != 50 {
 		t.Fatalf("size = %d", size)
 	}
 	buf := make([]byte, 50)
-	c.Read(blob, LatestVersion, 0, buf)
+	blob.ReadAt(buf, 0)
 	if !bytes.Equal(buf, want) {
 		t.Fatalf("appended content mismatch: %q", buf)
 	}
@@ -154,18 +154,18 @@ func TestAppendGrowsBlob(t *testing.T) {
 func TestSparseWriteReadsZeros(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 10})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
-	c.Write(blob, 0, []byte("head"))
+	blob, _ := c.CreateBlob(0)
+	blob.WriteAt([]byte("head"), 0)
 	// Sparse write far past the end.
-	if _, err := c.Write(blob, 1000, []byte("tail")); err != nil {
+	if _, err := blob.WriteAt([]byte("tail"), 1000); err != nil {
 		t.Fatal(err)
 	}
-	_, size, _ := c.Latest(blob)
+	_, size, _ := blob.Latest()
 	if size != 1004 {
 		t.Fatalf("size = %d", size)
 	}
 	buf := make([]byte, 1004)
-	n, err := c.Read(blob, LatestVersion, 0, buf)
+	n, err := blob.ReadAt(buf, 0)
 	if err != nil || n != 1004 {
 		t.Fatalf("read: %d, %v", n, err)
 	}
@@ -182,14 +182,14 @@ func TestSparseWriteReadsZeros(t *testing.T) {
 func TestReadBeyondEOF(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 10})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
-	c.Write(blob, 0, []byte("12345"))
+	blob, _ := c.CreateBlob(0)
+	blob.WriteAt([]byte("12345"), 0)
 	buf := make([]byte, 100)
-	n, err := c.Read(blob, LatestVersion, 0, buf)
+	n, err := blob.ReadAt(buf, 0)
 	if err != nil || n != 5 {
 		t.Fatalf("short read: %d, %v", n, err)
 	}
-	n, err = c.Read(blob, LatestVersion, 99, buf)
+	n, err = blob.ReadAt(buf, 99)
 	if err != nil || n != 0 {
 		t.Fatalf("past-EOF read: %d, %v", n, err)
 	}
@@ -198,8 +198,8 @@ func TestReadBeyondEOF(t *testing.T) {
 func TestEmptyBlobRead(t *testing.T) {
 	d := newLocalDeployment(t, Options{})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
-	n, err := c.Read(blob, LatestVersion, 0, make([]byte, 10))
+	blob, _ := c.CreateBlob(0)
+	n, err := blob.ReadAt(make([]byte, 10), 0)
 	if err != nil || n != 0 {
 		t.Fatalf("empty read: %d, %v", n, err)
 	}
@@ -208,16 +208,16 @@ func TestEmptyBlobRead(t *testing.T) {
 func TestReplicatedPagesSurviveProviderFailure(t *testing.T) {
 	d := newLocalDeployment(t, Options{Replication: 3, PageSize: 32})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	data := bytes.Repeat([]byte("xyz"), 100)
-	if _, err := c.Write(blob, 0, data); err != nil {
+	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Take down two of the five providers.
 	d.Providers[1].SetDown(true)
 	d.Providers[3].SetDown(true)
 	buf := make([]byte, len(data))
-	if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := blob.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, data) {
@@ -228,23 +228,23 @@ func TestReplicatedPagesSurviveProviderFailure(t *testing.T) {
 func TestWriteFailureAbortsVersion(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 32, ProviderNodes: []cluster.NodeID{1}})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
-	c.Write(blob, 0, []byte("first"))
+	blob, _ := c.CreateBlob(0)
+	blob.WriteAt([]byte("first"), 0)
 	d.Providers[1].SetDown(true)
-	if _, err := c.Write(blob, 0, []byte("second")); !errors.Is(err, ErrProviderDown) {
+	if _, err := blob.WriteAt([]byte("second"), 0); !errors.Is(err, ErrProviderDown) {
 		t.Fatalf("err = %v", err)
 	}
 	d.Providers[1].SetDown(false)
 	// The failed version must not be visible; a new write proceeds.
-	v, _, err := c.Latest(blob)
+	v, _, err := blob.Latest()
 	if err != nil || v != 1 {
 		t.Fatalf("Latest = %d, %v", v, err)
 	}
-	if _, err := c.Write(blob, 0, []byte("third")); err != nil {
+	if _, err := blob.WriteAt([]byte("third"), 0); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 5)
-	c.Read(blob, LatestVersion, 0, buf)
+	blob.ReadAt(buf, 0)
 	if string(buf) != "third" {
 		t.Fatalf("content = %q", buf)
 	}
@@ -253,17 +253,17 @@ func TestWriteFailureAbortsVersion(t *testing.T) {
 func TestSyntheticWriteRead(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 1 << 10})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
-	v, err := c.WriteSynthetic(blob, 0, 10<<10)
+	blob, _ := c.CreateBlob(0)
+	v, err := blob.WriteAt(nil, 0, Synthetic(10<<10))
 	if err != nil || v != 1 {
 		t.Fatalf("synthetic write: %d, %v", v, err)
 	}
-	n, err := c.ReadSynthetic(blob, LatestVersion, 0, 10<<10)
+	n, err := blob.ReadAt(nil, 0, Synthetic(10<<10))
 	if err != nil || n != 10<<10 {
 		t.Fatalf("synthetic read: %d, %v", n, err)
 	}
 	// Asking for real bytes from synthetic pages fails loudly.
-	if _, err := c.Read(blob, LatestVersion, 0, make([]byte, 16)); !errors.Is(err, ErrSynthetic) {
+	if _, err := blob.ReadAt(make([]byte, 16), 0); !errors.Is(err, ErrSynthetic) {
 		t.Fatalf("err = %v, want ErrSynthetic", err)
 	}
 }
@@ -271,9 +271,9 @@ func TestSyntheticWriteRead(t *testing.T) {
 func TestPageLocationsExposeDistribution(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 100})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
-	c.WriteSynthetic(blob, 0, 1000) // 10 pages over 5 providers
-	locs, err := c.PageLocations(blob, LatestVersion, 0, 1000)
+	blob, _ := c.CreateBlob(0)
+	blob.WriteAt(nil, 0, Synthetic(1000)) // 10 pages over 5 providers
+	locs, err := blob.Locations(0, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,16 +320,16 @@ func TestConcurrentWritersDifferentBlobsSim(t *testing.T) {
 			node := cluster.NodeID(w % 30)
 			wg.Go(func() {
 				c := d.NewClient(node)
-				blob, err := c.Create(0)
+				blob, err := c.CreateBlob(0)
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := c.WriteSynthetic(blob, 0, perWriter); err != nil {
+				if _, err := blob.WriteAt(nil, 0, Synthetic(perWriter)); err != nil {
 					t.Error(err)
 					return
 				}
-				n, err := c.ReadSynthetic(blob, LatestVersion, 0, perWriter)
+				n, err := blob.ReadAt(nil, 0, Synthetic(perWriter))
 				if err != nil || n != perWriter {
 					t.Errorf("read back %d, %v", n, err)
 				}
@@ -359,22 +359,25 @@ func TestConcurrentAppendersSameBlobSim(t *testing.T) {
 	}
 	const appenders = 10
 	const chunk = 1 << 20
-	var blob BlobID
 	offsets := make([]int64, appenders)
 	eng.Go(func() {
 		c0 := d.NewClient(0)
-		b, err := c0.Create(0)
+		blob, err := c0.CreateBlob(0)
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		blob = b
 		wg := env.NewWaitGroup()
 		for a := 0; a < appenders; a++ {
 			node := cluster.NodeID(a + 1)
 			wg.Go(func() {
 				c := d.NewClient(node)
-				_, off, err := c.AppendSynthetic(blob, chunk)
+				bh, err := c.OpenBlob(blob.ID())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, off, err := bh.Append(SyntheticBlocks(chunk))
 				if err != nil {
 					t.Error(err)
 					return
@@ -383,11 +386,11 @@ func TestConcurrentAppendersSameBlobSim(t *testing.T) {
 			})
 		}
 		wg.Wait()
-		v, size, err := c0.Latest(blob)
+		v, size, err := blob.Latest()
 		if err != nil || size != appenders*chunk {
 			t.Errorf("final size = %d (v%d), %v", size, v, err)
 		}
-		if n, err := c0.ReadSynthetic(blob, LatestVersion, 0, size); err != nil || n != size {
+		if n, err := blob.ReadAt(nil, 0, Synthetic(size)); err != nil || n != size {
 			t.Errorf("full read: %d, %v", n, err)
 		}
 	})
@@ -410,7 +413,7 @@ func TestRandomizedReadWriteAgainstFlatFile(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 32})
 	c := d.NewClient(0)
 	rng := rand.New(rand.NewSource(99))
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	var ref []byte
 	for i := 0; i < 60; i++ {
 		length := 1 + rng.Intn(200)
@@ -418,7 +421,7 @@ func TestRandomizedReadWriteAgainstFlatFile(t *testing.T) {
 		rng.Read(data)
 		if rng.Intn(2) == 0 && len(ref) > 0 {
 			off := rng.Intn(len(ref))
-			if _, err := c.Write(blob, int64(off), data); err != nil {
+			if _, err := blob.WriteAt(data, int64(off)); err != nil {
 				t.Fatal(err)
 			}
 			if off+length > len(ref) {
@@ -426,18 +429,18 @@ func TestRandomizedReadWriteAgainstFlatFile(t *testing.T) {
 			}
 			copy(ref[off:], data)
 		} else {
-			if _, _, err := c.Append(blob, data); err != nil {
+			if _, _, err := blob.Append(Blocks(data)); err != nil {
 				t.Fatal(err)
 			}
 			ref = append(ref, data...)
 		}
 	}
-	_, size, _ := c.Latest(blob)
+	_, size, _ := blob.Latest()
 	if size != int64(len(ref)) {
 		t.Fatalf("size = %d, want %d", size, len(ref))
 	}
 	got := make([]byte, len(ref))
-	if _, err := c.Read(blob, LatestVersion, 0, got); err != nil {
+	if _, err := blob.ReadAt(got, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, ref) {
@@ -452,8 +455,8 @@ func TestRandomizedReadWriteAgainstFlatFile(t *testing.T) {
 		off := rng.Intn(len(ref))
 		l := 1 + rng.Intn(len(ref)-off)
 		sub := make([]byte, l)
-		n, err := c.Read(blob, LatestVersion, int64(off), sub)
-		if err != nil || n != l {
+		n, err := blob.ReadAt(sub, int64(off))
+		if err != nil || n != int64(l) {
 			t.Fatalf("sub-read %d+%d: %d, %v", off, l, n, err)
 		}
 		if !bytes.Equal(sub, ref[off:off+l]) {
@@ -472,11 +475,8 @@ func TestDeploymentValidation(t *testing.T) {
 func TestClientInfoUnknownBlob(t *testing.T) {
 	d := newLocalDeployment(t, Options{})
 	c := d.NewClient(0)
-	if _, err := c.PageSize(404); !errors.Is(err, ErrNoSuchBlob) {
+	if _, err := c.OpenBlob(404); !errors.Is(err, ErrNoSuchBlob) {
 		t.Fatalf("err = %v", err)
-	}
-	if _, err := c.Write(404, 0, []byte("x")); err == nil {
-		t.Fatal("write to unknown blob accepted")
 	}
 }
 
@@ -493,9 +493,9 @@ func TestPersistentProviderRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	data := []byte(fmt.Sprintf("durable-%d", 42))
-	c.Write(blob, 0, data)
+	blob.WriteAt(data, 0)
 	for _, p := range d.Providers {
 		if err := p.FlushNow(); err != nil {
 			t.Fatal(err)
@@ -514,8 +514,9 @@ func TestPersistentProviderRecovery(t *testing.T) {
 	d2.Meta = d.Meta
 	c2 := d2.NewClient(0)
 	c2.blobs = map[BlobID]*blobInfo{}
+	b2 := openB(t, c2, blob.ID())
 	buf := make([]byte, len(data))
-	if _, err := c2.Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := b2.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, data) {

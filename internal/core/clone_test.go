@@ -12,16 +12,16 @@ import (
 func TestCloneSharesDataCopyOnWrite(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 16})
 	c := d.NewClient(0)
-	src, _ := c.Create(0)
-	c.Write(src, 0, []byte("original-content-of-the-source-blob!"))
+	src, _ := c.CreateBlob(0)
+	src.WriteAt([]byte("original-content-of-the-source-blob!"), 0)
 
-	clone, err := c.Clone(src, LatestVersion)
+	clone, err := src.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The clone reads identically with zero data movement.
 	buf := make([]byte, 36)
-	n, err := c.Read(clone, LatestVersion, 0, buf)
+	n, err := clone.ReadAt(buf, 0)
 	if err != nil || n != 36 {
 		t.Fatalf("clone read: %d, %v", n, err)
 	}
@@ -31,17 +31,17 @@ func TestCloneSharesDataCopyOnWrite(t *testing.T) {
 
 	// Divergence: writes to the clone do not affect the source and
 	// vice versa.
-	if _, err := c.Write(clone, 0, []byte("CLONE")); err != nil {
+	if _, err := clone.WriteAt([]byte("CLONE"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Write(src, 9, []byte("SOURCE")); err != nil {
+	if _, err := src.WriteAt([]byte("SOURCE"), 9); err != nil {
 		t.Fatal(err)
 	}
-	c.Read(clone, LatestVersion, 0, buf)
+	clone.ReadAt(buf, 0)
 	if string(buf[:9]) != "CLONEnal-" || bytes.Contains(buf, []byte("SOURCE")) {
 		t.Fatalf("clone after divergence = %q", buf)
 	}
-	c.Read(src, LatestVersion, 0, buf)
+	src.ReadAt(buf, 0)
 	if string(buf[:15]) != "original-SOURCE" || bytes.Contains(buf, []byte("CLONE")) {
 		t.Fatalf("source after divergence = %q", buf)
 	}
@@ -50,21 +50,21 @@ func TestCloneSharesDataCopyOnWrite(t *testing.T) {
 func TestClonePinsSpecificVersion(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 8})
 	c := d.NewClient(0)
-	src, _ := c.Create(0)
-	v1, _ := c.Write(src, 0, []byte("11111111"))
-	c.Write(src, 0, []byte("22222222"))
+	src, _ := c.CreateBlob(0)
+	v1, _ := src.WriteAt([]byte("11111111"), 0)
+	src.WriteAt([]byte("22222222"), 0)
 
-	clone, err := c.Clone(src, v1)
+	clone, err := src.Snapshot(AtVersion(v1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 8)
-	c.Read(clone, LatestVersion, 0, buf)
+	clone.ReadAt(buf, 0)
 	if string(buf) != "11111111" {
 		t.Fatalf("clone of v1 = %q", buf)
 	}
 	// The clone's version history starts at the pinned version.
-	v, size, _ := c.Latest(clone)
+	v, size, _ := clone.Latest()
 	if v != v1 || size != 8 {
 		t.Fatalf("clone latest = v%d size %d", v, size)
 	}
@@ -73,21 +73,21 @@ func TestClonePinsSpecificVersion(t *testing.T) {
 func TestCloneGrowsIndependently(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 8})
 	c := d.NewClient(0)
-	src, _ := c.Create(0)
-	c.Write(src, 0, []byte("base----"))
-	clone, _ := c.Clone(src, LatestVersion)
+	src, _ := c.CreateBlob(0)
+	src.WriteAt([]byte("base----"), 0)
+	clone, _ := src.Snapshot()
 	for i := 0; i < 5; i++ {
-		if _, _, err := c.Append(clone, []byte("grow!!!!")); err != nil {
+		if _, _, err := clone.Append(Blocks([]byte("grow!!!!"))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	_, cloneSize, _ := c.Latest(clone)
-	_, srcSize, _ := c.Latest(src)
+	_, cloneSize, _ := clone.Latest()
+	_, srcSize, _ := src.Latest()
 	if cloneSize != 48 || srcSize != 8 {
 		t.Fatalf("sizes: clone %d, source %d", cloneSize, srcSize)
 	}
 	buf := make([]byte, 48)
-	c.Read(clone, LatestVersion, 0, buf)
+	clone.ReadAt(buf, 0)
 	if string(buf[:8]) != "base----" || string(buf[40:]) != "grow!!!!" {
 		t.Fatalf("clone content = %q", buf)
 	}
@@ -96,15 +96,15 @@ func TestCloneGrowsIndependently(t *testing.T) {
 func TestCloneOfCloneChains(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 8})
 	c := d.NewClient(0)
-	a, _ := c.Create(0)
-	c.Write(a, 0, []byte("AAAAAAAA"))
-	b, _ := c.Clone(a, LatestVersion)
-	c.Append(b, []byte("BBBBBBBB"))
-	cc, _ := c.Clone(b, LatestVersion)
-	c.Append(cc, []byte("CCCCCCCC"))
+	a, _ := c.CreateBlob(0)
+	a.WriteAt([]byte("AAAAAAAA"), 0)
+	b, _ := a.Snapshot()
+	b.Append(Blocks([]byte("BBBBBBBB")))
+	cc, _ := b.Snapshot()
+	cc.Append(Blocks([]byte("CCCCCCCC")))
 
 	buf := make([]byte, 24)
-	n, err := c.Read(cc, LatestVersion, 0, buf)
+	n, err := cc.ReadAt(buf, 0)
 	if err != nil || n != 24 {
 		t.Fatalf("chained clone read: %d, %v", n, err)
 	}
@@ -116,17 +116,17 @@ func TestCloneOfCloneChains(t *testing.T) {
 func TestCloneValidation(t *testing.T) {
 	d := newLocalDeployment(t, Options{})
 	c := d.NewClient(0)
-	src, _ := c.Create(0)
+	src, _ := c.CreateBlob(0)
 	// Cloning an empty blob fails.
-	if _, err := c.Clone(src, LatestVersion); err == nil {
+	if _, err := src.Snapshot(); err == nil {
 		t.Fatal("cloned empty blob")
 	}
-	c.Write(src, 0, []byte("x"))
+	src.WriteAt([]byte("x"), 0)
 	// Unpublished/absent versions fail.
-	if _, err := c.Clone(src, 99); !errors.Is(err, ErrNoSuchVersion) {
+	if _, err := src.Snapshot(AtVersion(99)); !errors.Is(err, ErrNoSuchVersion) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := c.Clone(404, 1); !errors.Is(err, ErrNoSuchBlob) {
+	if _, err := c.OpenBlob(404); !errors.Is(err, ErrNoSuchBlob) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -139,13 +139,13 @@ func TestCloneValidation(t *testing.T) {
 func TestCloneDuringConcurrentWrites(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 64})
 	c := d.NewClient(0)
-	src, err := c.Create(0)
+	src, err := c.CreateBlob(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Seed some history so the clone point sits mid-stream.
 	base := bytes.Repeat([]byte("seed!"), 30)
-	pin, err := c.Write(src, 0, base)
+	pin, err := src.WriteAt(base, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,6 +160,11 @@ func TestCloneDuringConcurrentWrites(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			w := d.NewClient(cluster.NodeID(i + 1))
+			wb, err := w.OpenBlob(src.ID())
+			if err != nil {
+				errs[i] = err
+				return
+			}
 			payload := bytes.Repeat([]byte{byte('a' + i)}, 90)
 			for {
 				select {
@@ -167,7 +172,7 @@ func TestCloneDuringConcurrentWrites(t *testing.T) {
 					return
 				default:
 				}
-				if _, _, err := w.Append(src, payload); err != nil {
+				if _, _, err := wb.Append(Blocks(payload)); err != nil {
 					errs[i] = err
 					return
 				}
@@ -177,19 +182,19 @@ func TestCloneDuringConcurrentWrites(t *testing.T) {
 
 	// Snapshot the pinned version's bytes, then clone it mid-traffic.
 	want := make([]byte, len(base))
-	if _, err := c.Read(src, pin, 0, want); err != nil {
+	if _, err := src.ReadAt(want, 0, AtVersion(pin)); err != nil {
 		t.Fatal(err)
 	}
-	clone, err := c.Clone(src, pin)
+	clone, err := src.Snapshot(AtVersion(pin))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cv, cs, err := c.Latest(clone)
+	cv, cs, err := clone.Latest()
 	if err != nil || cv != pin || cs != int64(len(base)) {
 		t.Fatalf("clone latest = v%d size %d, %v; want v%d size %d", cv, cs, err, pin, len(base))
 	}
 	got := make([]byte, len(base))
-	if _, err := c.Read(clone, LatestVersion, 0, got); err != nil {
+	if _, err := clone.ReadAt(got, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, want) {
@@ -198,7 +203,7 @@ func TestCloneDuringConcurrentWrites(t *testing.T) {
 
 	// The clone diverges on its own version line while writers hammer
 	// the source.
-	if _, _, err := c.Append(clone, []byte("clone-only")); err != nil {
+	if _, _, err := clone.Append(Blocks([]byte("clone-only"))); err != nil {
 		t.Fatal(err)
 	}
 	close(stop)
@@ -211,25 +216,25 @@ func TestCloneDuringConcurrentWrites(t *testing.T) {
 
 	// Re-reading the clone at the pinned version is still byte-stable,
 	// and the source never sees the clone's write.
-	if _, err := c.Read(clone, pin, 0, got); err != nil {
+	if _, err := clone.ReadAt(got, 0, AtVersion(pin)); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatal("clone snapshot changed after concurrent source writes")
 	}
-	_, size, err := c.Latest(src)
+	_, size, err := src.Latest()
 	if err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, size)
-	if _, err := c.Read(src, LatestVersion, 0, buf); err != nil {
+	if _, err := src.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if bytes.Contains(buf, []byte("clone-only")) {
 		t.Fatal("source absorbed the clone's divergent write")
 	}
 	// And the source's own history stayed intact at the pin point.
-	if _, err := c.Read(src, pin, 0, got); err != nil {
+	if _, err := src.ReadAt(got, 0, AtVersion(pin)); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, want) {
@@ -242,14 +247,14 @@ func TestCloneSharedPagesServeBothReaders(t *testing.T) {
 	// blobs resolve the same provider pages (checked via PageLocations).
 	d := newLocalDeployment(t, Options{PageSize: 16})
 	c := d.NewClient(0)
-	src, _ := c.Create(0)
-	c.WriteSynthetic(src, 0, 160)
-	clone, _ := c.Clone(src, LatestVersion)
-	srcLocs, err := c.PageLocations(src, LatestVersion, 0, 160)
+	src, _ := c.CreateBlob(0)
+	src.WriteAt(nil, 0, Synthetic(160))
+	clone, _ := src.Snapshot()
+	srcLocs, err := src.Locations(0, 160)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cloneLocs, err := c.PageLocations(clone, LatestVersion, 0, 160)
+	cloneLocs, err := clone.Locations(0, 160)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,22 +27,22 @@ func TestClientSharedAcrossGoroutines(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			errs[i] = func() error {
-				blob, err := c.Create(0)
+				blob, err := c.CreateBlob(0)
 				if err != nil {
 					return err
 				}
 				data := bytes.Repeat([]byte{byte('a' + i)}, 300)
 				for round := 0; round < 5; round++ {
-					if _, _, err := c.Append(blob, data); err != nil {
+					if _, _, err := blob.Append(Blocks(data)); err != nil {
 						return err
 					}
 				}
 				buf := make([]byte, 5*300)
-				n, err := c.Read(blob, LatestVersion, 0, buf)
+				n, err := blob.ReadAt(buf, 0)
 				if err != nil {
 					return err
 				}
-				if n != len(buf) || !bytes.Equal(buf, bytes.Repeat(data, 5)) {
+				if n != int64(len(buf)) || !bytes.Equal(buf, bytes.Repeat(data, 5)) {
 					return fmt.Errorf("worker %d: read-back mismatch (%d bytes)", i, n)
 				}
 				return nil
@@ -63,7 +63,7 @@ func TestClientSharedAcrossGoroutines(t *testing.T) {
 func TestClientSharedAppendersSameBlob(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 64})
 	c := d.NewClient(0)
-	blob, err := c.Create(0)
+	blob, err := c.CreateBlob(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestClientSharedAppendersSameBlob(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			data := bytes.Repeat([]byte{byte('A' + i)}, chunk)
-			if _, _, err := c.Append(blob, data); err != nil {
+			if _, _, err := blob.Append(Blocks(data)); err != nil {
 				errs[i] = err
 			}
 		}()
@@ -87,14 +87,14 @@ func TestClientSharedAppendersSameBlob(t *testing.T) {
 			t.Fatalf("appender %d: %v", i, err)
 		}
 	}
-	v, size, err := c.Latest(blob)
+	v, size, err := blob.Latest()
 	if err != nil || int(v) != workers || size != workers*chunk {
 		t.Fatalf("Latest = v%d size=%d, %v; want v%d size=%d", v, size, err, workers, workers*chunk)
 	}
 	// Every appender's bytes must land exactly once, as one contiguous
 	// run per writer.
 	buf := make([]byte, size)
-	if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := blob.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	counts := map[byte]int{}
@@ -117,18 +117,18 @@ func TestClientSharedAppendersSameBlob(t *testing.T) {
 func TestParallelGatherMidReadFailover(t *testing.T) {
 	d := newLocalDeployment(t, Options{Replication: 2, PageSize: 32})
 	c := d.NewClient(0)
-	blob, err := c.Create(0)
+	blob, err := c.CreateBlob(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data := bytes.Repeat([]byte("0123456789abcdef"), 20) // 10 pages
-	if _, err := c.Write(blob, 0, data); err != nil {
+	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Drop every page copy held by provider 2: pickReplica still
 	// selects it (it is up), GetPages fails mid-gather, and the pages
 	// fail over to their second replicas.
-	locs, err := c.PageLocations(blob, LatestVersion, 0, int64(len(data)))
+	locs, err := blob.Locations(0, int64(len(data)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,11 +145,11 @@ func TestParallelGatherMidReadFailover(t *testing.T) {
 		t.Fatal("placement never used provider 2; widen the write")
 	}
 	buf := make([]byte, len(data))
-	n, err := c.Read(blob, LatestVersion, 0, buf)
+	n, err := blob.ReadAt(buf, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != len(data) || !bytes.Equal(buf, data) {
+	if n != int64(len(data)) || !bytes.Equal(buf, data) {
 		t.Fatalf("failover read returned %d bytes, mismatch=%v", n, !bytes.Equal(buf, data))
 	}
 }
@@ -160,20 +160,20 @@ func TestParallelGatherMidReadFailover(t *testing.T) {
 func TestParallelScatterAbortOnFailure(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 32})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
-	if _, err := c.Write(blob, 0, bytes.Repeat([]byte("ab"), 80)); err != nil {
+	blob, _ := c.CreateBlob(0)
+	if _, err := blob.WriteAt(bytes.Repeat([]byte("ab"), 80), 0); err != nil {
 		t.Fatal(err)
 	}
 	d.Providers[3].SetDown(true)
-	if _, err := c.Write(blob, 0, bytes.Repeat([]byte("cd"), 160)); !errors.Is(err, ErrProviderDown) {
+	if _, err := blob.WriteAt(bytes.Repeat([]byte("cd"), 160), 0); !errors.Is(err, ErrProviderDown) {
 		t.Fatalf("err = %v, want ErrProviderDown", err)
 	}
-	v, size, err := c.Latest(blob)
+	v, size, err := blob.Latest()
 	if err != nil || v != 1 || size != 160 {
 		t.Fatalf("Latest after aborted parallel write = v%d size=%d, %v", v, size, err)
 	}
 	d.Providers[3].SetDown(false)
-	if _, err := c.Write(blob, 0, bytes.Repeat([]byte("ef"), 80)); err != nil {
+	if _, err := blob.WriteAt(bytes.Repeat([]byte("ef"), 80), 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -185,13 +185,13 @@ func TestSerialIOMatchesParallel(t *testing.T) {
 	for _, serial := range []bool{false, true} {
 		d := newLocalDeployment(t, Options{PageSize: 64, Replication: 2, SerialIO: serial})
 		c := d.NewClient(0)
-		blob, _ := c.Create(0)
+		blob, _ := c.CreateBlob(0)
 		data := bytes.Repeat([]byte("squall"), 100)
-		if _, err := c.Write(blob, 0, data); err != nil {
+		if _, err := blob.WriteAt(data, 0); err != nil {
 			t.Fatalf("serial=%v: %v", serial, err)
 		}
 		buf := make([]byte, len(data))
-		if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+		if _, err := blob.ReadAt(buf, 0); err != nil {
 			t.Fatalf("serial=%v: %v", serial, err)
 		}
 		if !bytes.Equal(buf, data) {
@@ -205,14 +205,14 @@ func TestSerialIOMatchesParallel(t *testing.T) {
 func TestVersionManagerRecordsBatch(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 32, ProviderNodes: []cluster.NodeID{1}})
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
-	c.Write(blob, 0, []byte("v1 data"))
+	blob, _ := c.CreateBlob(0)
+	blob.WriteAt([]byte("v1 data"), 0)
 	d.Providers[1].SetDown(true)
-	c.Write(blob, 0, []byte("v2 fails")) // aborted
+	blob.WriteAt([]byte("v2 fails"), 0) // aborted
 	d.Providers[1].SetDown(false)
-	c.Write(blob, 0, []byte("v3 data"))
+	blob.WriteAt([]byte("v3 data"), 0)
 
-	recs, err := d.VM.Records(0, blob)
+	recs, err := d.VM.Records(0, blob.ID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,17 +241,17 @@ func TestVersionManagerRecordsBatch(t *testing.T) {
 func TestAppendBatchFailureDoesNotPoisonClient(t *testing.T) {
 	d := newLocalDeployment(t, Options{PageSize: 512, ProviderNodes: []cluster.NodeID{1, 2}})
 	c := d.NewClient(0)
-	blob, err := c.Create(0)
+	blob, err := c.CreateBlob(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Write(blob, 0, bytes.Repeat([]byte{0x11}, 100)); err != nil {
+	if _, err := blob.WriteAt(bytes.Repeat([]byte{0x11}, 100), 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range d.Providers {
 		p.SetDown(true)
 	}
-	if _, err := c.AppendBatch(blob, []AppendBlock{
+	if _, _, err := blob.Append([]AppendBlock{
 		{Data: bytes.Repeat([]byte{0x22}, 100)},
 		{Data: bytes.Repeat([]byte{0x33}, 100)},
 	}); err == nil {
@@ -262,19 +262,19 @@ func TestAppendBatchFailureDoesNotPoisonClient(t *testing.T) {
 	}
 	// The recovered client must append again: its boundary merge sits
 	// inside the failed batch's tombstoned span and must skip it.
-	if _, _, err := c.Append(blob, bytes.Repeat([]byte{0x44}, 100)); err != nil {
+	if _, _, err := blob.Append(Blocks(bytes.Repeat([]byte{0x44}, 100))); err != nil {
 		t.Fatalf("append after failed batch: %v", err)
 	}
 	// The tombstoned spans stay in the history (appends land past
 	// them), so the recovered blob is seed, a 200-byte zero hole where
 	// the aborted batch sat, then the new append — and crucially none
 	// of the aborted batch's bytes.
-	_, size, err := c.Latest(blob)
+	_, size, err := blob.Latest()
 	if err != nil || size != 400 {
 		t.Fatalf("Latest = size %d, %v; want 400", size, err)
 	}
 	buf := make([]byte, 400)
-	if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := blob.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	want := append(bytes.Repeat([]byte{0x11}, 100), make([]byte, 200)...)

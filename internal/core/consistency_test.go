@@ -42,7 +42,7 @@ var consistencySeeds = []int64{1, 2, 3, 5, 8}
 const (
 	opWrite = iota // random (possibly sparse, unaligned) write
 	opAppend
-	opBatch // batched append through Client.AppendBatch
+	opBatch // batched append through Blob.Append
 	opAbort // ticket requested and aborted before any data moves
 )
 
@@ -51,6 +51,11 @@ type consistOp struct {
 	off    int64   // opWrite only; opAbort uses -1 (append-style ticket)
 	length int64   // opWrite/opAppend/opAbort
 	sizes  []int64 // opBatch block lengths
+	// cancelAfter > 0 runs the op under a cluster.Ctx that a sibling
+	// process cancels after this much virtual time — the cancelling-
+	// writer mix. The op then either publishes (cancel lost the race)
+	// or fails with ErrCanceled and its ticket must end tombstoned.
+	cancelAfter time.Duration
 }
 
 // tickets returns how many versions the op consumes.
@@ -61,8 +66,10 @@ func (o consistOp) tickets() int {
 	return 1
 }
 
-// genConsistOps builds each writer's deterministic op list.
-func genConsistOps(rng *rand.Rand, writers, opsPer int, withAborts bool, ps int64) [][]consistOp {
+// genConsistOps builds each writer's deterministic op list. With
+// withCancels, a quarter of the write/append/batch ops are armed with
+// a deterministic cancellation delay.
+func genConsistOps(rng *rand.Rand, writers, opsPer int, withAborts, withCancels bool, ps int64) [][]consistOp {
 	out := make([][]consistOp, writers)
 	randLen := func() int64 {
 		if rng.Intn(4) == 0 {
@@ -92,6 +99,9 @@ func genConsistOps(rng *rand.Rand, writers, opsPer int, withAborts bool, ps int6
 				}
 				ops[i] = consistOp{kind: opBatch, sizes: sizes}
 			}
+			if withCancels && ops[i].kind != opAbort && rng.Intn(4) == 0 {
+				ops[i].cancelAfter = time.Duration(1+rng.Intn(2000)) * time.Microsecond
+			}
 		}
 		out[w] = ops
 	}
@@ -115,15 +125,16 @@ type publishedVersion struct {
 }
 
 // runConsistencySeed drives one seeded run and checks every invariant.
-func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish bool) {
+func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish, withCancels bool) {
 	t.Helper()
 	const (
 		writers = 5
 		opsPer  = 8
 		ps      = int64(128)
 	)
+	tolerant := withAborts || withCancels
 	rng := rand.New(rand.NewSource(seed))
-	plans := genConsistOps(rng, writers, opsPer, withAborts, ps)
+	plans := genConsistOps(rng, writers, opsPer, withAborts, withCancels, ps)
 	totalTickets := 0
 	for _, ops := range plans {
 		for _, op := range ops {
@@ -156,18 +167,36 @@ func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish bool
 	var blob BlobID
 	eng.Go(func() {
 		c0 := d.NewClient(0)
-		b, err := c0.Create(0)
+		b0, err := c0.CreateBlob(0)
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		blob = b
+		blob = b0.ID()
 		wg := env.NewWaitGroup()
 		for w := 0; w < writers; w++ {
 			node := cluster.NodeID(w + 1)
 			wg.Go(func() {
 				c := d.NewClient(node)
+				bh, err := c.OpenBlob(blob)
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
 				for i, op := range plans[w] {
+					// The cancelling-writer mix: arm an op scope a
+					// sibling process cancels after a deterministic
+					// virtual-time delay.
+					opts := []WriteOption{}
+					if op.cancelAfter > 0 {
+						ctx, cancel := cluster.WithCancel(env)
+						delay := op.cancelAfter
+						env.Daemon(func() {
+							env.Sleep(delay)
+							cancel()
+						})
+						opts = append(opts, WithCtx(ctx))
+					}
 					switch op.kind {
 					case opAbort:
 						// A writer that fails right after its ticket:
@@ -186,15 +215,20 @@ func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish bool
 						var v Version
 						var err error
 						if op.kind == opWrite {
-							v, err = c.Write(blob, op.off, data)
+							v, err = bh.WriteAt(data, op.off, opts...)
 						} else {
-							v, _, err = c.Append(blob, data)
+							v, _, err = first(bh.Append(Blocks(data), opts...))
 						}
 						if err != nil {
-							// Only abort fallout may fail a write: a
-							// boundary merge that raced a tombstone.
-							if !withAborts {
+							// Only abort fallout (a boundary merge that
+							// raced a tombstone) or this op's own
+							// cancellation may fail a write.
+							if !tolerant {
 								t.Errorf("writer %d op %d: %v", w, i, err)
+								return
+							}
+							if op.cancelAfter == 0 && errors.Is(err, ErrCanceled) {
+								t.Errorf("writer %d op %d: canceled without a ctx: %v", w, i, err)
 								return
 							}
 							failures[w]++
@@ -206,12 +240,12 @@ func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish bool
 						for j, sz := range op.sizes {
 							blocks[j] = AppendBlock{Data: consistData(seed, w, i, j, sz)}
 						}
-						vs, err := c.AppendBatch(blob, blocks)
+						vs, _, err := bh.Append(blocks, opts...)
 						for j, v := range vs {
 							results[w] = append(results[w], publishedVersion{v: v, data: blocks[j].Data})
 						}
 						if err != nil {
-							if !withAborts {
+							if !tolerant {
 								t.Errorf("writer %d op %d: batch: %v", w, i, err)
 								return
 							}
@@ -234,7 +268,7 @@ func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish bool
 				for _, v := range targets {
 					awaited := false
 					for !awaited {
-						if err := d.VM.AwaitPublished(node, blob, v); err == nil {
+						if err := d.VM.AwaitPublished(bg, node, blob, v); err == nil {
 							awaited = true
 							break
 						}
@@ -264,13 +298,13 @@ func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish bool
 		for _, f := range failures {
 			total += f
 		}
-		if !withAborts && total != 0 {
+		if !tolerant && total != 0 {
 			t.Errorf("%d writes failed in an abort-free run", total)
 		}
 		if total > 0 {
-			t.Logf("seed %d: %d writes failed as abort fallout", seed, total)
+			t.Logf("seed %d: %d writes failed as abort/cancel fallout", seed, total)
 		}
-		verifyConsistency(t, d, blob, totalTickets, results, withAborts)
+		verifyConsistency(t, d, blob, totalTickets, results, tolerant)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -343,7 +377,7 @@ func verifyConsistency(t *testing.T, d *Deployment, blob BlobID, totalTickets in
 		}
 	}
 
-	rdr := d.NewClient(0)
+	rdr := openB(t, d.NewClient(0), blob)
 
 	// Aborted tickets never become readable, clonable, or latest.
 	for _, rec := range recs {
@@ -353,7 +387,7 @@ func verifyConsistency(t *testing.T, d *Deployment, blob BlobID, totalTickets in
 		if _, err := d.VM.GetVersion(0, blob, rec.Version); !errors.Is(err, ErrAborted) {
 			t.Fatalf("GetVersion(aborted v%d) = %v, want ErrAborted", rec.Version, err)
 		}
-		if _, err := rdr.Read(blob, rec.Version, 0, make([]byte, 1)); !errors.Is(err, ErrAborted) {
+		if _, err := rdr.ReadAt(make([]byte, 1), 0, AtVersion(rec.Version)); !errors.Is(err, ErrAborted) {
 			t.Fatalf("Read(aborted v%d) = %v, want ErrAborted", rec.Version, err)
 		}
 		if _, err := d.VM.Clone(0, blob, rec.Version); !errors.Is(err, ErrAborted) {
@@ -383,11 +417,11 @@ func verifyConsistency(t *testing.T, d *Deployment, blob BlobID, totalTickets in
 		if v < firstAbort {
 			model = applyModelWrite(model, rec.Offset, versionData[v], rec.SizeAfter)
 			buf := make([]byte, rec.SizeAfter)
-			n, err := rdr.Read(blob, v, 0, buf)
+			n, err := rdr.ReadAt(buf, 0, AtVersion(v))
 			if err != nil {
 				t.Fatalf("read full snapshot v%d: %v", v, err)
 			}
-			if int64(n) != rec.SizeAfter {
+			if n != rec.SizeAfter {
 				t.Fatalf("snapshot v%d: read %d of %d bytes", v, n, rec.SizeAfter)
 			}
 			if !bytes.Equal(buf, model) {
@@ -396,7 +430,7 @@ func verifyConsistency(t *testing.T, d *Deployment, blob BlobID, totalTickets in
 			}
 		} else if data, ok := versionData[v]; ok {
 			buf := make([]byte, len(data))
-			if _, err := rdr.Read(blob, v, rec.Offset, buf); err != nil {
+			if _, err := rdr.ReadAt(buf, rec.Offset, AtVersion(v)); err != nil {
 				t.Fatalf("read own span of v%d: %v", v, err)
 			}
 			if !bytes.Equal(buf, data) {
@@ -433,7 +467,7 @@ func firstDiff(a, b []byte) int {
 func TestConsistencyRandomConcurrentWriters(t *testing.T) {
 	for _, seed := range consistencySeeds {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runConsistencySeed(t, seed, false, false)
+			runConsistencySeed(t, seed, false, false, false)
 		})
 	}
 }
@@ -444,7 +478,7 @@ func TestConsistencyRandomConcurrentWriters(t *testing.T) {
 func TestConsistencyRandomAbortingWriters(t *testing.T) {
 	for _, seed := range consistencySeeds {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runConsistencySeed(t, seed, true, false)
+			runConsistencySeed(t, seed, true, false, false)
 		})
 	}
 }
@@ -456,8 +490,8 @@ func TestConsistencyRandomAbortingWriters(t *testing.T) {
 func TestConsistencySerialPublishMode(t *testing.T) {
 	for _, seed := range consistencySeeds[:2] {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runConsistencySeed(t, seed, false, true)
-			runConsistencySeed(t, seed, true, true)
+			runConsistencySeed(t, seed, false, true, false)
+			runConsistencySeed(t, seed, true, true, false)
 		})
 	}
 }
@@ -474,7 +508,7 @@ func runConsistencySeedSharded(t *testing.T, seed int64, withAborts bool, shards
 		ps      = int64(128)
 	)
 	rng := rand.New(rand.NewSource(seed))
-	plans := genConsistOps(rng, writers, opsPer, withAborts, ps)
+	plans := genConsistOps(rng, writers, opsPer, withAborts, false, ps)
 	// Writer w drives blob w mod blobsN; per-blob ticket totals bound
 	// the per-blob verification.
 	blobOf := func(w int) int { return w % blobsN }
@@ -509,13 +543,13 @@ func runConsistencySeedSharded(t *testing.T, seed int64, withAborts bool, shards
 		c0 := d.NewClient(0)
 		shardsHit := map[int]bool{}
 		for i := range blobs {
-			b, err := c0.Create(0)
+			b, err := c0.CreateBlob(0)
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			blobs[i] = b
-			shardsHit[d.VM.ShardIndex(b)] = true
+			blobs[i] = b.ID()
+			shardsHit[d.VM.ShardIndex(b.ID())] = true
 		}
 		if len(shardsHit) < 2 {
 			t.Errorf("%d blobs landed on %d shard(s); the multi-shard harness needs >= 2", blobsN, len(shardsHit))
@@ -527,6 +561,11 @@ func runConsistencySeedSharded(t *testing.T, seed int64, withAborts bool, shards
 			blob := blobs[blobOf(w)]
 			wg.Go(func() {
 				c := d.NewClient(node)
+				bh, err := c.OpenBlob(blob)
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
 				for i, op := range plans[w] {
 					switch op.kind {
 					case opAbort:
@@ -544,9 +583,9 @@ func runConsistencySeedSharded(t *testing.T, seed int64, withAborts bool, shards
 						var v Version
 						var err error
 						if op.kind == opWrite {
-							v, err = c.Write(blob, op.off, data)
+							v, err = bh.WriteAt(data, op.off)
 						} else {
-							v, _, err = c.Append(blob, data)
+							v, _, err = first(bh.Append(Blocks(data)))
 						}
 						if err != nil {
 							if !withAborts {
@@ -592,7 +631,7 @@ func runConsistencySeedSharded(t *testing.T, seed int64, withAborts bool, shards
 				for _, v := range targets {
 					awaited := false
 					for !awaited {
-						if err := d.VM.AwaitPublished(node, blob, v); err == nil {
+						if err := d.VM.AwaitPublished(bg, node, blob, v); err == nil {
 							awaited = true
 							break
 						}
@@ -662,6 +701,33 @@ func TestConsistencyMultiShardWide(t *testing.T) {
 	for _, seed := range consistencySeeds[:2] {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			runConsistencySeedSharded(t, seed, true, 3, 5)
+		})
+	}
+}
+
+// TestConsistencyCancellingWriters mixes op-scoped cancellation into
+// the randomized harness: a quarter of the ops run under a ctx a
+// sibling process cancels after a deterministic virtual-time delay.
+// Whatever the race outcome — the op published, or failed with
+// ErrCanceled and its ticket was tombstoned — all four invariants
+// (dense history, replay equality, aborted-unreadable, AwaitPublished
+// frontier) must hold, and no ticket may leak.
+func TestConsistencyCancellingWriters(t *testing.T) {
+	for _, seed := range consistencySeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runConsistencySeed(t, seed, false, false, true)
+		})
+	}
+}
+
+// TestConsistencyCancellingAndAbortingWriters layers the cancel mix on
+// top of the abort mix — the most hostile single-blob schedule the
+// harness can produce.
+func TestConsistencyCancellingAndAbortingWriters(t *testing.T) {
+	for _, seed := range consistencySeeds[:2] {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runConsistencySeed(t, seed, true, false, true)
+			runConsistencySeed(t, seed, true, true, true)
 		})
 	}
 }

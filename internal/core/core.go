@@ -1,28 +1,7 @@
-// Package core implements BlobSeer, the versioning-oriented distributed
-// blob store the paper builds its file system (BSFS) on.
-//
-// A blob is a large sequence of bytes split into fixed-size pages.
-// Writes never modify data in place: every write or append produces a
-// new version (snapshot) of the blob, while old versions remain
-// readable. The architecture follows the paper (§III.A):
-//
-//   - providers store pages (RAM-first, asynchronously persisted);
-//   - a provider manager assigns pages to providers with a
-//     load-balancing strategy;
-//   - metadata providers store versioned segment-tree nodes in a
-//     distributed hash table (package dht);
-//   - a version-manager tier assigns version numbers and publishes
-//     snapshots in a per-blob total order, which is what keeps heavy
-//     concurrent writes consistent without locking the data path. The
-//     paper runs this as a single centralized node; this repository
-//     partitions it per blob across Options.VMNodes (see shard.go) so
-//     publish throughput scales past one node, while a single-shard
-//     deployment behaves exactly like the paper's.
-//
-// Deployment wires these services onto the nodes of a cluster.Env, and
-// Client implements the user-facing operations: create, read a byte
-// range of any version, write, append, plus the page-location primitive
-// (§III.B) that makes MapReduce schedulers data-location aware.
+// core.go wires a BlobSeer deployment: Options, the service fleet
+// (version-manager tier, provider manager, providers, metadata DHT,
+// repairer), and client construction. The package contract lives in
+// doc.go.
 package core
 
 import (

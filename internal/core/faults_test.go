@@ -26,9 +26,9 @@ func TestMetadataReplicationSurvivesMetaServerFailure(t *testing.T) {
 	}
 	defer d.Close()
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	data := bytes.Repeat([]byte("meta-resilience"), 50)
-	if _, err := c.Write(blob, 0, data); err != nil {
+	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -38,17 +38,18 @@ func TestMetadataReplicationSurvivesMetaServerFailure(t *testing.T) {
 
 	// A fresh client (empty metadata cache) must still resolve the
 	// whole tree through surviving replicas.
-	c2 := d.NewClient(2)
+	b2 := openB(t, d.NewClient(2), blob.ID())
 	buf := make([]byte, len(data))
-	if _, err := c2.Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := b2.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, data) {
 		t.Fatal("content mismatch after metadata server failures")
 	}
 
-	// New writes also continue (puts go to surviving replicas).
-	if _, _, err := c2.Append(blob, []byte("more")); err != nil {
+	// New writes also continue (puts go to surviving replicas), issued
+	// through the fresh-cache client to keep the failover coverage.
+	if _, _, err := b2.Append(Blocks([]byte("more"))); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,11 +69,11 @@ func TestUnreplicatedMetadataFailsLoudly(t *testing.T) {
 	}
 	defer d.Close()
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
-	c.Write(blob, 0, []byte("fragile"))
+	blob, _ := c.CreateBlob(0)
+	blob.WriteAt([]byte("fragile"), 0)
 	d.Meta.Server(3).SetDown(true)
-	c2 := d.NewClient(1) // fresh cache
-	if _, err := c2.Read(blob, LatestVersion, 0, make([]byte, 7)); err == nil {
+	b2 := openB(t, d.NewClient(1), blob.ID()) // fresh cache
+	if _, err := b2.ReadAt(make([]byte, 7), 0); err == nil {
 		t.Fatal("read succeeded with the only metadata server down")
 	}
 }
@@ -92,9 +93,9 @@ func TestWriteAbortsWhenProviderDiesBeforePublish(t *testing.T) {
 	}
 	defer d.Close()
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	seed := bytes.Repeat([]byte{0x11}, 64)
-	v1, err := c.Write(blob, 0, seed)
+	v1, err := blob.WriteAt(seed, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,13 +103,13 @@ func TestWriteAbortsWhenProviderDiesBeforePublish(t *testing.T) {
 	// The next 3-page write stripes over providers 2, 3, 1; kill 3 so
 	// the scatter fails partway through.
 	d.Providers[3].SetDown(true)
-	_, err = c.Write(blob, 0, bytes.Repeat([]byte{0x22}, 192))
+	_, err = blob.WriteAt(bytes.Repeat([]byte{0x22}, 192), 0)
 	if !errors.Is(err, ErrProviderDown) {
 		t.Fatalf("write with a dead provider returned %v, want ErrProviderDown", err)
 	}
 
 	// The aborted version never becomes visible.
-	latest, size, err := c.Latest(blob)
+	latest, size, err := blob.Latest()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestWriteAbortsWhenProviderDiesBeforePublish(t *testing.T) {
 		t.Fatalf("latest = v%d size %d after abort, want v%d size %d", latest, size, v1, len(seed))
 	}
 	buf := make([]byte, len(seed))
-	if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := blob.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, seed) {
@@ -126,7 +127,7 @@ func TestWriteAbortsWhenProviderDiesBeforePublish(t *testing.T) {
 	// Once the provider recovers, writes continue past the tombstone.
 	d.Providers[3].SetDown(false)
 	after := bytes.Repeat([]byte{0x33}, 192)
-	v3, err := c.Write(blob, 0, after)
+	v3, err := blob.WriteAt(after, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestWriteAbortsWhenProviderDiesBeforePublish(t *testing.T) {
 		t.Fatalf("post-abort write got v%d, want a version past the tombstoned v%d", v3, v1+1)
 	}
 	buf = make([]byte, len(after))
-	if _, err := c.Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := blob.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, after) {
@@ -157,17 +158,17 @@ func TestDegradedReadSurvivesProviderFailure(t *testing.T) {
 	}
 	defer d.Close()
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	data := bytes.Repeat([]byte("degraded-read-survives!"), 30)
-	if _, err := c.Write(blob, 0, data); err != nil {
+	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
 
 	d.Providers[2].SetDown(true)
 
-	c2 := d.NewClient(5) // fresh metadata cache
+	b2 := openB(t, d.NewClient(5), blob.ID()) // fresh metadata cache
 	buf := make([]byte, len(data))
-	if _, err := c2.Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := b2.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, data) {
@@ -177,7 +178,7 @@ func TestDegradedReadSurvivesProviderFailure(t *testing.T) {
 	// The same client, with the leaf already cached, also fails over
 	// when a second provider dies between its reads (mid-read churn).
 	d.Providers[4].SetDown(true)
-	if _, err := c2.Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := b2.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, data) {
@@ -200,16 +201,16 @@ func TestAllReplicasDownIsTypedError(t *testing.T) {
 	}
 	defer d.Close()
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	data := bytes.Repeat([]byte{0xAB}, 512)
-	if _, err := c.Write(blob, 0, data); err != nil {
+	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range d.Providers {
 		p.SetDown(true)
 	}
-	c2 := d.NewClient(5)
-	_, err = c2.Read(blob, LatestVersion, 0, make([]byte, len(data)))
+	b2 := openB(t, d.NewClient(5), blob.ID())
+	_, err = b2.ReadAt(make([]byte, len(data)), 0)
 	if !errors.Is(err, ErrAllReplicasDown) {
 		t.Fatalf("read with all providers down returned %v, want ErrAllReplicasDown", err)
 	}
@@ -229,9 +230,9 @@ func TestPageReplicationEndToEndThroughSim(t *testing.T) {
 			t.Fatal(err)
 		}
 		c := d.NewClient(0)
-		blob, _ := c.Create(0)
+		blob, _ := c.CreateBlob(0)
 		data := bytes.Repeat([]byte{0xCD}, 1024)
-		if _, err := c.Write(blob, 0, data); err != nil {
+		if _, err := blob.WriteAt(data, 0); err != nil {
 			t.Fatal(err)
 		}
 		var stored int64

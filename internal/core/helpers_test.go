@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// bg is the never-canceled op scope used wherever a test has no
+// cancellation of its own.
+var bg = cluster.Background()
+
+// openB opens a handle for an existing blob, failing the test on error.
+func openB(t testing.TB, c *Client, id BlobID) *Blob {
+	t.Helper()
+	b, err := c.OpenBlob(id)
+	if err != nil {
+		t.Fatalf("OpenBlob(%d): %v", id, err)
+	}
+	return b
+}
+
+// first adapts a batch append's results to single-append shape: the
+// one published version, the landing offset, and the error.
+func first(vs []Version, off int64, err error) (Version, int64, error) {
+	var v Version
+	if len(vs) > 0 {
+		v = vs[0]
+	}
+	return v, off, err
+}

@@ -1,0 +1,126 @@
+// options.go defines the functional options of the blob-handle API.
+// One write path and one read path serve every variant — synthetic
+// traffic, pinned versions, fire-and-forget publication, op-scoped
+// cancellation — selected per call instead of per method, which is what
+// keeps the Client surface small enough to stay a coherent storage
+// contract (see doc.go).
+package core
+
+import (
+	"repro/internal/cluster"
+)
+
+// opSettings is the resolved option set of one blob operation.
+type opSettings struct {
+	ctx      *cluster.Ctx
+	version  Version // reads: snapshot to address (LatestVersion default)
+	synthLen int64   // > 0: synthetic (size-only) operation of this length
+	await    bool    // writes: block until the new version is visible
+}
+
+func defaultSettings() opSettings {
+	return opSettings{ctx: cluster.Background(), version: LatestVersion, await: true}
+}
+
+func resolveReadOpts(opts []ReadOption) opSettings {
+	s := defaultSettings()
+	for _, o := range opts {
+		o.applyRead(&s)
+	}
+	return s
+}
+
+func resolveWriteOpts(opts []WriteOption) opSettings {
+	s := defaultSettings()
+	for _, o := range opts {
+		o.applyWrite(&s)
+	}
+	return s
+}
+
+// ReadOption configures one read-side operation (ReadAt, Locations,
+// Snapshot, History, Latest).
+type ReadOption interface{ applyRead(*opSettings) }
+
+// WriteOption configures one write-side operation (WriteAt, Append,
+// AppendMany).
+type WriteOption interface{ applyWrite(*opSettings) }
+
+// bothOption applies to reads and writes alike.
+type bothOption func(*opSettings)
+
+func (o bothOption) applyRead(s *opSettings)  { o(s) }
+func (o bothOption) applyWrite(s *opSettings) { o(s) }
+
+// readOption applies to reads only.
+type readOption func(*opSettings)
+
+func (o readOption) applyRead(s *opSettings) { o(s) }
+
+// writeOption applies to writes only.
+type writeOption func(*opSettings)
+
+func (o writeOption) applyWrite(s *opSettings) { o(s) }
+
+// WithCtx scopes the operation to ctx: cancellation or deadline expiry
+// makes the operation return an error matching ErrCanceled promptly —
+// in-flight provider fan-outs stop issuing work, await paths wake, and
+// a write's version ticket is aborted so the publication frontier never
+// wedges. A nil ctx means Background (never canceled).
+func WithCtx(ctx *cluster.Ctx) interface {
+	ReadOption
+	WriteOption
+} {
+	return bothOption(func(s *opSettings) {
+		if ctx == nil {
+			ctx = cluster.Background()
+		}
+		s.ctx = ctx
+	})
+}
+
+// AtVersion pins a read-side operation to a published snapshot instead
+// of the latest one.
+func AtVersion(v Version) ReadOption {
+	return readOption(func(s *opSettings) { s.version = v })
+}
+
+// Synthetic switches the operation to size-only mode: it moves no real
+// bytes but drives the full protocol for n bytes (tickets, placement,
+// scatter/gather accounting, metadata, publication) — the cluster-scale
+// benchmarking mode. The operation's byte-slice argument must be nil.
+func Synthetic(n int64) interface {
+	ReadOption
+	WriteOption
+} {
+	return bothOption(func(s *opSettings) { s.synthLen = n })
+}
+
+// AwaitPublication(false) makes a write return as soon as its version
+// is durably staged and queued for publication, without blocking until
+// the version becomes globally visible. The version manager still
+// publishes it in ticket order; use Blob.AwaitPublished (or any later
+// read) to observe visibility. The default (true) blocks like the
+// paper's write protocol.
+func AwaitPublication(await bool) WriteOption {
+	return writeOption(func(s *opSettings) { s.await = await })
+}
+
+// Blocks wraps byte payloads as real append blocks, one version each.
+func Blocks(payloads ...[]byte) []AppendBlock {
+	out := make([]AppendBlock, len(payloads))
+	for i, p := range payloads {
+		out[i] = AppendBlock{Data: p}
+	}
+	return out
+}
+
+// SyntheticBlocks wraps byte counts as synthetic append blocks, one
+// version each.
+func SyntheticBlocks(sizes ...int64) []AppendBlock {
+	out := make([]AppendBlock, len(sizes))
+	for i, n := range sizes {
+		out[i] = AppendBlock{Size: n}
+	}
+	return out
+}

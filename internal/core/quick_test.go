@@ -149,16 +149,16 @@ func TestQuickWriteReadMatchesByteModel(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(40 + trial)))
 		d := newLocalDeployment(t, Options{PageSize: ps, ProviderNodes: []cluster.NodeID{1, 2, 3}})
 		c := d.NewClient(0)
-		blob, err := c.Create(0)
+		blob, err := c.CreateBlob(0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Zero-length writes are rejected up front, with no version
 		// burned.
-		if _, err := c.Write(blob, 5, nil); !errors.Is(err, ErrBadWrite) {
+		if _, err := blob.WriteAt(nil, 5); !errors.Is(err, ErrBadWrite) {
 			t.Fatalf("zero-length write: %v", err)
 		}
-		if _, err := c.AppendBatch(blob, []AppendBlock{{Data: []byte("x")}, {Size: 0}}); !errors.Is(err, ErrBadWrite) {
+		if _, _, err := blob.Append([]AppendBlock{{Data: []byte("x")}, {Size: 0}}); !errors.Is(err, ErrBadWrite) {
 			t.Fatalf("zero-length batch block: %v", err)
 		}
 		var model []byte
@@ -178,13 +178,13 @@ func TestQuickWriteReadMatchesByteModel(t *testing.T) {
 			case 0: // write at a random (page-straddling, maybe sparse) offset
 				off := rng.Int63n(int64(len(model)) + 3*ps + 1)
 				data := fill(1 + rng.Int63n(4*ps))
-				if _, err := c.Write(blob, off, data); err != nil {
+				if _, err := blob.WriteAt(data, off); err != nil {
 					t.Fatalf("trial %d op %d: write: %v", trial, op, err)
 				}
 				apply(off, data)
 			case 1: // append
 				data := fill(1 + rng.Int63n(3*ps))
-				_, off, err := c.Append(blob, data)
+				_, off, err := blob.Append(Blocks(data))
 				if err != nil {
 					t.Fatalf("trial %d op %d: append: %v", trial, op, err)
 				}
@@ -197,7 +197,7 @@ func TestQuickWriteReadMatchesByteModel(t *testing.T) {
 				for i := range blocks {
 					blocks[i] = AppendBlock{Data: fill(1 + rng.Int63n(2*ps))}
 				}
-				if _, err := c.AppendBatch(blob, blocks); err != nil {
+				if _, _, err := blob.Append(blocks); err != nil {
 					t.Fatalf("trial %d op %d: batch: %v", trial, op, err)
 				}
 				for _, b := range blocks {
@@ -205,11 +205,11 @@ func TestQuickWriteReadMatchesByteModel(t *testing.T) {
 				}
 			}
 			buf := make([]byte, len(model))
-			n, err := c.Read(blob, LatestVersion, 0, buf)
+			n, err := blob.ReadAt(buf, 0)
 			if err != nil {
 				t.Fatalf("trial %d op %d: read: %v", trial, op, err)
 			}
-			if n != len(model) || !bytes.Equal(buf, model) {
+			if n != int64(len(model)) || !bytes.Equal(buf, model) {
 				t.Fatalf("trial %d op %d: snapshot diverges from byte model (read %d of %d)", trial, op, n, len(model))
 			}
 		}

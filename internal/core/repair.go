@@ -99,7 +99,9 @@ func (r *Repairer) RepairBlob(blob BlobID, v Version) (RepairStats, error) {
 	if !ok {
 		return st, nil // empty blob: nothing to repair
 	}
-	locs, err := r.cl.PageLocations(blob, rec.Version, 0, rec.SizeAfter)
+	s := defaultSettings()
+	s.version = rec.Version
+	locs, err := r.cl.locations(s, blob, 0, rec.SizeAfter)
 	if err != nil {
 		return st, err
 	}

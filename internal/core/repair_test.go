@@ -36,14 +36,14 @@ func TestRepairBlobRestoresReplication(t *testing.T) {
 	}
 	defer d.Close()
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	data := bytes.Repeat([]byte("replica-repair-loop!"), 32) // 10 pages
-	if _, err := c.Write(blob, 0, data); err != nil {
+	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
 
 	d.Providers[2].SetDown(true)
-	st, err := d.RepairBlob(blob, LatestVersion)
+	st, err := d.RepairBlob(blob.ID(), LatestVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,8 +56,7 @@ func TestRepairBlobRestoresReplication(t *testing.T) {
 
 	// A fresh tree walk sees every page at full live replication, with
 	// the dead provider dropped from the leaves.
-	c2 := d.NewClient(5)
-	locs, err := c2.PageLocations(blob, LatestVersion, 0, int64(len(data)))
+	locs, err := openB(t, d.NewClient(5), blob.ID()).Locations(0, int64(len(data)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,10 +74,11 @@ func TestRepairBlobRestoresReplication(t *testing.T) {
 		}
 	}
 
-	// Full replication means the blob survives losing one more replica.
+	// Full replication means the blob survives losing one more replica
+	// (read through a fresh client: repaired leaves, no stale cache).
 	d.Providers[1].SetDown(true)
 	buf := make([]byte, len(data))
-	if _, err := c2.Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := openB(t, d.NewClient(5), blob.ID()).ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, data) {
@@ -86,10 +86,10 @@ func TestRepairBlobRestoresReplication(t *testing.T) {
 	}
 
 	// A second repair pass heals the second failure too.
-	if _, err := d.RepairBlob(blob, LatestVersion); err != nil {
+	if _, err := d.RepairBlob(blob.ID(), LatestVersion); err != nil {
 		t.Fatal(err)
 	}
-	locs, err = d.NewClient(6).PageLocations(blob, LatestVersion, 0, int64(len(data)))
+	locs, err = openB(t, d.NewClient(6), blob.ID()).Locations(0, int64(len(data)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,15 +116,15 @@ func TestRepairClampsToSurvivingFleet(t *testing.T) {
 	}
 	defer d.Close()
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	data := bytes.Repeat([]byte{0x5A}, 256)
-	if _, err := c.Write(blob, 0, data); err != nil {
+	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
 
 	// One survivor: target clamps to 1, nothing to copy, no error.
 	d.Providers[2].SetDown(true)
-	st, err := d.RepairBlob(blob, LatestVersion)
+	st, err := d.RepairBlob(blob.ID(), LatestVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestRepairClampsToSurvivingFleet(t *testing.T) {
 	d.Providers[2].SetDown(false)
 	d.Providers[1].SetDown(true)
 	buf := make([]byte, len(data))
-	if _, err := d.NewClient(3).Read(blob, LatestVersion, 0, buf); err != nil {
+	if _, err := openB(t, d.NewClient(3), blob.ID()).ReadAt(buf, 0); err != nil {
 		t.Fatalf("read through the recovered provider failed: %v", err)
 	}
 	if !bytes.Equal(buf, data) {
@@ -147,7 +147,7 @@ func TestRepairClampsToSurvivingFleet(t *testing.T) {
 	// No survivors: every page is reported lost, still no error.
 	d.Providers[1].SetDown(true)
 	d.Providers[2].SetDown(true)
-	st, err = d.RepairBlob(blob, LatestVersion)
+	st, err = d.RepairBlob(blob.ID(), LatestVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,9 +171,9 @@ func TestRepairSweepBackground(t *testing.T) {
 	}
 	defer d.Close()
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	data := bytes.Repeat([]byte{0xC3}, 640)
-	if _, err := c.Write(blob, 0, data); err != nil {
+	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
 	d.Providers[3].SetDown(true)
@@ -181,7 +181,7 @@ func TestRepairSweepBackground(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		healthy := true
-		locs, err := d.NewClient(5).PageLocations(blob, LatestVersion, 0, int64(len(data)))
+		locs, err := openB(t, d.NewClient(5), blob.ID()).Locations(0, int64(len(data)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,21 +216,21 @@ func TestRepairRaisesReplicationFactor(t *testing.T) {
 	}
 	defer d.Close()
 	c := d.NewClient(0)
-	blob, _ := c.Create(0)
+	blob, _ := c.CreateBlob(0)
 	data := bytes.Repeat([]byte{0x77}, 320)
-	if _, err := c.Write(blob, 0, data); err != nil {
+	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
 
 	d.Opts.Replication = 3
-	st, err := d.RepairBlob(blob, LatestVersion)
+	st, err := d.RepairBlob(blob.ID(), LatestVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.ReplicasAdded != 2*st.PagesScanned {
 		t.Fatalf("raising 1->3 replicas: stats %+v, want 2 new copies per page", st)
 	}
-	locs, err := d.NewClient(5).PageLocations(blob, LatestVersion, 0, int64(len(data)))
+	locs, err := openB(t, d.NewClient(5), blob.ID()).Locations(0, int64(len(data)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -132,15 +132,21 @@ func (r *VersionRouter) RequestTickets(from cluster.NodeID, blob BlobID, intents
 	return r.Shard(blob).RequestTickets(from, blob, intents, sinceVersion)
 }
 
-// Publish declares a version fully written and blocks until visible.
-func (r *VersionRouter) Publish(from cluster.NodeID, blob BlobID, v Version) error {
-	return r.Shard(blob).Publish(from, blob, v)
+// Publish declares a version fully written and blocks until visible
+// (or ctx is canceled).
+func (r *VersionRouter) Publish(ctx *cluster.Ctx, from cluster.NodeID, blob BlobID, v Version) error {
+	return r.Shard(blob).Publish(ctx, from, blob, v)
 }
 
 // PublishBatch publishes several versions of one blob in one round
 // trip to the owning shard.
-func (r *VersionRouter) PublishBatch(from cluster.NodeID, blob BlobID, vs []Version) error {
-	return r.Shard(blob).PublishBatch(from, blob, vs)
+func (r *VersionRouter) PublishBatch(ctx *cluster.Ctx, from cluster.NodeID, blob BlobID, vs []Version) error {
+	return r.Shard(blob).PublishBatch(ctx, from, blob, vs)
+}
+
+// PublishBatchAsync marks versions ready without awaiting visibility.
+func (r *VersionRouter) PublishBatchAsync(from cluster.NodeID, blob BlobID, vs []Version) error {
+	return r.Shard(blob).PublishBatchAsync(from, blob, vs)
 }
 
 // Abort tombstones a pending version.
@@ -148,9 +154,17 @@ func (r *VersionRouter) Abort(from cluster.NodeID, blob BlobID, v Version) error
 	return r.Shard(blob).Abort(from, blob, v)
 }
 
-// AwaitPublished blocks until the blob's publication frontier reaches v.
-func (r *VersionRouter) AwaitPublished(from cluster.NodeID, blob BlobID, v Version) error {
-	return r.Shard(blob).AwaitPublished(from, blob, v)
+// AbortBatch tombstones every still-pending member of a version batch
+// in one round trip to the owning shard (see VersionManager.AbortBatch
+// for the prefix guarantee).
+func (r *VersionRouter) AbortBatch(from cluster.NodeID, blob BlobID, vs []Version) error {
+	return r.Shard(blob).AbortBatch(from, blob, vs)
+}
+
+// AwaitPublished blocks until the blob's publication frontier reaches
+// v (or ctx is canceled).
+func (r *VersionRouter) AwaitPublished(ctx *cluster.Ctx, from cluster.NodeID, blob BlobID, v Version) error {
+	return r.Shard(blob).AwaitPublished(ctx, from, blob, v)
 }
 
 // Latest returns the newest published, non-aborted version and its size.

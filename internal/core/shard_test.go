@@ -54,12 +54,12 @@ func TestSingleShardRoutingIdentity(t *testing.T) {
 	}
 	c := d.NewClient(0)
 	for want := BlobID(1); want <= 3; want++ {
-		id, err := c.Create(0)
+		b, err := c.CreateBlob(0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if id != want {
-			t.Fatalf("Create #%d returned id %d: single-shard allocation must stay dense", want, id)
+		if b.ID() != want {
+			t.Fatalf("CreateBlob #%d returned id %d: single-shard allocation must stay dense", want, b.ID())
 		}
 	}
 }
@@ -73,10 +73,11 @@ func TestShardStrideAllocation(t *testing.T) {
 	c := d.NewClient(0)
 	perShard := make(map[int][]BlobID)
 	for i := 0; i < 12; i++ {
-		id, err := c.Create(0)
+		b, err := c.CreateBlob(0)
 		if err != nil {
 			t.Fatal(err)
 		}
+		id := b.ID()
 		idx := d.VM.ShardIndex(id)
 		if got := int(id % shards); got != idx {
 			t.Fatalf("blob %d: ShardIndex %d but id mod %d = %d", id, idx, shards, got)
@@ -103,27 +104,27 @@ func TestShardStrideAllocation(t *testing.T) {
 func TestShardedWriteReadRoundTrip(t *testing.T) {
 	d := localShardedDeployment(t, 2)
 	c := d.NewClient(1)
-	payloads := map[BlobID][]byte{}
+	payloads := map[*Blob][]byte{}
 	for i := 0; i < 4; i++ {
-		id, err := c.Create(0)
+		b, err := c.CreateBlob(0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		data := bytes.Repeat([]byte{byte('a' + i)}, 300+i*17)
-		if _, err := c.Write(id, 0, data); err != nil {
-			t.Fatalf("write blob %d: %v", id, err)
+		if _, err := b.WriteAt(data, 0); err != nil {
+			t.Fatalf("write blob %d: %v", b.ID(), err)
 		}
-		payloads[id] = data
+		payloads[b] = data
 	}
 	seen := map[int]bool{}
-	for id, want := range payloads {
-		seen[d.VM.ShardIndex(id)] = true
+	for b, want := range payloads {
+		seen[d.VM.ShardIndex(b.ID())] = true
 		buf := make([]byte, len(want))
-		if _, err := c.Read(id, LatestVersion, 0, buf); err != nil {
-			t.Fatalf("read blob %d: %v", id, err)
+		if _, err := b.ReadAt(buf, 0); err != nil {
+			t.Fatalf("read blob %d: %v", b.ID(), err)
 		}
 		if !bytes.Equal(buf, want) {
-			t.Fatalf("blob %d read back wrong bytes", id)
+			t.Fatalf("blob %d read back wrong bytes", b.ID())
 		}
 	}
 	if len(seen) != 2 {
@@ -137,29 +138,29 @@ func TestShardedWriteReadRoundTrip(t *testing.T) {
 func TestCloneStaysOnSourceShard(t *testing.T) {
 	d := localShardedDeployment(t, 3)
 	c := d.NewClient(1)
-	var blobs []BlobID
+	var blobs []*Blob
 	for i := 0; i < 3; i++ {
-		id, err := c.Create(0)
+		b, err := c.CreateBlob(0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Write(id, 0, []byte("snapshot me")); err != nil {
+		if _, err := b.WriteAt([]byte("snapshot me"), 0); err != nil {
 			t.Fatal(err)
 		}
-		blobs = append(blobs, id)
+		blobs = append(blobs, b)
 	}
 	for _, src := range blobs {
-		cl, err := c.Clone(src, LatestVersion)
+		cl, err := src.Snapshot()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if d.VM.ShardIndex(cl) != d.VM.ShardIndex(src) {
+		if d.VM.ShardIndex(cl.ID()) != d.VM.ShardIndex(src.ID()) {
 			t.Fatalf("clone %d of blob %d changed shard: %d -> %d",
-				cl, src, d.VM.ShardIndex(src), d.VM.ShardIndex(cl))
+				cl.ID(), src.ID(), d.VM.ShardIndex(src.ID()), d.VM.ShardIndex(cl.ID()))
 		}
 		buf := make([]byte, len("snapshot me"))
-		if _, err := c.Read(cl, LatestVersion, 0, buf); err != nil {
-			t.Fatalf("read clone %d: %v", cl, err)
+		if _, err := cl.ReadAt(buf, 0); err != nil {
+			t.Fatalf("read clone %d: %v", cl.ID(), err)
 		}
 	}
 }
@@ -172,14 +173,14 @@ func TestBlobsMergedAcrossShards(t *testing.T) {
 	c := d.NewClient(1)
 	var want []BlobID
 	for i := 0; i < 7; i++ {
-		id, err := c.Create(0)
+		b, err := c.CreateBlob(0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Write(id, 0, []byte("x")); err != nil {
+		if _, err := b.WriteAt([]byte("x"), 0); err != nil {
 			t.Fatal(err)
 		}
-		want = append(want, id)
+		want = append(want, b.ID())
 	}
 	got := d.VM.Blobs(0)
 	if len(got) != len(want) {

@@ -48,12 +48,11 @@ var (
 // the write, and the history delta the writer needs to compute borrowed
 // child keys.
 type Ticket struct {
-	Record  Ticket0
+	// Record is the writer's own pending WriteRecord: the assigned
+	// version, resolved offset and post-write geometry.
+	Record  WriteRecord
 	History []WriteRecord // records for versions (SinceVersion, Version)
 }
-
-// Ticket0 is the writer's own pending record.
-type Ticket0 = WriteRecord
 
 // WriteIntent describes one write of a batched ticket request: a byte
 // span at Off (negative requests an append at the current end).
@@ -335,24 +334,65 @@ func (b *blobState) historyDelta(since, v Version) []WriteRecord {
 // blocks until v actually becomes visible, which happens once every
 // earlier version has been published or aborted — the version
 // manager's total-order guarantee. In group-commit mode (the default)
-// the call is enqueued and applied by the batch drainer.
-func (vm *VersionManager) Publish(from cluster.NodeID, blob BlobID, v Version) error {
+// the call is enqueued and applied by the batch drainer. Cancellation
+// of ctx cuts the visibility wait short with an error matching
+// cluster.ErrCanceled; the version stays ready and will still publish
+// in ticket order unless the caller aborts it — the frontier never
+// depends on the canceled waiter.
+func (vm *VersionManager) Publish(ctx *cluster.Ctx, from cluster.NodeID, blob BlobID, v Version) error {
 	vm.env.RTT(from, vm.node)
 	vm.serve()
 	if vm.serial {
-		return vm.publishSerial(blob, v)
+		return vm.publishSerial(ctx, blob, v)
 	}
 	req := &pubReq{blob: blob, v: v, done: vm.env.NewSignal()}
 	vm.enqueue([]*pubReq{req})
-	return vm.awaitPublishReq(req)
+	return vm.awaitPublishReq(ctx, req)
+}
+
+// PublishBatchAsync marks versions of one blob ready for publication
+// without waiting for visibility — the AwaitPublication(false) path.
+// It returns once the drainer has applied the whole batch (or, in
+// serial mode, after marking each member): the versions will become
+// visible in ticket order, observable through AwaitPublished or any
+// later read. The first per-member error is returned.
+func (vm *VersionManager) PublishBatchAsync(from cluster.NodeID, blob BlobID, vs []Version) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	vm.env.RTT(from, vm.node)
+	vm.serve()
+	var first error
+	if vm.serial {
+		for _, v := range vs {
+			if _, _, err := vm.publishSerialStart(blob, v); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	reqs := make([]*pubReq, len(vs))
+	for i, v := range vs {
+		reqs[i] = &pubReq{blob: blob, v: v, done: vm.env.NewSignal()}
+	}
+	vm.enqueue(reqs)
+	for _, req := range reqs {
+		req.done.Wait() // applied by the drainer; bounded, never canceled
+		if req.err != nil && first == nil {
+			first = req.err
+		}
+	}
+	return first
 }
 
 // PublishBatch publishes several versions of one blob in a single
 // round trip: the whole batch enters the group-commit queue together,
 // so the drainer marks every version ready and advances the frontier
 // in one pass. It blocks until every version in the batch is visible
-// (or resolved as aborted) and returns the first error.
-func (vm *VersionManager) PublishBatch(from cluster.NodeID, blob BlobID, vs []Version) error {
+// (or resolved as aborted) and returns the first error. Cancellation
+// of ctx cuts the visibility waits short (see Publish); every member
+// is still applied before the call returns.
+func (vm *VersionManager) PublishBatch(ctx *cluster.Ctx, from cluster.NodeID, blob BlobID, vs []Version) error {
 	if len(vs) == 0 {
 		return nil
 	}
@@ -382,7 +422,12 @@ func (vm *VersionManager) PublishBatch(from cluster.NodeID, blob BlobID, vs []Ve
 			}
 		}
 		for _, m := range waits {
-			m.wait.Wait()
+			if err := ctx.Wait(m.wait); err != nil {
+				if first == nil {
+					first = err
+				}
+				continue
+			}
 			if err := vm.checkPublished(blob, m.v, m.p); err != nil && first == nil {
 				first = err
 			}
@@ -396,7 +441,7 @@ func (vm *VersionManager) PublishBatch(from cluster.NodeID, blob BlobID, vs []Ve
 	vm.enqueue(reqs)
 	var first error
 	for _, req := range reqs {
-		if err := vm.awaitPublishReq(req); err != nil && first == nil {
+		if err := vm.awaitPublishReq(ctx, req); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -405,12 +450,14 @@ func (vm *VersionManager) PublishBatch(from cluster.NodeID, blob BlobID, vs []Ve
 
 // publishSerial is the ablation (SerialPublish) path: one lock
 // acquisition and one frontier pass per call.
-func (vm *VersionManager) publishSerial(blob BlobID, v Version) error {
+func (vm *VersionManager) publishSerial(ctx *cluster.Ctx, blob BlobID, v Version) error {
 	wait, p, err := vm.publishSerialStart(blob, v)
 	if err != nil || wait == nil {
 		return err
 	}
-	wait.Wait()
+	if err := ctx.Wait(wait); err != nil {
+		return err
+	}
 	return vm.checkPublished(blob, v, p)
 }
 
@@ -433,13 +480,18 @@ func (vm *VersionManager) publishSerialStart(blob BlobID, v Version) (cluster.Si
 }
 
 // awaitPublishReq waits for the drainer to apply a queued publish and
-// then for the version's visibility.
-func (vm *VersionManager) awaitPublishReq(req *pubReq) error {
+// then for the version's visibility. The apply wait is bounded (the
+// drainer always drains) and never canceled; only the visibility wait
+// honors ctx, so a canceled publisher still leaves its request fully
+// applied — ready, and published once its predecessors resolve.
+func (vm *VersionManager) awaitPublishReq(ctx *cluster.Ctx, req *pubReq) error {
 	req.done.Wait()
 	if req.err != nil || req.wait == nil {
 		return req.err
 	}
-	req.wait.Wait()
+	if err := ctx.Wait(req.wait); err != nil {
+		return err
+	}
 	return vm.checkPublished(req.blob, req.v, req.p)
 }
 
@@ -524,6 +576,58 @@ func (vm *VersionManager) applyAbortLocked(b *blobState, blob BlobID, v Version)
 	b.records[int(v)-1].Aborted = true
 	p.done.Fire()
 	return nil
+}
+
+// AbortBatch tombstones every still-pending member of one blob's
+// version batch in a single round trip. All members are resolved under
+// one lock acquisition (the serial path locks once; the group-commit
+// path enters the drainer queue together, and the drainer applies a
+// whole batch under one lock hold), which yields the guarantee the
+// client's failure reporting relies on: since the publication frontier
+// also only moves under that lock, the members of a contiguously-
+// ticketed batch that remain published afterwards form a contiguous
+// prefix — a canceled batch can never leave a published member
+// stranded past an aborted one. Already-aborted members are skipped
+// idempotently and already-published ones are left alone (a visible
+// snapshot cannot be retracted); the first other error is returned.
+func (vm *VersionManager) AbortBatch(from cluster.NodeID, blob BlobID, vs []Version) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	vm.env.RTT(from, vm.node)
+	vm.serve()
+	tolerable := func(err error) bool {
+		return err == nil || errors.Is(err, ErrAlreadyPublished)
+	}
+	if vm.serial {
+		vm.mu.Lock()
+		defer vm.mu.Unlock()
+		b, ok := vm.blobs[blob]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+		}
+		var first error
+		for _, v := range vs {
+			if err := vm.applyAbortLocked(b, blob, v); !tolerable(err) && first == nil {
+				first = err
+			}
+		}
+		vm.advanceLocked(b)
+		return first
+	}
+	reqs := make([]*pubReq, len(vs))
+	for i, v := range vs {
+		reqs[i] = &pubReq{blob: blob, v: v, abort: true, done: vm.env.NewSignal()}
+	}
+	vm.enqueue(reqs)
+	var first error
+	for _, req := range reqs {
+		req.done.Wait()
+		if !tolerable(req.err) && first == nil {
+			first = req.err
+		}
+	}
+	return first
 }
 
 // enqueue adds requests to the group-commit queue and ensures a
@@ -623,10 +727,13 @@ func (vm *VersionManager) advanceLocked(b *blobState) {
 }
 
 // AwaitPublished blocks until the publication frontier reaches v
-// (published or aborted): after it returns, reads of any non-aborted
-// version <= v are valid. Concurrent writers use it to merge boundary
-// pages against their true predecessor instead of racing it.
-func (vm *VersionManager) AwaitPublished(from cluster.NodeID, blob BlobID, v Version) error {
+// (published or aborted): after it returns nil, reads of any
+// non-aborted version <= v are valid. Concurrent writers use it to
+// merge boundary pages against their true predecessor instead of
+// racing it. A canceled ctx wakes the wait early with an error
+// matching cluster.ErrCanceled; the abandoned waiter entry is swept
+// when the frontier eventually passes v.
+func (vm *VersionManager) AwaitPublished(ctx *cluster.Ctx, from cluster.NodeID, blob BlobID, v Version) error {
 	vm.env.RTT(from, vm.node)
 	vm.serve()
 	vm.mu.Lock()
@@ -646,8 +753,7 @@ func (vm *VersionManager) AwaitPublished(from cluster.NodeID, blob BlobID, v Ver
 	sig := vm.env.NewSignal()
 	b.pubWaiters = append(b.pubWaiters, pubWaiter{v: v, sig: sig})
 	vm.mu.Unlock()
-	sig.Wait()
-	return nil
+	return ctx.Wait(sig)
 }
 
 // Latest returns the newest published, non-aborted version and its

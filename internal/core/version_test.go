@@ -87,14 +87,14 @@ func TestPublishInOrder(t *testing.T) {
 		wg := env.NewWaitGroup()
 		wg.Go(func() {
 			// v2 publishes first but must wait for v1.
-			if err := vm.Publish(1, id, 2); err != nil {
+			if err := vm.Publish(bg, 1, id, 2); err != nil {
 				t.Error(err)
 			}
 			v2Visible = env.Now()
 		})
 		wg.Go(func() {
 			env.Sleep(time.Second)
-			if err := vm.Publish(2, id, 1); err != nil {
+			if err := vm.Publish(bg, 2, id, 1); err != nil {
 				t.Error(err)
 			}
 			v1Published = env.Now()
@@ -126,7 +126,7 @@ func TestAbortUnblocksSuccessors(t *testing.T) {
 
 		wg := env.NewWaitGroup()
 		wg.Go(func() {
-			if err := vm.Publish(1, id, 2); err != nil {
+			if err := vm.Publish(bg, 1, id, 2); err != nil {
 				t.Error(err)
 			}
 		})
@@ -146,7 +146,7 @@ func TestAbortUnblocksSuccessors(t *testing.T) {
 			t.Errorf("GetVersion(aborted) = %v", err)
 		}
 		// Publishing an aborted version reports the abort.
-		if err := vm.Publish(1, id, 1); !errors.Is(err, ErrAborted) {
+		if err := vm.Publish(bg, 1, id, 1); !errors.Is(err, ErrAborted) {
 			t.Errorf("Publish(aborted) = %v", err)
 		}
 	})
@@ -160,7 +160,7 @@ func TestLatestSkipsTrailingAborted(t *testing.T) {
 	id, _ := vm.CreateBlob(0, 100)
 	vm.RequestTicket(0, id, 0, 100, 0)
 	vm.RequestTicket(0, id, -1, 100, 0)
-	if err := vm.Publish(0, id, 1); err != nil {
+	if err := vm.Publish(bg, 0, id, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := vm.Abort(0, id, 2); err != nil {
@@ -183,13 +183,13 @@ func TestGetVersionBounds(t *testing.T) {
 	if _, err := vm.GetVersion(0, id, 1); !errors.Is(err, ErrNoSuchVersion) {
 		t.Fatalf("unpublished: %v", err)
 	}
-	vm.Publish(0, id, 1)
+	vm.Publish(bg, 0, id, 1)
 	rec, err := vm.GetVersion(0, id, 1)
 	if err != nil || rec.SizeAfter != 100 {
 		t.Fatalf("published: %+v, %v", rec, err)
 	}
 	// Double publish is idempotent.
-	if err := vm.Publish(0, id, 1); err != nil {
+	if err := vm.Publish(bg, 0, id, 1); err != nil {
 		t.Fatalf("re-publish: %v", err)
 	}
 }
@@ -213,7 +213,7 @@ func TestAbortTypedErrors(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if err := vm.Publish(0, id, 1); err != nil {
+		if err := vm.Publish(bg, 0, id, 1); err != nil {
 			t.Fatal(err)
 		}
 		if err := vm.Abort(0, id, 3); err != nil {
@@ -349,7 +349,7 @@ func TestPublishBatchGroupCommit(t *testing.T) {
 		wg := env.NewWaitGroup()
 		wg.Go(func() {
 			// v4 publishes first but must wait for the batch.
-			if err := vm.Publish(2, id, single.Record.Version); err != nil {
+			if err := vm.Publish(bg, 2, id, single.Record.Version); err != nil {
 				t.Error(err)
 			}
 			pub, _ := vm.Published(2, id)
@@ -360,7 +360,7 @@ func TestPublishBatchGroupCommit(t *testing.T) {
 		wg.Go(func() {
 			env.Sleep(time.Second)
 			vs := []Version{ts[0].Record.Version, ts[1].Record.Version, ts[2].Record.Version}
-			if err := vm.PublishBatch(1, id, vs); err != nil {
+			if err := vm.PublishBatch(bg, 1, id, vs); err != nil {
 				t.Error(err)
 			}
 			pub, _ := vm.Published(1, id)
@@ -374,11 +374,11 @@ func TestPublishBatchGroupCommit(t *testing.T) {
 			t.Errorf("Latest = %d/%d, %v", v, size, err)
 		}
 		// Re-publishing an already published batch is idempotent.
-		if err := vm.PublishBatch(1, id, []Version{1, 2, 3}); err != nil {
+		if err := vm.PublishBatch(bg, 1, id, []Version{1, 2, 3}); err != nil {
 			t.Errorf("re-publish batch: %v", err)
 		}
 		// Empty batches are a no-op.
-		if err := vm.PublishBatch(1, id, nil); err != nil {
+		if err := vm.PublishBatch(bg, 1, id, nil); err != nil {
 			t.Errorf("empty batch: %v", err)
 		}
 	})
@@ -398,7 +398,7 @@ func TestPublishBatchWithAbortedMember(t *testing.T) {
 	if err := vm.Abort(0, id, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := vm.PublishBatch(0, id, []Version{1, 2, 3}); !errors.Is(err, ErrAborted) {
+	if err := vm.PublishBatch(bg, 0, id, []Version{1, 2, 3}); !errors.Is(err, ErrAborted) {
 		t.Fatalf("batch with aborted member = %v, want ErrAborted", err)
 	}
 	v, _, err := vm.Latest(0, id)
@@ -421,7 +421,7 @@ func TestSerialPublishModeEquivalence(t *testing.T) {
 		}
 		// Publish in reverse ticket order: both modes must mark every
 		// member before waiting, or the batch would deadlock on itself.
-		if err := vm.PublishBatch(0, id, []Version{ts[1].Record.Version, ts[0].Record.Version}); err != nil {
+		if err := vm.PublishBatch(bg, 0, id, []Version{ts[1].Record.Version, ts[0].Record.Version}); err != nil {
 			t.Fatalf("serial=%v: %v", serial, err)
 		}
 		v, size, err := vm.Latest(0, id)

@@ -1,8 +1,6 @@
-// Package fsapi defines the file-system contract the MapReduce
-// framework programs against — the role Hadoop's FileSystem interface
-// plays in the paper. Both BSFS (the contribution) and HDFS (the
-// baseline) implement it, which is exactly how the paper swaps storage
-// layers under an unmodified framework.
+// fsapi.go declares the FileSystem/Reader/Writer interfaces, the
+// shared open options, typed errors, and path helpers. The package
+// contract is documented in doc.go.
 package fsapi
 
 import (
@@ -39,6 +37,54 @@ type BlockLocation struct {
 	Hosts  []cluster.NodeID
 }
 
+// OpenOption configures how a file is opened or created. Options are
+// shared by every FileSystem implementation; an implementation that
+// cannot honor one (e.g. HDFS asked for AtVersion) returns an error
+// wrapping ErrNotSupported instead of silently ignoring it.
+type OpenOption func(*OpenSettings)
+
+// OpenSettings is the resolved option set of one Create/Open/Append
+// call. Implementations obtain it through ApplyOpenOptions.
+type OpenSettings struct {
+	// Version pins the open to a published snapshot when HasVersion is
+	// set; otherwise the latest content is addressed.
+	Version    uint64
+	HasVersion bool
+	// Ctx scopes every operation performed through the returned Reader
+	// or Writer: cancellation or deadline expiry makes in-flight and
+	// subsequent operations fail promptly with an error matching
+	// cluster.ErrCanceled. Never nil (defaults to cluster.Background).
+	Ctx *cluster.Ctx
+}
+
+// ApplyOpenOptions resolves opts over the defaults; implementations
+// call it at the top of Create/OpenAt/Append.
+func ApplyOpenOptions(opts []OpenOption) OpenSettings {
+	s := OpenSettings{Ctx: cluster.Background()}
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// AtVersion pins an OpenAt to a published snapshot of the file. File
+// systems without versioning return ErrNotSupported.
+func AtVersion(v uint64) OpenOption {
+	return func(s *OpenSettings) { s.Version, s.HasVersion = v, true }
+}
+
+// WithCtx scopes the handle returned by Create/OpenAt/Append to ctx:
+// reads and writes through it become cancellable. A nil ctx means
+// Background (never canceled).
+func WithCtx(ctx *cluster.Ctx) OpenOption {
+	return func(s *OpenSettings) {
+		if ctx == nil {
+			ctx = cluster.Background()
+		}
+		s.Ctx = ctx
+	}
+}
+
 // Writer is a sequential file writer.
 type Writer interface {
 	io.Writer
@@ -69,11 +115,18 @@ type FileSystem interface {
 	// BlockSize is the split granularity exposed to MapReduce.
 	BlockSize() int64
 
-	Create(path string) (Writer, error)
+	Create(path string, opts ...OpenOption) (Writer, error)
+	// Open returns a reader over the file's latest content — shorthand
+	// for OpenAt with no options.
 	Open(path string) (Reader, error)
+	// OpenAt opens a file for reading, parameterized by options: an
+	// op-scoped Ctx (WithCtx) and, on versioning file systems, a pinned
+	// snapshot (AtVersion). File systems without versioning return
+	// ErrNotSupported when a snapshot is requested.
+	OpenAt(path string, opts ...OpenOption) (Reader, error)
 	// Append opens an existing file for appending. File systems
 	// without append support return ErrNotSupported (HDFS, §II.C).
-	Append(path string) (Writer, error)
+	Append(path string, opts ...OpenOption) (Writer, error)
 
 	Stat(path string) (FileInfo, error)
 	List(path string) ([]FileInfo, error)

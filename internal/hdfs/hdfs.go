@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strconv"
 	"sync"
 
 	"repro/internal/cluster"
@@ -223,7 +224,15 @@ func (dn *DataNode) Node() cluster.NodeID { return dn.node }
 // Store exposes the chunk store (stats, tests).
 func (dn *DataNode) Store() *pagestore.Store { return dn.store }
 
-func chunkKey(id uint64) string { return fmt.Sprintf("c/%d", id) }
+// chunkKey renders a chunk's store key. It sits on the per-chunk hot
+// path (every replica put, get and delete), so it formats with
+// strconv.AppendUint into a stack-sized buffer instead of
+// fmt.Sprintf's reflection-driven path — see BenchmarkChunkKey.
+func chunkKey(id uint64) string {
+	buf := make([]byte, 0, 24)
+	buf = append(buf, 'c', '/')
+	return string(strconv.AppendUint(buf, id, 10))
+}
 
 // put stores a chunk replica; write-through deployments persist
 // immediately (the pipeline already charged the disk), so the entry is
@@ -274,8 +283,14 @@ func (f *FS) Node() cluster.NodeID { return f.node }
 
 func (f *FS) rtt() { f.d.Env.RTT(f.node, f.d.NN.node) }
 
-// Create registers a new file; HDFS files are write-once.
-func (f *FS) Create(path string) (fsapi.Writer, error) {
+// Create registers a new file; HDFS files are write-once. Options:
+// fsapi.WithCtx is accepted (HDFS commits are synchronous, so the ctx
+// only gates new chunk commits); fsapi.AtVersion is rejected.
+func (f *FS) Create(path string, opts ...fsapi.OpenOption) (fsapi.Writer, error) {
+	s := fsapi.ApplyOpenOptions(opts)
+	if s.HasVersion {
+		return nil, fmt.Errorf("%w: hdfs has no versioning", fsapi.ErrNotSupported)
+	}
 	f.rtt()
 	meta := &fileMeta{}
 	if err := f.d.NN.ns.CreateFile(path, meta); err != nil {
@@ -284,13 +299,13 @@ func (f *FS) Create(path string) (fsapi.Writer, error) {
 		}
 		return nil, err
 	}
-	return &writer{fs: f, path: path, meta: meta}, nil
+	return &writer{fs: f, path: path, meta: meta, ctx: s.Ctx}, nil
 }
 
 // Append implements fsapi.FileSystem: HDFS has no append (§II.C —
 // "once a file is created, written and closed, the data cannot be
 // overwritten or appended to").
-func (f *FS) Append(path string) (fsapi.Writer, error) {
+func (f *FS) Append(path string, opts ...fsapi.OpenOption) (fsapi.Writer, error) {
 	return nil, fmt.Errorf("%w: hdfs append", fsapi.ErrNotSupported)
 }
 
@@ -304,7 +319,17 @@ func (f *FS) fileMeta(path string) (*fileMeta, error) {
 }
 
 // Open returns a reader; the file must have been closed by its writer.
-func (f *FS) Open(path string) (fsapi.Reader, error) {
+func (f *FS) Open(path string) (fsapi.Reader, error) { return f.OpenAt(path) }
+
+// OpenAt implements fsapi.FileSystem. HDFS keeps no version history,
+// so a pinned snapshot (fsapi.AtVersion) returns the typed
+// fsapi.ErrNotSupported — the contract's way of saying the baseline
+// cannot express the workload, which is itself the paper's point.
+func (f *FS) OpenAt(path string, opts ...fsapi.OpenOption) (fsapi.Reader, error) {
+	s := fsapi.ApplyOpenOptions(opts)
+	if s.HasVersion {
+		return nil, fmt.Errorf("%w: hdfs snapshot read", fsapi.ErrNotSupported)
+	}
 	meta, err := f.fileMeta(path)
 	if err != nil {
 		return nil, err
@@ -315,7 +340,7 @@ func (f *FS) Open(path string) (fsapi.Reader, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotClosed, path)
 	}
 	chunks := append([]chunkMeta(nil), meta.chunks...)
-	return &reader{fs: f, chunks: chunks, size: meta.size}, nil
+	return &reader{fs: f, chunks: chunks, size: meta.size, ctx: s.Ctx, curIdx: -1}, nil
 }
 
 // Stat implements fsapi.FileSystem.
@@ -392,6 +417,7 @@ type writer struct {
 	fs   *FS
 	path string
 	meta *fileMeta
+	ctx  *cluster.Ctx
 
 	mu        sync.Mutex
 	buf       []byte
@@ -444,8 +470,13 @@ func (w *writer) WriteSynthetic(n int64) (int64, error) {
 }
 
 // commitChunk allocates a chunk at the namenode and pushes the payload
-// down the replica pipeline.
+// down the replica pipeline. A canceled op scope stops before the next
+// allocation (the pipeline itself is synchronous and uncancellable,
+// matching HDFS's whole-chunk commit semantics).
 func (w *writer) commitChunk(data []byte, size int64) error {
+	if err := w.ctx.Err(); err != nil {
+		return fmt.Errorf("hdfs: write: %w", err)
+	}
 	w.fs.rtt() // namenode round trip for allocation
 	c := w.fs.d.NN.allocateChunk(w.fs.node, size)
 	// Pipeline: client -> dn1 -> dn2 -> ...; disks included when
@@ -506,6 +537,7 @@ type reader struct {
 	fs     *FS
 	chunks []chunkMeta
 	size   int64
+	ctx    *cluster.Ctx
 
 	mu      sync.Mutex
 	pos     int64
@@ -545,8 +577,12 @@ func (r *reader) pickReplica(locs []cluster.NodeID) cluster.NodeID {
 }
 
 // fetchChunk pulls one whole chunk from a replica, charging the
-// network and the replica's disk on a cache miss.
+// network and the replica's disk on a cache miss. A canceled op scope
+// fails before the next chunk fetch.
 func (r *reader) fetchChunk(idx int, materialize bool) ([]byte, error) {
+	if err := r.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("hdfs: read: %w", err)
+	}
 	c := r.chunks[idx]
 	src := r.pickReplica(c.locs)
 	dn := r.fs.d.DNs[src]

@@ -81,9 +81,11 @@ type JobConfig struct {
 	Profile   Profile
 
 	// OpenInput overrides how input readers are obtained (e.g. pinning
-	// a snapshot version via bsfs.FS.OpenVersion). Defaults to
-	// fs.Open.
-	OpenInput func(fs fsapi.FileSystem, path string) (fsapi.Reader, error)
+	// a snapshot version by appending fsapi.AtVersion). The framework
+	// passes each attempt's op-scoped options — notably fsapi.WithCtx
+	// carrying the task's cancellation scope — which overrides must
+	// forward. Defaults to fs.OpenAt.
+	OpenInput func(fs fsapi.FileSystem, path string, opts ...fsapi.OpenOption) (fsapi.Reader, error)
 
 	// MaxAttempts bounds per-task retries (default 3).
 	MaxAttempts int
@@ -153,11 +155,18 @@ type Config struct {
 	// Speculative enables backup execution of straggling attempts on
 	// idle slots (Hadoop's speculative execution): once a task has run
 	// for SpeculativeDelay without finishing and no other work is
-	// pending, a duplicate attempt is launched; the first completion
-	// wins.
+	// pending, a duplicate attempt is launched. The first completion
+	// wins — and cancels the losing attempt's op scope, so speculative
+	// losers stop issuing storage I/O instead of running to completion.
 	Speculative bool
 	// SpeculativeDelay is the straggler threshold (default 10s).
 	SpeculativeDelay time.Duration
+	// TaskTimeout, when > 0, bounds every task attempt with an
+	// op-scoped deadline (cluster.WithTimeout): an attempt that
+	// overruns is killed mid-I/O — its storage operations fail with an
+	// error matching cluster.ErrCanceled — and rescheduled like any
+	// failed attempt, up to the job's MaxAttempts.
+	TaskTimeout time.Duration
 }
 
 func (c *Config) fillDefaults() error {

@@ -68,7 +68,9 @@ func (c *Cluster) Submit(cfg JobConfig) (*JobResult, error) {
 		cfg.MaxAttempts = 3
 	}
 	if cfg.OpenInput == nil {
-		cfg.OpenInput = func(fs fsapi.FileSystem, path string) (fsapi.Reader, error) { return fs.Open(path) }
+		cfg.OpenInput = func(fs fsapi.FileSystem, path string, opts ...fsapi.OpenOption) (fsapi.Reader, error) {
+			return fs.OpenAt(path, opts...)
+		}
 	}
 	j, err := c.jt.prepare(cfg)
 	if err != nil {
@@ -105,6 +107,11 @@ type runKey struct {
 type runInfo struct {
 	attempts int
 	started  time.Duration // virtual time of the first attempt
+	// cancels holds each in-flight attempt's op-scope cancel function,
+	// keyed by attempt number. When one attempt wins, the others'
+	// scopes are canceled so speculative losers die mid-I/O instead of
+	// running to completion.
+	cancels map[int]func()
 }
 
 // job is one submitted job's runtime state.
@@ -143,6 +150,10 @@ type task struct {
 	kind    TaskKind
 	index   int
 	attempt int
+	// ctx scopes this attempt's storage I/O: it expires after
+	// Config.TaskTimeout and is canceled when another attempt of the
+	// same logical task completes first. Set by the slot loop.
+	ctx *cluster.Ctx
 }
 
 // prepare computes splits and allocates runtime state.
@@ -356,14 +367,28 @@ func (jt *jobTracker) slotLoop(node cluster.NodeID, kind TaskKind) {
 		}
 		jt.mu.Unlock()
 
+		// Every attempt runs under its own op scope: a deadline when
+		// TaskTimeout is configured (straggler kill), a plain cancelable
+		// scope otherwise (so a winning duplicate can kill this one).
+		var cancel func()
+		if jt.cfg.TaskTimeout > 0 {
+			t.ctx, cancel = cluster.WithTimeout(jt.env, jt.cfg.TaskTimeout)
+		} else {
+			t.ctx, cancel = cluster.WithCancel(jt.env)
+		}
+
 		key := runKey{kind: t.kind, index: t.index}
 		t.j.mu.Lock()
-		if ri, ok := t.j.running[key]; ok {
-			// speculative duplicate already registered by the picker
-			_ = ri
-		} else {
-			t.j.running[key] = &runInfo{attempts: 1, started: jt.env.Now()}
+		ri, ok := t.j.running[key]
+		if !ok {
+			ri = &runInfo{attempts: 1, started: jt.env.Now()}
+			t.j.running[key] = ri
 		}
+		// (speculative duplicates were already counted by the picker)
+		if ri.cancels == nil {
+			ri.cancels = make(map[int]func())
+		}
+		ri.cancels[t.attempt] = cancel
 		t.j.mu.Unlock()
 
 		// Task assignment heartbeat.
@@ -372,12 +397,14 @@ func (jt *jobTracker) slotLoop(node cluster.NodeID, kind TaskKind) {
 
 		t.j.mu.Lock()
 		if ri, ok := t.j.running[key]; ok {
+			delete(ri.cancels, t.attempt)
 			ri.attempts--
 			if ri.attempts <= 0 {
 				delete(t.j.running, key)
 			}
 		}
 		t.j.mu.Unlock()
+		cancel() // release the scope's watchers/deadline
 		jt.taskDone(t, node, err)
 	}
 }
@@ -385,7 +412,19 @@ func (jt *jobTracker) slotLoop(node cluster.NodeID, kind TaskKind) {
 // taskDone handles completion, retry, and job-phase transitions.
 func (jt *jobTracker) taskDone(t *task, node cluster.NodeID, err error) {
 	j := t.j
+	key := runKey{kind: t.kind, index: t.index}
 	if err != nil {
+		// A failed attempt of an already-completed logical task is a
+		// duplicate whose work is moot — typically a speculative loser
+		// the winner killed (cluster.ErrCanceled), or one that lost the
+		// output-commit rename race. Expected, not a failure: no
+		// counter bump, no retry.
+		j.mu.Lock()
+		done := j.completed[key]
+		j.mu.Unlock()
+		if done {
+			return
+		}
 		j.mu.Lock()
 		j.counters.FailedTasks++
 		j.mu.Unlock()
@@ -401,7 +440,6 @@ func (jt *jobTracker) taskDone(t *task, node cluster.NodeID, err error) {
 		j.fail(errf("%s task %d failed after %d attempts: %w", t.kind, t.index, j.cfg.MaxAttempts, err))
 		return
 	}
-	key := runKey{kind: t.kind, index: t.index}
 	switch t.kind {
 	case MapTask:
 		j.mu.Lock()
@@ -410,10 +448,12 @@ func (jt *jobTracker) taskDone(t *task, node cluster.NodeID, err error) {
 			return // a speculative duplicate already finished this task
 		}
 		j.completed[key] = true
+		losers := j.loserCancelsLocked(key)
 		j.mapsLeft--
 		mapsDone := j.mapsLeft == 0
 		failed := j.err != nil
 		j.mu.Unlock()
+		killAttempts(losers)
 		if !mapsDone || failed {
 			return
 		}
@@ -436,14 +476,41 @@ func (jt *jobTracker) taskDone(t *task, node cluster.NodeID, err error) {
 			return
 		}
 		j.completed[key] = true
+		losers := j.loserCancelsLocked(key)
 		j.reducesLeft--
 		reducesDone := j.reducesLeft == 0
 		failed := j.err != nil
 		j.mu.Unlock()
+		killAttempts(losers)
 		if reducesDone && !failed {
 			jt.finishJob(j)
 			j.finish()
 		}
+	}
+}
+
+// loserCancelsLocked snapshots the cancel functions of every attempt
+// of key still in flight — the speculative losers of the attempt that
+// just completed. Called with j.mu held; the cancels are invoked after
+// the lock drops.
+func (j *job) loserCancelsLocked(key runKey) []func() {
+	ri, ok := j.running[key]
+	if !ok {
+		return nil
+	}
+	out := make([]func(), 0, len(ri.cancels))
+	for _, c := range ri.cancels {
+		out = append(out, c)
+	}
+	return out
+}
+
+// killAttempts cancels the op scopes of losing attempts: their storage
+// I/O fails promptly with cluster.ErrCanceled and taskDone discards
+// them as benign.
+func killAttempts(cancels []func()) {
+	for _, c := range cancels {
+		c()
 	}
 }
 

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -176,5 +177,112 @@ func TestMapReduceOverSimulatedClusterEndToEnd(t *testing.T) {
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSpeculativeLoserKilledNotFailed: when the winner of a
+// speculative pair completes, the loser's op scope is canceled — its
+// storage I/O dies with cluster.ErrCanceled — and the framework
+// discards it as benign: no failed-task count, no retry, and the
+// winner's committed output survives untouched (losers write to
+// attempt-private files promoted only on success).
+func TestSpeculativeLoserKilledNotFailed(t *testing.T) {
+	const perMap = int64(8 << 20)
+	eng, env, mr, newFS := simStack(t, 12, Config{
+		Speculative:      true,
+		SpeculativeDelay: time.Second,
+	})
+	eng.Go(func() {
+		job := JobConfig{
+			Name:      "loser-kill",
+			OutputDir: "/kill",
+			NumMaps:   4,
+			Synthetic: true,
+			Profile:   Profile{GenerateBytesPerMap: perMap},
+			FaultInjector: func(kind TaskKind, task, attempt int) error {
+				if kind == MapTask && task == 2 && attempt == 0 {
+					env.Sleep(30 * time.Second) // straggle well past the backup
+				}
+				return nil
+			},
+		}
+		res, err := mr.Submit(job)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Counters.FailedTasks != 0 {
+			t.Errorf("FailedTasks = %d: killed speculative losers must not count as failures", res.Counters.FailedTasks)
+		}
+		// Give the killed loser time to unwind, then check the output
+		// directory holds exactly the four committed part files — no
+		// attempt-private leftovers, no clobbered winner output.
+		env.Sleep(60 * time.Second)
+		infos, err := newFS(0).List("/kill")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var parts int
+		for _, fi := range infos {
+			if strings.Contains(fi.Path, ".attempt-") {
+				t.Errorf("attempt-private file leaked: %s", fi.Path)
+				continue
+			}
+			parts++
+			if fi.Size != perMap {
+				t.Errorf("%s has %d bytes, want %d", fi.Path, fi.Size, perMap)
+			}
+		}
+		if parts != 4 {
+			t.Errorf("%d part files, want 4", parts)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaskTimeoutKillsStragglerAndRetries: with a per-task deadline
+// configured, an attempt that overruns is killed — its I/O fails with
+// cluster.ErrCanceled — counted as a failed attempt, and the retry
+// completes the job.
+func TestTaskTimeoutKillsStragglerAndRetries(t *testing.T) {
+	const straggle = 60 * time.Second
+	eng, env, mr, _ := simStack(t, 12, Config{
+		TaskTimeout: 10 * time.Second,
+	})
+	var completion time.Duration
+	var failed int
+	eng.Go(func() {
+		job := JobConfig{
+			Name:      "deadline-kill",
+			OutputDir: "/deadline",
+			NumMaps:   4,
+			Synthetic: true,
+			Profile:   Profile{GenerateBytesPerMap: 1 << 20},
+			FaultInjector: func(kind TaskKind, task, attempt int) error {
+				if kind == MapTask && task == 0 && attempt == 0 {
+					env.Sleep(straggle) // overruns the 10s deadline
+				}
+				return nil
+			},
+		}
+		res, err := mr.Submit(job)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		completion = res.Duration
+		failed = res.Counters.FailedTasks
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("FailedTasks = %d, want 1 (the deadline-killed attempt)", failed)
+	}
+	if completion < straggle {
+		t.Fatalf("completion %v: the killed attempt cannot finish before its injected straggle", completion)
 	}
 }

@@ -36,7 +36,7 @@ func (jt *jobTracker) runMap(t *task, node cluster.NodeID) error {
 		return jt.runSyntheticMap(t, node, fs, sp)
 	}
 
-	r, err := j.cfg.OpenInput(fs, sp.path)
+	r, err := j.cfg.OpenInput(fs, sp.path, fsapi.WithCtx(t.ctx))
 	if err != nil {
 		return err
 	}
@@ -88,23 +88,26 @@ func (jt *jobTracker) runMap(t *task, node cluster.NodeID) error {
 	}
 
 	if numR == 0 {
-		// Map-only: write this task's emissions directly to its part
-		// file. A retried attempt replaces the previous attempt's file.
-		fs.Delete(partName(j.cfg.OutputDir, "m", t.index))
-		w, err := fs.Create(partName(j.cfg.OutputDir, "m", t.index))
+		// Map-only: write this task's emissions to its attempt-private
+		// file, promoted to the part name only on success.
+		w, tmp, final, err := openAttemptOutput(fs, t, "m")
 		if err != nil {
 			return err
 		}
 		for _, p := range parts {
 			for _, e := range p {
 				if _, err := writeRecord(w, e); err != nil {
-					w.Close()
+					abandonOutput(fs, w, tmp)
 					return err
 				}
 				outBytes += int64(len(e.key) + len(e.value) + 2)
 			}
 		}
 		if err := w.Close(); err != nil {
+			fs.Delete(tmp)
+			return err
+		}
+		if err := commitOutput(fs, tmp, final); err != nil {
 			return err
 		}
 	} else {
@@ -133,7 +136,7 @@ func (jt *jobTracker) runMap(t *task, node cluster.NodeID) error {
 // runSyntheticMap moves the volumes a real map of this shape would.
 func (jt *jobTracker) runSyntheticMap(t *task, node cluster.NodeID, fs fsapi.FileSystem, sp split) error {
 	j := t.j
-	r, err := j.cfg.OpenInput(fs, sp.path)
+	r, err := j.cfg.OpenInput(fs, sp.path, fsapi.WithCtx(t.ctx))
 	if err != nil {
 		return err
 	}
@@ -147,16 +150,19 @@ func (jt *jobTracker) runSyntheticMap(t *task, node cluster.NodeID, fs fsapi.Fil
 	numR := j.cfg.NumReduces
 	if numR == 0 {
 		if inter > 0 {
-			fs.Delete(partName(j.cfg.OutputDir, "m", t.index))
-			w, err := fs.Create(partName(j.cfg.OutputDir, "m", t.index))
+			w, tmp, final, err := openAttemptOutput(fs, t, "m")
 			if err != nil {
 				return err
 			}
 			if _, err := w.WriteSynthetic(inter); err != nil {
-				w.Close()
+				abandonOutput(fs, w, tmp)
 				return err
 			}
 			if err := w.Close(); err != nil {
+				fs.Delete(tmp)
+				return err
+			}
+			if err := commitOutput(fs, tmp, final); err != nil {
 				return err
 			}
 		}
@@ -183,9 +189,7 @@ func (jt *jobTracker) runSyntheticMap(t *task, node cluster.NodeID, fs fsapi.Fil
 // runGeneratorMap executes an input-less map (Random Text Writer).
 func (jt *jobTracker) runGeneratorMap(t *task, node cluster.NodeID, fs fsapi.FileSystem) error {
 	j := t.j
-	path := partName(j.cfg.OutputDir, "m", t.index)
-	fs.Delete(path) // replace any earlier attempt's output
-	w, err := fs.Create(path)
+	w, tmp, final, err := openAttemptOutput(fs, t, "m")
 	if err != nil {
 		return err
 	}
@@ -194,24 +198,28 @@ func (jt *jobTracker) runGeneratorMap(t *task, node cluster.NodeID, fs fsapi.Fil
 		n := j.cfg.Profile.GenerateBytesPerMap
 		jt.cpuCharge(j.cfg.Profile.MapCPUPerMB, n)
 		if _, err := w.WriteSynthetic(n); err != nil {
-			w.Close()
+			abandonOutput(fs, w, tmp)
 			return err
 		}
 		outBytes = n
 	} else {
 		if j.cfg.Generate == nil {
-			w.Close()
+			abandonOutput(fs, w, tmp)
 			return errf("generator job %s has no Generate function", j.cfg.Name)
 		}
 		cw := &countingWriter{w: w}
 		if err := j.cfg.Generate(t.index, cw); err != nil {
-			w.Close()
+			abandonOutput(fs, w, tmp)
 			return err
 		}
 		outBytes = cw.n
 		jt.cpuCharge(j.cfg.Profile.MapCPUPerMB, outBytes)
 	}
 	if err := w.Close(); err != nil {
+		fs.Delete(tmp)
+		return err
+	}
+	if err := commitOutput(fs, tmp, final); err != nil {
 		return err
 	}
 	j.mu.Lock()
@@ -260,16 +268,19 @@ func (jt *jobTracker) runReduce(t *task, node cluster.NodeID) error {
 		jt.cpuCharge(j.cfg.Profile.ReduceCPUPerMB, shuffleBytes)
 		out := int64(float64(shuffleBytes) * j.cfg.Profile.ReduceOutputRatio)
 		if out > 0 {
-			fs.Delete(partName(j.cfg.OutputDir, "r", t.index))
-			w, err := fs.Create(partName(j.cfg.OutputDir, "r", t.index))
+			w, tmp, final, err := openAttemptOutput(fs, t, "r")
 			if err != nil {
 				return err
 			}
 			if _, err := w.WriteSynthetic(out); err != nil {
-				w.Close()
+				abandonOutput(fs, w, tmp)
 				return err
 			}
 			if err := w.Close(); err != nil {
+				fs.Delete(tmp)
+				return err
+			}
+			if err := commitOutput(fs, tmp, final); err != nil {
 				return err
 			}
 		}
@@ -284,8 +295,7 @@ func (jt *jobTracker) runReduce(t *task, node cluster.NodeID) error {
 	sort.SliceStable(pairs, func(a, b int) bool { return bytes.Compare(pairs[a].key, pairs[b].key) < 0 })
 	jt.cpuCharge(j.cfg.Profile.ReduceCPUPerMB, shuffleBytes)
 
-	fs.Delete(partName(j.cfg.OutputDir, "r", t.index))
-	w, err := fs.Create(partName(j.cfg.OutputDir, "r", t.index))
+	w, tmp, final, err := openAttemptOutput(fs, t, "r")
 	if err != nil {
 		return err
 	}
@@ -308,7 +318,7 @@ func (jt *jobTracker) runReduce(t *task, node cluster.NodeID) error {
 		}
 		if j.cfg.Reduce != nil {
 			if rerr := j.cfg.Reduce(pairs[i].key, values, emit); rerr != nil {
-				w.Close()
+				abandonOutput(fs, w, tmp)
 				return rerr
 			}
 		} else {
@@ -319,10 +329,14 @@ func (jt *jobTracker) runReduce(t *task, node cluster.NodeID) error {
 		i = k
 	}
 	if err != nil {
-		w.Close()
+		abandonOutput(fs, w, tmp)
 		return err
 	}
 	if err := w.Close(); err != nil {
+		fs.Delete(tmp)
+		return err
+	}
+	if err := commitOutput(fs, tmp, final); err != nil {
 		return err
 	}
 	j.mu.Lock()
@@ -366,6 +380,35 @@ func combinePartition(pairs []kv, combine ReduceFunc) ([]kv, error) {
 // partName renders an output part file path.
 func partName(dir, phase string, idx int) string {
 	return fmt.Sprintf("%s/part-%s-%05d", dir, phase, idx)
+}
+
+// openAttemptOutput creates the attempt-private output file of one
+// task attempt (part name + ".attempt-N"), scoped to the attempt's
+// cancellation Ctx. Attempts never write the final part name directly:
+// a killed or failed attempt — in particular a speculative loser
+// canceled after the winner finished — must not clobber committed
+// output, so promotion happens only in commitOutput on success.
+func openAttemptOutput(fs fsapi.FileSystem, t *task, phase string) (fsapi.Writer, string, string, error) {
+	final := partName(t.j.cfg.OutputDir, phase, t.index)
+	tmp := fmt.Sprintf("%s.attempt-%d", final, t.attempt)
+	fs.Delete(tmp) // leftover of an earlier same-numbered attempt
+	w, err := fs.Create(tmp, fsapi.WithCtx(t.ctx))
+	return w, tmp, final, err
+}
+
+// commitOutput promotes a successful attempt's private file to the
+// final part name, replacing any previous attempt's output. A lost
+// rename race against a concurrent duplicate is benign: the task is
+// complete either way and taskDone discards the loser.
+func commitOutput(fs fsapi.FileSystem, tmp, final string) error {
+	fs.Delete(final)
+	return fs.Rename(tmp, final)
+}
+
+// abandonOutput closes and removes a failed attempt's private file.
+func abandonOutput(fs fsapi.FileSystem, w fsapi.Writer, tmp string) {
+	w.Close()
+	fs.Delete(tmp)
 }
 
 // writeRecord writes "key\tvalue\n".

@@ -17,7 +17,6 @@ import (
 	"sync"
 
 	"repro/internal/bsfs"
-	"repro/internal/core"
 	"repro/internal/fsapi"
 )
 
@@ -183,9 +182,9 @@ func (s *Service) Read(args *ReadArgs, reply *ReadReply) error {
 	var r fsapi.Reader
 	var err error
 	if args.Version == 0 {
-		r, err = s.fs.Open(args.Path)
+		r, err = s.fs.OpenAt(args.Path)
 	} else {
-		r, err = s.fs.OpenVersion(args.Path, core.Version(args.Version))
+		r, err = s.fs.OpenAt(args.Path, fsapi.AtVersion(args.Version))
 	}
 	if err != nil {
 		return err
