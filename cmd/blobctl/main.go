@@ -12,6 +12,10 @@
 //	blobctl stat /data/input
 //	blobctl shards                           # version-manager tier topology
 //	blobctl shards /data/input               # which shard owns this file
+//	blobctl providers                        # provider fleet: health + occupancy
+//	blobctl join                             # grow the fleet (auto-picks a node)
+//	blobctl drain 3                          # migrate node 3's pages away
+//	blobctl leave 3                          # remove node 3 from the fleet
 //	blobctl mv /data/input /data/renamed
 //	blobctl rm /data/renamed
 package main
@@ -35,6 +39,10 @@ commands:
   stat <path>           show file metadata
   versions <path>       list a file's snapshots
   shards [<path>]       show the version-manager tier (and a file's owning shard)
+  providers             show the provider fleet: health, occupancy, epoch
+  join [<node>]         add a provider (no node = auto-allocate)
+  drain <node>          migrate a provider's pages away (keeps serving reads)
+  leave <node>          remove a provider from the fleet
   mkdir <dir>           create a directory
   mv <old> <new>        rename
   rm <path>             delete`)
@@ -137,6 +145,45 @@ func main() {
 		if path != "" {
 			fmt.Printf("file:   %s\nblob:   %d\nshard:  %d\n", path, sr.Blob, sr.Shard)
 		}
+	case "providers":
+		if len(args) != 0 {
+			usage()
+		}
+		pr, err := c.Providers()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("epoch: %d\n", pr.Epoch)
+		fmt.Printf("%-6s %-9s %8s %14s %14s %14s\n", "node", "health", "pages", "resident", "dirty", "stored")
+		for _, p := range pr.Providers {
+			fmt.Printf("%-6d %-9s %8d %14d %14d %14d\n", p.Node, p.Health, p.Entries, p.Resident, p.Dirty, p.Stored)
+		}
+	case "join", "drain", "leave":
+		var node uint64
+		switch {
+		case len(args) == 0 && cmd == "join":
+			// auto-allocate
+		case len(args) == 1:
+			if _, err := fmt.Sscanf(args[0], "%d", &node); err != nil || (node == 0 && cmd != "join") {
+				usage()
+			}
+		default:
+			usage()
+		}
+		var nr rpcnet.NodeReply
+		var err error
+		switch cmd {
+		case "join":
+			nr, err = c.Join(node)
+		case "drain":
+			nr, err = c.Drain(node)
+		case "leave":
+			nr, err = c.Leave(node)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("node:  %d\nepoch: %d\n", nr.Node, nr.Epoch)
 	case "mkdir":
 		if len(args) != 1 {
 			usage()

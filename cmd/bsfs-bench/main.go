@@ -14,6 +14,7 @@
 //	bsfs-bench -size 256 -nodes 90      # reduced scale (MB per client)
 //	bsfs-bench -replicas 3              # replicated deployments
 //	bsfs-bench -csv                     # machine-readable output
+//	bsfs-bench -json results.json       # record results (name, params, metrics)
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		cacheMB  = flag.Int64("cache", 512, "storage-node RAM cache in MB")
 		replicas = flag.Int("replicas", 1, "data replication factor for both systems")
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+		jsonPath = flag.String("json", "", "also write results (name, params, metrics) as JSON to this path")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -78,24 +80,41 @@ func main() {
 		return
 	}
 
+	var todo []bench.Experiment
 	if *exp == "all" {
-		for _, e := range bench.Experiments {
-			fmt.Printf("\n--- %s ---\n", e.Title)
-			if err := e.Run(opts, out); err != nil {
-				fmt.Fprintf(os.Stderr, "bsfs-bench: %s: %v\n", e.ID, err)
-				os.Exit(1)
+		todo = bench.Experiments
+	} else {
+		e, ok := bench.FindExperiment(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bsfs-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	var results []bench.ExperimentResult
+	for _, e := range todo {
+		fmt.Printf("\n--- %s ---\n", e.Title)
+		rec := &bench.Recorder{Writer: out}
+		if err := e.Run(opts, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "bsfs-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		results = append(results, bench.NewExperimentResult(e, rec))
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err == nil {
+			err = bench.WriteResultsJSON(f, opts, results)
+			if cerr := f.Close(); err == nil {
+				err = cerr
 			}
 		}
-		return
-	}
-	e, ok := bench.FindExperiment(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "bsfs-bench: unknown experiment %q (try -list)\n", *exp)
-		os.Exit(2)
-	}
-	if err := e.Run(opts, out); err != nil {
-		fmt.Fprintf(os.Stderr, "bsfs-bench: %v\n", err)
-		os.Exit(1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsfs-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
 	}
 }
 

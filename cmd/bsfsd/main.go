@@ -7,6 +7,10 @@
 // the given directory and survive restarts. With -vm-shards N, version
 // management is partitioned per blob across N independent shards
 // (blobctl's `shards` command shows the tier and any file's owner).
+// The provider fleet is dynamic: blobctl's `join`, `drain` and `leave`
+// commands grow and shrink it at runtime (-spares reserves node
+// headroom for joins), and `providers` shows each member's health and
+// store occupancy.
 //
 // Usage:
 //
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"repro/internal/bsfs"
 	"repro/internal/cluster"
@@ -37,16 +42,23 @@ func main() {
 		inflight  = flag.Int("inflight", 0, "writer commit-pipeline depth in blocks (0 = default, negative = synchronous)")
 		serialPub = flag.Bool("serial-publish", false, "disable version-manager group commit and batched publishes (debug baseline)")
 		vmShards  = flag.Int("vm-shards", 1, "version-manager shard count (blobs partition across shards by id)")
+		spares    = flag.Int("spares", 32, "node headroom reserved for providers joining at runtime")
+		sweep     = flag.Duration("placement-interval", 10*time.Second, "background placement sweep interval: repair + rebalance (0 disables)")
+		heartbeat = flag.Duration("heartbeat", 2*time.Second, "provider health-check interval (0 = probe only during sweeps)")
 	)
 	flag.Parse()
 	if *vmShards < 1 {
 		*vmShards = 1
 	}
+	if *spares < 0 {
+		*spares = 0
+	}
 
-	// Node 0 hosts the masters (shard 0, provider manager, namespace),
-	// nodes 1..providers the page providers, and any extra shards get
-	// their own nodes after the providers.
-	env := cluster.NewLocal(*providers+*vmShards, 0)
+	// Node 0 hosts the masters (shard 0, placement manager, namespace),
+	// nodes 1..providers the page providers, any extra shards get their
+	// own nodes after the providers, and the spare range past that is
+	// headroom for providers joining at runtime.
+	env := cluster.NewLocal(*providers+*vmShards+*spares, 0)
 	nodes := make([]cluster.NodeID, *providers)
 	for i := range nodes {
 		nodes[i] = cluster.NodeID(i + 1)
@@ -56,12 +68,14 @@ func main() {
 		vmNodes[i] = cluster.NodeID(*providers + i)
 	}
 	dep, err := core.NewDeployment(env, core.Options{
-		PageSize:      *pageSize,
-		Replication:   *replicas,
-		VMNodes:       vmNodes,
-		ProviderNodes: nodes,
-		Provider:      core.ProviderConfig{Dir: *dataDir},
-		SerialPublish: *serialPub,
+		PageSize:          *pageSize,
+		Replication:       *replicas,
+		VMNodes:           vmNodes,
+		ProviderNodes:     nodes,
+		Provider:          core.ProviderConfig{Dir: *dataDir},
+		SerialPublish:     *serialPub,
+		PlacementInterval: *sweep,
+		HeartbeatInterval: *heartbeat,
 	})
 	if err != nil {
 		log.Fatalf("bsfsd: %v", err)

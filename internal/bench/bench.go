@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fsapi"
 	"repro/internal/hdfs"
+	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -157,9 +158,9 @@ func NewTestbed(spec ClusterSpec, opts StorageOpts) (*Testbed, error) {
 		for i := 0; i < len(nodes) && len(meta) < spec.MetaNodes; i += step {
 			meta = append(meta, nodes[i])
 		}
-		var strategy core.PlacementStrategy
+		var strategy placement.Strategy
 		if opts.LocalFirstPlacement {
-			strategy = core.NewLocalFirst(nodes)
+			strategy = placement.NewLocalFirst(nodes)
 		}
 		// Version-manager shards: shard 0 on the master node (node 0,
 		// the paper's placement), extra shards spread evenly over the

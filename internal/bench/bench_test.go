@@ -191,6 +191,37 @@ func TestX3FaultChurn(t *testing.T) {
 	}
 }
 
+func TestX6MembershipChurn(t *testing.T) {
+	res, err := RunChurn(ChurnOpts{
+		Writers:    3,
+		Providers:  8,
+		Cycles:     3,
+		BlockBytes: 2 * MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("X6: %d appends (%d retried), epoch %d, sweeps %+v, rebalanced in %s",
+		res.Appends, res.Retries, res.Epoch, res.Sweeps, res.RebalanceDuration)
+	// RunChurn itself asserts the hard properties (no append or read ever
+	// loses all replicas, convergence to the preferred owners); here we
+	// check the scenario's shape.
+	if res.Appends < res.Cycles {
+		t.Fatalf("writers published only %d blocks across %d churn cycles", res.Appends, res.Cycles)
+	}
+	// Each cycle is a death (epoch+1 via health), a removal and a join;
+	// the epoch must have moved at least that much.
+	if res.Epoch < uint64(3*res.Cycles) {
+		t.Fatalf("epoch %d after %d churn cycles, want >= %d", res.Epoch, res.Cycles, 3*res.Cycles)
+	}
+	if res.Sweeps.ReplicasAdded == 0 {
+		t.Fatalf("churn repaired no replicas: %+v", res.Sweeps)
+	}
+	if res.Sweeps.PagesMigrated == 0 {
+		t.Fatalf("joins migrated no pages onto the new owners: %+v", res.Sweeps)
+	}
+}
+
 func TestA1PlacementAblation(t *testing.T) {
 	// Grafting HDFS's local-first placement onto BlobSeer concentrates
 	// each file on its writer's node; concurrent readers then hammer

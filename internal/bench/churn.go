@@ -1,0 +1,306 @@
+// churn.go runs the membership-churn scenario (X6): writers keep
+// appending at replication >= 2 while the provider fleet churns —
+// nodes die, are removed, and fresh nodes join — and the unified
+// placement loop keeps every page readable throughout and converges
+// the whole store back onto the ring's preferred owners once the
+// churn stops. The scenario measures the number that matters for
+// elasticity: time-to-rebalance after the fleet stabilizes.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// ChurnOpts parameterizes the X6 membership-churn scenario.
+type ChurnOpts struct {
+	// Writers is the number of concurrent appenders, one blob each
+	// (default 4).
+	Writers int
+	// Providers is the initial provider fleet size (default 10).
+	Providers int
+	// Cycles is the number of churn cycles; each kills one provider,
+	// removes it, and joins a fresh spare node (default 3).
+	Cycles int
+	// BlockBytes is the synthetic payload of each append (default 1 MB).
+	BlockBytes int64
+	// Replication is the page replica count (min and default 2: the
+	// scenario's liveness claim needs a survivor per page).
+	Replication int
+	// MemCapacity bounds each provider's RAM store (default 512 MB).
+	MemCapacity int64
+}
+
+func (o *ChurnOpts) fillDefaults() {
+	if o.Writers <= 0 {
+		o.Writers = 4
+	}
+	if o.Providers <= 0 {
+		o.Providers = 10
+	}
+	if o.Cycles <= 0 {
+		o.Cycles = 3
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = 1 * MB
+	}
+	if o.Replication < 2 {
+		o.Replication = 2
+	}
+	if o.MemCapacity == 0 {
+		o.MemCapacity = 512 * MB
+	}
+}
+
+// ChurnResult is the outcome of one churn run.
+type ChurnResult struct {
+	// Appends counts blocks successfully published across all writers;
+	// Retries counts transient write failures (a placement raced a
+	// death) that succeeded on retry.
+	Appends int
+	Retries int
+	// Cycles echoes the churn cycles executed; Epoch is the final
+	// membership epoch (every death, removal, and join bumps it).
+	Cycles int
+	Epoch  uint64
+	// RebalanceDuration is the virtual time from the end of churn until
+	// every page sat on its preferred owners at full replication.
+	RebalanceDuration time.Duration
+	// Sweeps aggregates every placement pass of the run.
+	Sweeps core.RepairStats
+}
+
+// maxWriteRetries bounds a writer's retry loop for one block: churn
+// makes individual placements fail transiently, but a block that
+// cannot land after this many attempts means the fleet is wedged.
+const maxWriteRetries = 50
+
+// RunChurn executes the scenario: Writers appenders run continuously
+// while Cycles churn cycles each kill a provider (the heartbeat
+// checker marks it down), restore replication with a placement pass,
+// remove the dead node from the membership, and join a fresh spare.
+// No read may ever fail with ErrAllReplicasDown. After the churn
+// stops, placement passes must converge every page of every blob onto
+// its preferred owners at full replication.
+func RunChurn(opts ChurnOpts) (ChurnResult, error) {
+	opts.fillDefaults()
+	// Node 0 hosts the masters, 1..Providers the initial fleet, and the
+	// next Cycles nodes are the spares that join mid-run.
+	total := 1 + opts.Providers + opts.Cycles
+	eng := sim.NewEngine()
+	netw := simnet.New(eng, simnet.Grid5000(total))
+	env := cluster.NewSim(netw)
+	fleet := make([]cluster.NodeID, opts.Providers)
+	for i := range fleet {
+		fleet[i] = cluster.NodeID(i + 1)
+	}
+	dep, err := core.NewDeployment(env, core.Options{
+		PageSize:      256 * KB,
+		Replication:   opts.Replication,
+		VMNode:        0,
+		ProviderNodes: fleet,
+		// Pin the metadata DHT to the initial nodes: the DHT tier is
+		// separate from the provider fleet and does not churn.
+		MetaNodes: fleet,
+		Provider:  core.ProviderConfig{MemCapacity: opts.MemCapacity},
+		// The heartbeat daemon runs on virtual time and flips dead
+		// members to Down, which bumps the epoch and re-routes clients.
+		HeartbeatInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return ChurnResult{}, err
+	}
+
+	var res ChurnResult
+	res.Cycles = opts.Cycles
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	stop := false
+	blobs := make([]core.BlobID, opts.Writers)
+	appends := make([]int, opts.Writers)
+	retries := make([]int, opts.Writers)
+
+	writer := func(i int, node cluster.NodeID) {
+		c := dep.NewClient(node)
+		b, err := c.CreateBlob(0)
+		if err != nil {
+			fail(err)
+			return
+		}
+		blobs[i] = b.ID()
+		for !stop && runErr == nil {
+			var off int64
+			var werr error
+			for attempt := 0; ; attempt++ {
+				_, off, werr = b.Append(core.SyntheticBlocks(opts.BlockBytes))
+				if werr == nil {
+					break
+				}
+				if errors.Is(werr, core.ErrAllReplicasDown) {
+					fail(fmt.Errorf("bench: writer %d: append lost all replicas: %w", i, werr))
+					return
+				}
+				if attempt == maxWriteRetries {
+					fail(fmt.Errorf("bench: writer %d: append still failing after %d retries: %w", i, attempt, werr))
+					return
+				}
+				retries[i]++
+				env.Sleep(2 * time.Millisecond)
+			}
+			appends[i]++
+			// Read the block straight back: replica failover must keep
+			// every published page readable through the churn.
+			if _, rerr := b.ReadAt(nil, off, core.Synthetic(opts.BlockBytes)); rerr != nil {
+				fail(fmt.Errorf("bench: writer %d: read-back at %d: %w", i, off, rerr))
+				return
+			}
+			env.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	sweep := func() bool {
+		st, err := dep.Rebalance.SweepOnce()
+		res.Sweeps.Add(st)
+		if err != nil {
+			fail(fmt.Errorf("bench: placement sweep: %w", err))
+			return false
+		}
+		if st.PagesLost > 0 {
+			fail(fmt.Errorf("bench: %d pages lost all replicas", st.PagesLost))
+			return false
+		}
+		return true
+	}
+
+	controller := func() {
+		for cycle := 0; cycle < opts.Cycles && runErr == nil; cycle++ {
+			env.Sleep(25 * time.Millisecond) // let writers make progress
+			victim := fleet[cycle%len(fleet)]
+			dep.Provider(victim).SetDown(true)
+			// The heartbeat checker flips the victim Down within a tick;
+			// give readers a degraded window before repairing.
+			env.Sleep(15 * time.Millisecond)
+			if !sweep() { // repair: re-replicate off the dead node
+				return
+			}
+			if err := dep.RemoveProvider(victim); err != nil {
+				fail(err)
+				return
+			}
+			spare := cluster.NodeID(opts.Providers + 1 + cycle)
+			if _, err := dep.AddProvider(spare); err != nil {
+				fail(err)
+				return
+			}
+			fleet[cycle%len(fleet)] = spare
+			if !sweep() { // rebalance: migrate the spare's ring share onto it
+				return
+			}
+		}
+		stop = true
+		if runErr != nil {
+			return
+		}
+
+		// Churn over: placement passes must converge the whole store
+		// onto the preferred owners within a bounded number of sweeps.
+		t0 := env.Now()
+		converged := false
+		for i := 0; i < 8 && runErr == nil; i++ {
+			if !sweep() {
+				return
+			}
+			ok, err := allOnPreferredOwners(dep, blobs, opts.Replication)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if ok {
+				converged = true
+				break
+			}
+			env.Sleep(10 * time.Millisecond)
+		}
+		if !converged {
+			fail(fmt.Errorf("bench: placement did not converge to the preferred owners after churn"))
+			return
+		}
+		res.RebalanceDuration = env.Now() - t0
+	}
+
+	eng.Go(func() {
+		wg := env.NewWaitGroup()
+		for i := range blobs {
+			node := cluster.NodeID(1 + i%opts.Providers)
+			wg.Go(func() { writer(i, node) })
+		}
+		wg.Go(controller)
+		wg.Wait()
+	})
+	if err := eng.Run(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	for i := range blobs {
+		res.Appends += appends[i]
+		res.Retries += retries[i]
+		if appends[i] == 0 {
+			return res, fmt.Errorf("bench: writer %d never published a block", i)
+		}
+	}
+	res.Epoch = dep.Placement.Epoch()
+	return res, dep.Close()
+}
+
+// allOnPreferredOwners reports whether every page of every blob's
+// latest snapshot sits on exactly its ring-preferred owners at the
+// replication target.
+func allOnPreferredOwners(dep *core.Deployment, blobs []core.BlobID, target int) (bool, error) {
+	c := dep.NewClient(0)
+	for _, id := range blobs {
+		b, err := c.OpenBlob(id)
+		if err != nil {
+			return false, err
+		}
+		_, size, err := b.Latest()
+		if err != nil {
+			return false, err
+		}
+		locs, err := b.Locations(0, size)
+		if err != nil {
+			return false, err
+		}
+		for _, loc := range locs {
+			if len(loc.Providers) == 0 {
+				continue // hole
+			}
+			want := dep.Placement.PreferredOwners(loc.Key(), target)
+			if len(loc.Providers) != len(want) {
+				return false, nil
+			}
+			have := make(map[cluster.NodeID]bool, len(loc.Providers))
+			for _, n := range loc.Providers {
+				have[n] = true
+			}
+			for _, n := range want {
+				if !have[n] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}

@@ -19,9 +19,9 @@ type FaultOpts struct {
 	Clients        int
 	BytesPerClient int64
 	// KillProviders is the number of providers killed mid-read
-	// (default 1). Victims are spread around the placement ring so no
-	// page loses every replica; the run fails if the spacing cannot
-	// guarantee that for the configured replication.
+	// (default 1). Victims are chosen against the actual page
+	// locations so no page loses every replica; the run fails if no
+	// such victim set exists for the configured replication.
 	KillProviders int
 	// KillDelay is how far into the measured read phase the victims
 	// die (default 100ms of virtual time, early enough to land
@@ -71,19 +71,61 @@ type FaultResult struct {
 	Repair core.RepairStats
 }
 
-// killVictims picks k providers spread evenly over the fleet, erroring
-// out when the spacing cannot keep every replica set (replication
-// consecutive providers under round-robin striping) at least one
-// survivor.
-func killVictims(provs []cluster.NodeID, k, replication int) ([]cluster.NodeID, error) {
-	step := len(provs) / k
-	wrap := len(provs) - (k-1)*step
-	if k > 1 && (step < replication || wrap < replication) {
-		return nil, fmt.Errorf("bench: killing %d of %d providers at replication %d can erase whole replica sets", k, len(provs), replication)
+// pickVictims chooses k providers to kill such that no page loses
+// every replica, preferring an even spread over the fleet. Replica
+// sets are ring walks under the default placement, not node-id
+// stripes, so candidates are validated against the actual page
+// location sets instead of by spacing arithmetic.
+func pickVictims(fleet []cluster.NodeID, k int, pageSets [][]cluster.NodeID) ([]cluster.NodeID, error) {
+	victims := make(map[cluster.NodeID]bool, k)
+	erases := func(v cluster.NodeID) bool {
+		for _, set := range pageSets {
+			survivors := 0
+			for _, n := range set {
+				if n != v && !victims[n] {
+					survivors++
+				}
+			}
+			if survivors == 0 {
+				return true
+			}
+		}
+		return false
 	}
-	out := make([]cluster.NodeID, k)
-	for i := range out {
-		out[i] = provs[i*step]
+	step := len(fleet) / k
+	if step < 1 {
+		step = 1
+	}
+	// Spread-first candidate order: 0, step, 2*step, ... then every
+	// remaining node as a fallback.
+	order := make([]int, 0, len(fleet))
+	seen := make(map[int]bool, len(fleet))
+	for i := 0; i < k; i++ {
+		idx := (i * step) % len(fleet)
+		if !seen[idx] {
+			seen[idx] = true
+			order = append(order, idx)
+		}
+	}
+	for i := range fleet {
+		if !seen[i] {
+			order = append(order, i)
+		}
+	}
+	var out []cluster.NodeID
+	for _, idx := range order {
+		if len(out) == k {
+			break
+		}
+		cand := fleet[idx]
+		if victims[cand] || erases(cand) {
+			continue
+		}
+		victims[cand] = true
+		out = append(out, cand)
+	}
+	if len(out) < k {
+		return nil, fmt.Errorf("bench: no set of %d victims among %d providers leaves every page a live replica", k, len(fleet))
 	}
 	return out, nil
 }
@@ -100,12 +142,9 @@ func RunFaultChurn(opts FaultOpts) (FaultResult, error) {
 	}
 	dep := tb.bsfsSvc.Deployment()
 	clients := tb.clientNodes(opts.Clients)
-	victims, err := killVictims(dep.PM.Providers(), opts.KillProviders, opts.Storage.Replication)
-	if err != nil {
-		return FaultResult{}, err
-	}
 
 	var res FaultResult
+	var victims []cluster.NodeID
 	blobs := make([]core.BlobID, opts.Clients)
 	readAll := func(label string) (Point, error) {
 		durations := make([]time.Duration, opts.Clients)
@@ -171,6 +210,32 @@ func RunFaultChurn(opts FaultOpts) (FaultResult, error) {
 		}
 		tb.Env.Sleep(settleTime)
 
+		// Victim selection against the actual replica sets of the data
+		// just loaded.
+		scanner := dep.NewClient(0)
+		var pageSets [][]cluster.NodeID
+		for _, blob := range blobs {
+			sb, err := scanner.OpenBlob(blob)
+			if err != nil {
+				runErr = err
+				return
+			}
+			locs, err := sb.Locations(0, opts.BytesPerClient)
+			if err != nil {
+				runErr = err
+				return
+			}
+			for _, loc := range locs {
+				if len(loc.Providers) > 0 {
+					pageSets = append(pageSets, loc.Providers)
+				}
+			}
+		}
+		victims, runErr = pickVictims(dep.Placement.Fleet(), opts.KillProviders, pageSets)
+		if runErr != nil {
+			return
+		}
+
 		// Healthy baseline.
 		if res.Healthy, runErr = readAll("X3-healthy"); runErr != nil {
 			return
@@ -181,7 +246,7 @@ func RunFaultChurn(opts FaultOpts) (FaultResult, error) {
 		wg.Go(func() {
 			tb.Env.Sleep(opts.KillDelay)
 			for _, v := range victims {
-				dep.Providers[v].SetDown(true)
+				dep.Provider(v).SetDown(true)
 			}
 		})
 		var degErr error
@@ -194,7 +259,7 @@ func RunFaultChurn(opts FaultOpts) (FaultResult, error) {
 
 		// Repair: restore full replication, measuring virtual time.
 		t0 := tb.Env.Now()
-		st, err := dep.Repair.SweepOnce()
+		st, err := dep.Rebalance.SweepOnce()
 		res.Repair = st
 		if err != nil {
 			runErr = err
@@ -223,7 +288,7 @@ func RunFaultChurn(opts FaultOpts) (FaultResult, error) {
 			for _, loc := range locs {
 				live := 0
 				for _, n := range loc.Providers {
-					if pr := dep.Providers[n]; pr != nil && !pr.IsDown() {
+					if pr := dep.Provider(n); pr != nil && !pr.IsDown() {
 						live++
 					}
 				}

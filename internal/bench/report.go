@@ -3,16 +3,52 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"text/tabwriter"
 	"time"
 )
 
+// Recorder tees an experiment's rendered output while capturing the
+// structured results behind it. Pass one as the writer to
+// Experiment.Run: WritePointsTable feeds it every sweep point, and
+// experiments with scalar results (x2, x3, x5, x6, a6, a7) record
+// named metrics. Serialize with WriteResultsJSON (bsfs-bench -json).
+type Recorder struct {
+	io.Writer
+	Points  []Point
+	Metrics []Metric
+}
+
+// Metric is one named scalar result of an experiment.
+type Metric struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// recordPoints hands structured points to the writer when it is a
+// Recorder; plain writers just get the rendered table.
+func recordPoints(w io.Writer, pts []Point) {
+	if r, ok := w.(*Recorder); ok {
+		r.Points = append(r.Points, pts...)
+	}
+}
+
+// recordMetric captures one scalar result when the writer is a
+// Recorder.
+func recordMetric(w io.Writer, name, unit string, value float64) {
+	if r, ok := w.(*Recorder); ok {
+		r.Metrics = append(r.Metrics, Metric{Name: name, Unit: unit, Value: value})
+	}
+}
+
 // WritePointsTable renders microbenchmark sweep points grouped by
 // storage kind, one row per (kind, clients) — the series behind the
 // paper's throughput figures.
 func WritePointsTable(w io.Writer, title string, points []Point) {
+	recordPoints(w, points)
 	fmt.Fprintf(w, "\n== %s ==\n", title)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "experiment\tfs\tclients\tper-client MB/s\tmin\tmax\taggregate MB/s\tmakespan\tnet\tdisk")
@@ -68,4 +104,84 @@ func timeUnit(d time.Duration) time.Duration {
 		return time.Second
 	}
 	return 10 * time.Millisecond
+}
+
+// ExperimentResult is one experiment's structured results: identity,
+// every rendered sweep point, and any scalar metrics it reported.
+type ExperimentResult struct {
+	ID      string      `json:"id"`
+	Title   string      `json:"title"`
+	Points  []pointJSON `json:"points,omitempty"`
+	Metrics []Metric    `json:"metrics,omitempty"`
+}
+
+// NewExperimentResult pairs an experiment's identity with what its
+// Recorder captured.
+func NewExperimentResult(e Experiment, r *Recorder) ExperimentResult {
+	res := ExperimentResult{ID: e.ID, Title: e.Title, Metrics: r.Metrics}
+	for _, p := range r.Points {
+		res.Points = append(res.Points, pointJSON{
+			Experiment:    p.Experiment,
+			FS:            p.Kind,
+			Clients:       p.Clients,
+			PerClientMBps: p.PerClientMBps,
+			MinMBps:       p.MinMBps,
+			MaxMBps:       p.MaxMBps,
+			AggregateMBps: p.AggregateMBps,
+			MakespanSec:   p.Duration.Seconds(),
+			NetBytes:      p.NetBytes,
+			DiskBytes:     p.DiskBytes,
+		})
+	}
+	return res
+}
+
+// pointJSON is Point in stable machine-readable form (durations as
+// seconds, not nanosecond ints).
+type pointJSON struct {
+	Experiment    string  `json:"experiment"`
+	FS            string  `json:"fs"`
+	Clients       int     `json:"clients"`
+	PerClientMBps float64 `json:"per_client_mbps"`
+	MinMBps       float64 `json:"min_mbps"`
+	MaxMBps       float64 `json:"max_mbps"`
+	AggregateMBps float64 `json:"aggregate_mbps"`
+	MakespanSec   float64 `json:"makespan_s"`
+	NetBytes      int64   `json:"net_bytes"`
+	DiskBytes     int64   `json:"disk_bytes"`
+}
+
+// resultsFile is the top-level document written by bsfs-bench -json:
+// the sweep parameters plus one record per experiment — the
+// BENCH_*.json perf-trajectory format.
+type resultsFile struct {
+	Params      paramsJSON         `json:"params"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+type paramsJSON struct {
+	Clients        []int `json:"clients"`
+	BytesPerClient int64 `json:"bytes_per_client"`
+	Nodes          int   `json:"nodes"`
+	MemCapacity    int64 `json:"mem_capacity"`
+	Replication    int   `json:"replication"`
+}
+
+// WriteResultsJSON serializes recorded experiment results with the
+// sweep parameters that produced them.
+func WriteResultsJSON(w io.Writer, opts SweepOpts, exps []ExperimentResult) error {
+	opts.fillDefaults()
+	doc := resultsFile{
+		Params: paramsJSON{
+			Clients:        opts.Clients,
+			BytesPerClient: opts.BytesPerClient,
+			Nodes:          opts.Spec.Nodes,
+			MemCapacity:    opts.MemCapacity,
+			Replication:    opts.Replication,
+		},
+		Experiments: exps,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

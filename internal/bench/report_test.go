@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -151,5 +153,61 @@ func TestClientNodeSpread(t *testing.T) {
 		if tb.loaderNode(c) == c {
 			t.Fatalf("loader == reader for node %d", c)
 		}
+	}
+}
+
+func TestWriteResultsJSON(t *testing.T) {
+	rec := &Recorder{Writer: io.Discard}
+	WritePointsTable(rec, "E3", samplePoints())
+	recordMetric(rec, "publish_rate_n50", "versions/s", 812.5)
+	if len(rec.Points) != 2 || len(rec.Metrics) != 1 {
+		t.Fatalf("recorder captured %d points, %d metrics", len(rec.Points), len(rec.Metrics))
+	}
+	e, _ := FindExperiment("e3")
+	var sb strings.Builder
+	err := WriteResultsJSON(&sb, SweepOpts{Clients: []int{50}, Spec: ClusterSpec{Nodes: 90}},
+		[]ExperimentResult{NewExperimentResult(e, rec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Params struct {
+			Clients []int `json:"clients"`
+			Nodes   int   `json:"nodes"`
+		} `json:"params"`
+		Experiments []struct {
+			ID     string `json:"id"`
+			Points []struct {
+				FS          string  `json:"fs"`
+				MakespanSec float64 `json:"makespan_s"`
+			} `json:"points"`
+			Metrics []Metric `json:"metrics"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Params.Nodes != 90 || len(doc.Params.Clients) != 1 {
+		t.Fatalf("params = %+v", doc.Params)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "e3" {
+		t.Fatalf("experiments = %+v", doc.Experiments)
+	}
+	got := doc.Experiments[0]
+	if len(got.Points) != 2 || got.Points[0].FS != "bsfs" || got.Points[0].MakespanSec != 8.25 {
+		t.Fatalf("points = %+v", got.Points)
+	}
+	if len(got.Metrics) != 1 || got.Metrics[0].Name != "publish_rate_n50" || got.Metrics[0].Value != 812.5 {
+		t.Fatalf("metrics = %+v", got.Metrics)
+	}
+}
+
+// Recorder passes rendered output through to the wrapped writer.
+func TestRecorderTees(t *testing.T) {
+	var sb strings.Builder
+	rec := &Recorder{Writer: &sb}
+	WritePointsTable(rec, "E3", samplePoints())
+	if !strings.Contains(sb.String(), "== E3 ==") {
+		t.Fatalf("recorder swallowed output:\n%s", sb.String())
 	}
 }

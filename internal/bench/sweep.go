@@ -142,6 +142,7 @@ var Experiments = []Experiment{
 				}
 				fmt.Fprintf(w, "x2 n=%d: %d versions published, %.1f versions/s\n",
 					n, res.Versions, res.VersionsPerSec)
+				recordMetric(w, fmt.Sprintf("publish_rate_n%d", n), "versions/s", res.VersionsPerSec)
 				pts = append(pts, res.Point)
 			}
 			WritePointsTable(w, "X2: shared-blob publish throughput (group commit)", pts)
@@ -170,6 +171,8 @@ var Experiments = []Experiment{
 					n, res.Repair.PagesDegraded, res.Repair.PagesScanned,
 					res.Repair.ReplicasAdded, size(res.Repair.BytesCopied),
 					res.RepairDuration.Round(timeUnit(res.RepairDuration)))
+				recordMetric(w, fmt.Sprintf("pages_repaired_n%d", n), "pages", float64(res.Repair.PagesDegraded))
+				recordMetric(w, fmt.Sprintf("repair_duration_n%d", n), "s", res.RepairDuration.Seconds())
 			}
 			WritePointsTable(w, "X3: reads under provider failure (healthy vs degraded)", pts)
 			return nil
@@ -197,6 +200,7 @@ var Experiments = []Experiment{
 				}
 				fmt.Fprintf(w, "x5 shards=%d: %d versions published, %.1f versions/s\n",
 					sh, res.Versions, res.VersionsPerSec)
+				recordMetric(w, fmt.Sprintf("publish_rate_shards%d", sh), "versions/s", res.VersionsPerSec)
 				switch sh {
 				case 1:
 					one = res.VersionsPerSec
@@ -209,6 +213,29 @@ var Experiments = []Experiment{
 				return fmt.Errorf("bench: x5 sharding did not scale: 4 shards %.1f <= 1 shard %.1f versions/s", four, one)
 			}
 			WritePointsTable(w, "X5: multi-blob publish throughput vs version-manager shards", pts)
+			return nil
+		},
+	},
+	{
+		ID:    "x6",
+		Title: "X6: membership churn (writers survive join/leave cycles, time-to-rebalance, bsfs)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			opts.fillDefaults()
+			res, err := RunChurn(ChurnOpts{Replication: opts.Replication})
+			if err != nil {
+				return fmt.Errorf("bench: x6: %w", err)
+			}
+			fmt.Fprintf(w, "x6: %d appends (%d retried) across %d churn cycles, final epoch %d\n",
+				res.Appends, res.Retries, res.Cycles, res.Epoch)
+			fmt.Fprintf(w, "x6: placement moved %d replicas / migrated %d pages (%s copied); rebalanced to preferred owners in %s\n",
+				res.Sweeps.ReplicasAdded, res.Sweeps.PagesMigrated, size(res.Sweeps.BytesCopied),
+				res.RebalanceDuration.Round(timeUnit(res.RebalanceDuration)))
+			recordMetric(w, "appends", "ops", float64(res.Appends))
+			recordMetric(w, "append_retries", "ops", float64(res.Retries))
+			recordMetric(w, "final_epoch", "epoch", float64(res.Epoch))
+			recordMetric(w, "replicas_added", "pages", float64(res.Sweeps.ReplicasAdded))
+			recordMetric(w, "pages_migrated", "pages", float64(res.Sweeps.PagesMigrated))
+			recordMetric(w, "rebalance_duration", "s", res.RebalanceDuration.Seconds())
 			return nil
 		},
 	},
@@ -343,6 +370,7 @@ var Experiments = []Experiment{
 				fmt.Fprintf(w, "a6 n=%d: group-commit %.1f versions/s, serial %.1f versions/s (%.2fx)\n",
 					n, batched.VersionsPerSec, serial.VersionsPerSec,
 					batched.VersionsPerSec/serial.VersionsPerSec)
+				recordMetric(w, fmt.Sprintf("group_commit_speedup_n%d", n), "x", batched.VersionsPerSec/serial.VersionsPerSec)
 				serial.Point.Experiment = "A6-serial-publish"
 				all = append(all, batched.Point, serial.Point)
 			}
@@ -370,6 +398,7 @@ var Experiments = []Experiment{
 				fmt.Fprintf(w, "a7 writers=%d: sharded %.1f versions/s, single %.1f versions/s (%.2fx)\n",
 					writers, sharded.VersionsPerSec, single.VersionsPerSec,
 					sharded.VersionsPerSec/single.VersionsPerSec)
+				recordMetric(w, fmt.Sprintf("sharding_speedup_w%d", writers), "x", sharded.VersionsPerSec/single.VersionsPerSec)
 				single.Point.Experiment = "A7-single-shard"
 				all = append(all, sharded.Point, single.Point)
 			}

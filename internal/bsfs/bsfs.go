@@ -159,6 +159,10 @@ func (f *FS) Append(path string, opts ...fsapi.OpenOption) (fsapi.Writer, error)
 // a paper-style centralized deployment).
 func (f *FS) VMShardNodes() []cluster.NodeID { return f.svc.dep.VM.Nodes() }
 
+// Deployment exposes the BlobSeer deployment behind this file system
+// (membership operations, provider introspection).
+func (f *FS) Deployment() *core.Deployment { return f.svc.dep }
+
 // ShardOf reports which version-manager shard owns a file: the blob id
 // behind the path and its shard index (id mod shard count — the same
 // pure routing function every client uses).

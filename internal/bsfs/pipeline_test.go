@@ -17,7 +17,7 @@ import (
 )
 
 func setAllProvidersDown(svc *Service, down bool) {
-	for _, p := range svc.dep.Providers {
+	for _, p := range svc.dep.ProviderList() {
 		p.SetDown(down)
 	}
 }

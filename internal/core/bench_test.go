@@ -62,7 +62,7 @@ func BenchmarkWalkTree(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lo := int64(i%200) * 256
-		leaves, err := walkTree(1, last.Version, last.CapAfter, lo, lo+256, store)
+		leaves, err := walkTree(1, last.Version, last.CapAfter, lo, lo+256, store, nil)
 		if err != nil || len(leaves) != 256 {
 			b.Fatalf("%d leaves, %v", len(leaves), err)
 		}

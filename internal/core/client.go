@@ -25,7 +25,8 @@ var ErrSynthetic = errors.New("core: range contains synthetic pages; read with t
 
 // ErrAllReplicasDown is returned when every provider holding a copy of
 // a page is unreachable: the data exists but no live replica can serve
-// it. Repairer restores the replication factor before this happens.
+// it. The placement loop restores the replication factor before this
+// happens.
 var ErrAllReplicasDown = errors.New("core: all replicas down")
 
 // ErrCanceled re-exports the typed cancellation error operations
@@ -48,15 +49,43 @@ type Client struct {
 
 	mu    sync.Mutex
 	blobs map[BlobID]*blobInfo // cached geometry + history
+
+	// Routing view: the provider table as of viewEpoch. Re-resolved
+	// whenever the placement epoch advances (a provider joined, left,
+	// or changed health) instead of caching a fixed fleet.
+	viewMu    sync.Mutex
+	viewEpoch uint64
+	view      map[cluster.NodeID]*Provider
+}
+
+// provider resolves a provider through the client's routing view. A
+// nil result means the node is not part of the current membership —
+// callers treat it like an unreachable replica.
+func (c *Client) provider(n cluster.NodeID) *Provider {
+	return c.providerView()[n]
+}
+
+// providerView returns the routing view for the current placement
+// epoch, re-resolving the provider table when the epoch advanced.
+func (c *Client) providerView() map[cluster.NodeID]*Provider {
+	ep := c.d.Placement.Epoch()
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	if c.view == nil || c.viewEpoch != ep {
+		c.view = c.d.providerSnapshot()
+		c.viewEpoch = ep
+	}
+	return c.view
 }
 
 // cachedMeta caches metadata tree nodes client-side with LRU
 // eviction. Tree nodes are immutable once written (a version's tree is
 // never modified), so the cache needs no invalidation — the original
 // BlobSeer client caches metadata the same way. The one exception is
-// repair: Repairer rewrites leaves it re-replicates, writing through
-// its own cache; other clients' stale leaves still name the surviving
-// replicas, so reads keep working via failover.
+// the placement loop: the Rebalancer rewrites leaves it re-replicates
+// or migrates, writing through its own cache; other clients' stale
+// leaves still name surviving replicas, so reads keep working via
+// failover.
 type cachedMeta struct {
 	cl  *dht.Client
 	mu  sync.Mutex
@@ -141,6 +170,24 @@ func (c *cachedMeta) trimLocked() {
 type blobInfo struct {
 	pageSize int64
 	history  []WriteRecord // contiguous from version 1
+}
+
+// tombstoneCached records an abort in the client's cached history so
+// this client's next tree build borrows around the dead version instead
+// of linking its never-written metadata nodes. History snapshots handed
+// to in-flight operations may share the backing array, so the slice is
+// replaced, never mutated in place (stale snapshots are tolerated by
+// the walk's aborted-version probe).
+func (c *Client) tombstoneCached(blob BlobID, v Version) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bi, ok := c.blobs[blob]
+	if !ok || v == 0 || int(v) > len(bi.history) || bi.history[v-1].Aborted {
+		return
+	}
+	h := append([]WriteRecord(nil), bi.history...)
+	h[v-1].Aborted = true
+	bi.history = h
 }
 
 // appendHistory returns h extended by the delta records that
@@ -264,6 +311,7 @@ func (c *Client) write(s opSettings, blob BlobID, off, length int64, data []byte
 		if abortErr := c.vm(blob).Abort(c.node, blob, rec.Version); abortErr != nil {
 			return fmt.Errorf("%w (abort also failed: %v)", cause, abortErr)
 		}
+		c.tombstoneCached(blob, rec.Version)
 		return cause
 	}
 	if err := s.ctx.Err(); err != nil {
@@ -283,14 +331,19 @@ func (c *Client) write(s opSettings, blob BlobID, off, length int64, data []byte
 		}
 	}
 
-	// 3. Placement.
-	placement, err := c.d.PM.Place(c.node, int(hi-lo), c.d.Opts.Replication)
+	// 3. Placement: each page key hashes to its preferred owners under
+	// the current membership epoch (or to the ablation strategy's pick).
+	keys := make([]string, hi-lo)
+	for p := lo; p < hi; p++ {
+		keys[p-lo] = pageKey(rec.Blob, rec.Version, p)
+	}
+	sets, err := c.d.Placement.Place(c.node, keys, c.d.Opts.Replication)
 	if err != nil {
 		return 0, 0, abort(err)
 	}
 	placeMap := make(map[int64][]cluster.NodeID, hi-lo)
 	for i := int64(0); i < hi-lo; i++ {
-		placeMap[lo+i] = placement[i]
+		placeMap[lo+i] = sets[i]
 	}
 
 	// 4. Scatter pages to providers (one logical transfer; the store
@@ -298,7 +351,7 @@ func (c *Client) write(s opSettings, blob BlobID, off, length int64, data []byte
 	perProv := make(map[cluster.NodeID][]pagePut)
 	var total int64
 	for p := lo; p < hi; p++ {
-		key := pageKey(rec.Blob, rec.Version, p)
+		key := keys[p-lo]
 		var content []byte
 		size := pageExtent(p, ps, rec.SizeAfter)
 		if data != nil {
@@ -342,6 +395,7 @@ func (c *Client) write(s opSettings, blob BlobID, off, length int64, data []byte
 				}
 				return 0, 0, fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
 			}
+			c.tombstoneCached(blob, rec.Version)
 		}
 		return 0, 0, err
 	}
@@ -459,6 +513,9 @@ func (c *Client) appendBlocks(s opSettings, blob BlobID, blocks []AppendBlock) (
 		if abortErr := c.vm(blob).AbortBatch(c.node, blob, versions); abortErr != nil {
 			return fmt.Errorf("%w (abort also failed: %v)", cause, abortErr)
 		}
+		for _, v := range versions {
+			c.tombstoneCached(blob, v)
+		}
 		return cause
 	}
 	if err := s.ctx.Err(); err != nil {
@@ -490,13 +547,15 @@ func (c *Client) appendBlocks(s opSettings, blob BlobID, blocks []AppendBlock) (
 		}
 	}
 
-	// 3. Placement for every page of every version.
-	totalPages := 0
+	// 3. Placement for every page of every version, keyed in slot order.
+	var keys []string
 	for _, rec := range recs {
 		lo, hi := pageSpan(rec.Offset, rec.Length, ps)
-		totalPages += int(hi - lo)
+		for p := lo; p < hi; p++ {
+			keys = append(keys, pageKey(rec.Blob, rec.Version, p))
+		}
 	}
-	placement, err := c.d.PM.Place(c.node, totalPages, c.d.Opts.Replication)
+	sets, err := c.d.Placement.Place(c.node, keys, c.d.Opts.Replication)
 	if err != nil {
 		return nil, 0, abortAll(err)
 	}
@@ -508,14 +567,14 @@ func (c *Client) appendBlocks(s opSettings, blob BlobID, blocks []AppendBlock) (
 	for _, rec := range recs {
 		lo, hi := pageSpan(rec.Offset, rec.Length, ps)
 		for p := lo; p < hi; p++ {
-			key := pageKey(rec.Blob, rec.Version, p)
+			key := keys[slot]
 			size := pageExtent(p, ps, rec.SizeAfter)
 			var content []byte
 			if !synthetic {
 				from := p*ps - alignedStart
 				content = ext[from : from+size]
 			}
-			provs := placement[slot]
+			provs := sets[slot]
 			slot++
 			total += size * int64(len(provs))
 			for _, prov := range provs {
@@ -539,7 +598,7 @@ func (c *Client) appendBlocks(s opSettings, blob BlobID, blocks []AppendBlock) (
 		lo, hi := pageSpan(rec.Offset, rec.Length, ps)
 		placeMap := make(map[int64][]cluster.NodeID, hi-lo)
 		for p := lo; p < hi; p++ {
-			placeMap[p] = placement[slot]
+			placeMap[p] = sets[slot]
 			slot++
 		}
 		for k, v := range buildNodes(rec, hist, ps, placeMap) {
@@ -585,6 +644,9 @@ func (c *Client) appendBlocks(s opSettings, blob BlobID, blocks []AppendBlock) (
 				break
 			}
 			n++
+		}
+		for _, v := range versions[n:] {
+			c.tombstoneCached(blob, v)
 		}
 		return versions[:n], base, pubErr
 	}
@@ -679,7 +741,7 @@ func (c *Client) scatterPuts(ctx *cluster.Ctx, perProv map[cluster.NodeID][]page
 		return scErr != nil
 	}
 	c.fanOut(dests, func(prov cluster.NodeID) {
-		pr := c.d.Providers[prov]
+		pr := c.provider(prov)
 		var err error
 		if pr == nil {
 			err = fmt.Errorf("core: no provider on node %d", prov)
@@ -834,7 +896,7 @@ func (c *Client) readCommon(s opSettings, blob BlobID, off, length int64, dst []
 	// the key space of the version's owning blob (differs after
 	// Snapshot branching).
 	lo, hi := pageSpan(off, length, ps)
-	leaves, err := walkTree(rec.Blob, v, capPages, lo, hi, c.meta)
+	leaves, err := walkTree(rec.Blob, v, capPages, lo, hi, c.meta, c.abortedProbe)
 	if err != nil {
 		return 0, err
 	}
@@ -948,7 +1010,7 @@ func (c *Client) gatherPages(ctx *cluster.Ctx, leaves []PageLoc) (map[int64]Page
 				return // canceled: the round check below surfaces it
 			}
 			batch := perProv[prov]
-			pr := c.d.Providers[prov]
+			pr := c.provider(prov)
 			keys := make([]string, len(batch))
 			for i, pp := range batch {
 				keys[i] = pp.loc.Key()
@@ -1010,7 +1072,7 @@ func (c *Client) pickReplica(replicas []cluster.NodeID, tried map[cluster.NodeID
 		if tried[r] {
 			return false
 		}
-		pr := c.d.Providers[r]
+		pr := c.provider(r)
 		return pr != nil && !pr.isDown()
 	}
 	for _, r := range replicas {
@@ -1048,7 +1110,17 @@ func (c *Client) locations(s opSettings, blob BlobID, off, length int64) ([]Page
 		length = size - off
 	}
 	lo, hi := pageSpan(off, length, ps)
-	return walkTree(rec.Blob, rec.Version, capacityPages(size, ps), lo, hi, c.meta)
+	return walkTree(rec.Blob, rec.Version, capacityPages(size, ps), lo, hi, c.meta, c.abortedProbe)
+}
+
+// abortedProbe is walkTree's tombstone oracle: it asks the owning
+// version-manager shard whether a version whose metadata node is
+// missing was aborted (in which case the subtree is a hole, not
+// corruption). Errors report false — the walk then fails with the
+// honest missing-node error.
+func (c *Client) abortedProbe(blob BlobID, v Version) bool {
+	ab, err := c.vm(blob).IsAborted(c.node, blob, v)
+	return err == nil && ab
 }
 
 // resolveVersion fetches the record of v (or of the latest published

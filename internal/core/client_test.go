@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -214,8 +215,8 @@ func TestReplicatedPagesSurviveProviderFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Take down two of the five providers.
-	d.Providers[1].SetDown(true)
-	d.Providers[3].SetDown(true)
+	d.Provider(1).SetDown(true)
+	d.Provider(3).SetDown(true)
 	buf := make([]byte, len(data))
 	if _, err := blob.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
@@ -230,11 +231,11 @@ func TestWriteFailureAbortsVersion(t *testing.T) {
 	c := d.NewClient(0)
 	blob, _ := c.CreateBlob(0)
 	blob.WriteAt([]byte("first"), 0)
-	d.Providers[1].SetDown(true)
+	d.Provider(1).SetDown(true)
 	if _, err := blob.WriteAt([]byte("second"), 0); !errors.Is(err, ErrProviderDown) {
 		t.Fatalf("err = %v", err)
 	}
-	d.Providers[1].SetDown(false)
+	d.Provider(1).SetDown(false)
 	// The failed version must not be visible; a new write proceeds.
 	v, _, err := blob.Latest()
 	if err != nil || v != 1 {
@@ -269,7 +270,10 @@ func TestSyntheticWriteRead(t *testing.T) {
 }
 
 func TestPageLocationsExposeDistribution(t *testing.T) {
-	d := newLocalDeployment(t, Options{PageSize: 100})
+	// Pin round-robin striping: the test asserts the exact page
+	// distribution the strategy produces.
+	provs := []cluster.NodeID{1, 2, 3, 4, 5}
+	d := newLocalDeployment(t, Options{PageSize: 100, Strategy: placement.NewRoundRobin(provs)})
 	c := d.NewClient(0)
 	blob, _ := c.CreateBlob(0)
 	blob.WriteAt(nil, 0, Synthetic(1000)) // 10 pages over 5 providers
@@ -496,7 +500,7 @@ func TestPersistentProviderRecovery(t *testing.T) {
 	blob, _ := c.CreateBlob(0)
 	data := []byte(fmt.Sprintf("durable-%d", 42))
 	blob.WriteAt(data, 0)
-	for _, p := range d.Providers {
+	for _, p := range d.ProviderList() {
 		if err := p.FlushNow(); err != nil {
 			t.Fatal(err)
 		}

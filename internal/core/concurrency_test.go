@@ -136,7 +136,7 @@ func TestParallelGatherMidReadFailover(t *testing.T) {
 	for _, loc := range locs {
 		for _, prov := range loc.Providers {
 			if prov == 2 {
-				d.Providers[2].Store().Delete(loc.Key())
+				d.Provider(2).Store().Delete(loc.Key())
 				dropped++
 			}
 		}
@@ -164,7 +164,7 @@ func TestParallelScatterAbortOnFailure(t *testing.T) {
 	if _, err := blob.WriteAt(bytes.Repeat([]byte("ab"), 80), 0); err != nil {
 		t.Fatal(err)
 	}
-	d.Providers[3].SetDown(true)
+	d.Provider(3).SetDown(true)
 	if _, err := blob.WriteAt(bytes.Repeat([]byte("cd"), 160), 0); !errors.Is(err, ErrProviderDown) {
 		t.Fatalf("err = %v, want ErrProviderDown", err)
 	}
@@ -172,7 +172,7 @@ func TestParallelScatterAbortOnFailure(t *testing.T) {
 	if err != nil || v != 1 || size != 160 {
 		t.Fatalf("Latest after aborted parallel write = v%d size=%d, %v", v, size, err)
 	}
-	d.Providers[3].SetDown(false)
+	d.Provider(3).SetDown(false)
 	if _, err := blob.WriteAt(bytes.Repeat([]byte("ef"), 80), 0); err != nil {
 		t.Fatal(err)
 	}
@@ -207,9 +207,9 @@ func TestVersionManagerRecordsBatch(t *testing.T) {
 	c := d.NewClient(0)
 	blob, _ := c.CreateBlob(0)
 	blob.WriteAt([]byte("v1 data"), 0)
-	d.Providers[1].SetDown(true)
+	d.Provider(1).SetDown(true)
 	blob.WriteAt([]byte("v2 fails"), 0) // aborted
-	d.Providers[1].SetDown(false)
+	d.Provider(1).SetDown(false)
 	blob.WriteAt([]byte("v3 data"), 0)
 
 	recs, err := d.VM.Records(0, blob.ID())
@@ -248,7 +248,7 @@ func TestAppendBatchFailureDoesNotPoisonClient(t *testing.T) {
 	if _, err := blob.WriteAt(bytes.Repeat([]byte{0x11}, 100), 0); err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range d.Providers {
+	for _, p := range d.ProviderList() {
 		p.SetDown(true)
 	}
 	if _, _, err := blob.Append([]AppendBlock{
@@ -257,7 +257,7 @@ func TestAppendBatchFailureDoesNotPoisonClient(t *testing.T) {
 	}); err == nil {
 		t.Fatal("batch succeeded with all providers down")
 	}
-	for _, p := range d.Providers {
+	for _, p := range d.ProviderList() {
 		p.SetDown(false)
 	}
 	// The recovered client must append again: its boundary merge sits

@@ -1,15 +1,18 @@
 // core.go wires a BlobSeer deployment: Options, the service fleet
-// (version-manager tier, provider manager, providers, metadata DHT,
-// repairer), and client construction. The package contract lives in
+// (version-manager tier, placement manager, providers, metadata DHT,
+// rebalancer), and client construction. The package contract lives in
 // doc.go.
 package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dht"
+	"repro/internal/placement"
 )
 
 // Options configures a BlobSeer deployment.
@@ -18,7 +21,7 @@ type Options struct {
 	PageSize int64
 	// Replication is the page replica count.
 	Replication int
-	// VMNode hosts the provider manager and — when VMNodes is empty —
+	// VMNode hosts the placement manager and — when VMNodes is empty —
 	// the single version-manager shard. Kept as the one-shard
 	// compatibility alias for VMNodes.
 	VMNode cluster.NodeID
@@ -45,14 +48,25 @@ type Options struct {
 	MetaVNodes int
 	// Provider configures every provider's local store.
 	Provider ProviderConfig
-	// Strategy overrides the page placement strategy (default:
-	// load-balanced round-robin striping).
-	Strategy PlacementStrategy
-	// RepairInterval enables the background replica-repair sweep: every
-	// interval the Repairer re-replicates under-replicated pages of
-	// every blob's latest snapshot. 0 disables the sweep; RepairBlob
-	// stays available on demand.
+	// Strategy overrides the write-time page placement (the ablation
+	// arms: round-robin striping, local-first). Default: every page
+	// goes to its ring-preferred owners, so placement, repair and
+	// rebalance agree on where data should live.
+	Strategy placement.Strategy
+	// PlacementInterval enables the background placement loop: every
+	// interval the Rebalancer re-evaluates every page of every blob's
+	// latest snapshot against the membership, re-replicating degraded
+	// pages and migrating misplaced ones. 0 disables the sweep;
+	// RepairBlob stays available on demand.
+	PlacementInterval time.Duration
+	// RepairInterval is the historical alias for PlacementInterval.
 	RepairInterval time.Duration
+	// HeartbeatInterval enables the placement manager's background
+	// health checker: every interval each provider is probed and
+	// consecutive misses mark it down (a success marks it up again).
+	// 0 leaves health checking to the on-demand probes the placement
+	// loop runs before each evaluation.
+	HeartbeatInterval time.Duration
 	// SerialIO disables the client data-path parallelism (the A5
 	// ablation baseline): page scatter and gather contact providers one
 	// at a time instead of fanning out concurrently.
@@ -84,6 +98,9 @@ func (o *Options) fillDefaults() {
 	if o.MetaVNodes < 1 {
 		o.MetaVNodes = 32
 	}
+	if o.PlacementInterval <= 0 {
+		o.PlacementInterval = o.RepairInterval
+	}
 }
 
 // Deployment is a running BlobSeer service fleet.
@@ -92,11 +109,16 @@ type Deployment struct {
 	Opts Options
 	// VM is the version-manager tier: the router over the shards on
 	// Opts.VMNodes (a single shard by default).
-	VM        *VersionRouter
-	PM        *ProviderManager
-	Providers map[cluster.NodeID]*Provider
+	VM *VersionRouter
+	// Placement is the single placement authority: membership, health,
+	// the ring, and write-time replica selection.
+	Placement *placement.Manager
 	Meta      *dht.Cluster
-	Repair    *Repairer
+	// Rebalance drives the unified repair/rebalance loop.
+	Rebalance *Rebalancer
+
+	provMu sync.RWMutex
+	provs  map[cluster.NodeID]*Provider
 }
 
 // NewDeployment starts BlobSeer services on the environment's nodes.
@@ -109,35 +131,150 @@ func NewDeployment(env cluster.Env, opts Options) (*Deployment, error) {
 	vm.SetSerialPublish(opts.SerialPublish)
 	vm.SetServiceTime(opts.VMServiceTime)
 	d := &Deployment{
-		Env:       env,
-		Opts:      opts,
-		VM:        vm,
-		PM:        NewProviderManager(env, opts.VMNode, opts.ProviderNodes, opts.Strategy),
-		Providers: make(map[cluster.NodeID]*Provider, len(opts.ProviderNodes)),
-		Meta:      dht.NewCluster(opts.MetaNodes, opts.MetaVNodes, opts.MetaReplication),
+		Env:   env,
+		Opts:  opts,
+		VM:    vm,
+		Meta:  dht.NewCluster(opts.MetaNodes, opts.MetaVNodes, opts.MetaReplication),
+		provs: make(map[cluster.NodeID]*Provider, len(opts.ProviderNodes)),
 	}
 	for _, n := range opts.ProviderNodes {
-		cfg := opts.Provider
-		if cfg.Dir != "" {
-			cfg.Dir = fmt.Sprintf("%s/provider-%d", opts.Provider.Dir, n)
-		}
-		p, err := NewProvider(env, n, cfg)
+		p, err := d.startProvider(n)
 		if err != nil {
-			return nil, fmt.Errorf("core: provider on node %d: %w", n, err)
+			return nil, err
 		}
-		d.Providers[n] = p
+		d.provs[n] = p
 	}
-	d.Repair = newRepairer(d, opts.VMNode)
-	if opts.RepairInterval > 0 {
-		env.Daemon(func() { d.Repair.sweepLoop(opts.RepairInterval) })
+	d.Placement = placement.NewManager(env, opts.VMNode, opts.ProviderNodes, placement.Config{
+		Strategy:          opts.Strategy,
+		Probe:             d.probeProvider,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		// The probe asks the provider object itself, not a lossy network
+		// path, so a single miss is authoritative: one CheckNow round
+		// (the placement loop runs one before every evaluation) sees the
+		// true fleet.
+		FailAfter: 1,
+	})
+	d.Rebalance = newRebalancer(d, opts.VMNode)
+	if opts.PlacementInterval > 0 {
+		env.Daemon(func() { d.Rebalance.sweepLoop(opts.PlacementInterval) })
 	}
 	return d, nil
 }
 
-// RepairBlob re-replicates under-replicated pages of version v of a
-// blob (LatestVersion for the newest snapshot). See Repairer.
+func (d *Deployment) startProvider(n cluster.NodeID) (*Provider, error) {
+	cfg := d.Opts.Provider
+	if cfg.Dir != "" {
+		cfg.Dir = fmt.Sprintf("%s/provider-%d", d.Opts.Provider.Dir, n)
+	}
+	p, err := NewProvider(d.Env, n, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: provider on node %d: %w", n, err)
+	}
+	return p, nil
+}
+
+// probeProvider is the placement manager's health probe: a provider is
+// healthy when it exists and answers (failure injection flips IsDown).
+func (d *Deployment) probeProvider(n cluster.NodeID) bool {
+	p := d.Provider(n)
+	return p != nil && !p.IsDown()
+}
+
+// Provider returns the provider on a node (nil if none). The provider
+// table changes under AddProvider/RemoveProvider, so callers must not
+// cache the result across epochs.
+func (d *Deployment) Provider(n cluster.NodeID) *Provider {
+	d.provMu.RLock()
+	defer d.provMu.RUnlock()
+	return d.provs[n]
+}
+
+// ProviderList returns a snapshot of all providers, sorted by node.
+func (d *Deployment) ProviderList() []*Provider {
+	d.provMu.RLock()
+	out := make([]*Provider, 0, len(d.provs))
+	for _, p := range d.provs {
+		out = append(out, p)
+	}
+	d.provMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node() < out[j].Node() })
+	return out
+}
+
+// providerSnapshot returns a copy of the provider table for routing
+// views (clients re-resolve it when the placement epoch advances).
+func (d *Deployment) providerSnapshot() map[cluster.NodeID]*Provider {
+	d.provMu.RLock()
+	defer d.provMu.RUnlock()
+	out := make(map[cluster.NodeID]*Provider, len(d.provs))
+	for n, p := range d.provs {
+		out[n] = p
+	}
+	return out
+}
+
+// AddProvider starts a provider on node and joins it to the placement
+// membership: the node immediately becomes a preferred owner for its
+// ring share, and the background placement loop migrates those pages
+// onto it.
+func (d *Deployment) AddProvider(node cluster.NodeID) (*Provider, error) {
+	d.provMu.Lock()
+	if _, ok := d.provs[node]; ok {
+		d.provMu.Unlock()
+		return nil, fmt.Errorf("core: node %d already hosts a provider", node)
+	}
+	p, err := d.startProvider(node)
+	if err != nil {
+		d.provMu.Unlock()
+		return nil, err
+	}
+	d.provs[node] = p
+	d.provMu.Unlock()
+	// Join after the provider is reachable: the epoch bump makes
+	// clients re-resolve routing, and the new member must be servable
+	// by then.
+	if err := d.Placement.Join(node); err != nil {
+		d.provMu.Lock()
+		delete(d.provs, node)
+		d.provMu.Unlock()
+		p.Stop()
+		p.Store().Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// RemoveProvider removes a provider from the membership and stops it.
+// Pages whose leaves still list the node lose that replica (reads fail
+// over; the placement loop restores replication). Drain first for a
+// graceful exit.
+func (d *Deployment) RemoveProvider(node cluster.NodeID) error {
+	if err := d.Placement.Leave(node); err != nil {
+		return err
+	}
+	d.provMu.Lock()
+	p := d.provs[node]
+	delete(d.provs, node)
+	d.provMu.Unlock()
+	if p != nil {
+		p.Stop()
+		p.Store().Close()
+	}
+	return nil
+}
+
+// DrainProvider marks a provider draining: it keeps serving reads but
+// receives no new placements, and the placement loop migrates its pages
+// to the remaining preferred owners. Call RemoveProvider once drained.
+func (d *Deployment) DrainProvider(node cluster.NodeID) error {
+	return d.Placement.Drain(node)
+}
+
+// RepairBlob re-evaluates the placement of every page of version v of
+// a blob (LatestVersion for the newest snapshot): degraded pages are
+// re-replicated, misplaced ones migrated. See Rebalancer.
 func (d *Deployment) RepairBlob(blob BlobID, v Version) (RepairStats, error) {
-	return d.Repair.RepairBlob(blob, v)
+	return d.Rebalance.RepairBlob(blob, v)
 }
 
 // NewClient returns a client bound to a node.
@@ -150,12 +287,13 @@ func (d *Deployment) NewClient(node cluster.NodeID) *Client {
 	}
 }
 
-// Close stops the repair sweep and provider flush daemons, and closes
-// the provider stores.
+// Close stops the placement loop, the health checker and the provider
+// flush daemons, and closes the provider stores.
 func (d *Deployment) Close() error {
-	d.Repair.stop()
+	d.Rebalance.stop()
+	d.Placement.Close()
 	var first error
-	for _, p := range d.Providers {
+	for _, p := range d.ProviderList() {
 		p.Stop()
 		if err := p.Store().Close(); err != nil && first == nil {
 			first = err

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/placement"
 )
 
 // TestMetadataReplicationSurvivesMetaServerFailure: with DHT
@@ -84,9 +85,13 @@ func TestUnreplicatedMetadataFailsLoudly(t *testing.T) {
 // and later writes proceed past the tombstone.
 func TestWriteAbortsWhenProviderDiesBeforePublish(t *testing.T) {
 	env := cluster.NewLocal(8, 4)
+	// Pin round-robin striping: the test scripts which provider each
+	// page of each write lands on.
+	provs := []cluster.NodeID{1, 2, 3}
 	d, err := NewDeployment(env, Options{
 		PageSize:      64,
-		ProviderNodes: []cluster.NodeID{1, 2, 3},
+		ProviderNodes: provs,
+		Strategy:      placement.NewRoundRobin(provs),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +107,7 @@ func TestWriteAbortsWhenProviderDiesBeforePublish(t *testing.T) {
 
 	// The next 3-page write stripes over providers 2, 3, 1; kill 3 so
 	// the scatter fails partway through.
-	d.Providers[3].SetDown(true)
+	d.Provider(3).SetDown(true)
 	_, err = blob.WriteAt(bytes.Repeat([]byte{0x22}, 192), 0)
 	if !errors.Is(err, ErrProviderDown) {
 		t.Fatalf("write with a dead provider returned %v, want ErrProviderDown", err)
@@ -125,7 +130,7 @@ func TestWriteAbortsWhenProviderDiesBeforePublish(t *testing.T) {
 	}
 
 	// Once the provider recovers, writes continue past the tombstone.
-	d.Providers[3].SetDown(false)
+	d.Provider(3).SetDown(false)
 	after := bytes.Repeat([]byte{0x33}, 192)
 	v3, err := blob.WriteAt(after, 0)
 	if err != nil {
@@ -164,7 +169,7 @@ func TestDegradedReadSurvivesProviderFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	d.Providers[2].SetDown(true)
+	d.Provider(2).SetDown(true)
 
 	b2 := openB(t, d.NewClient(5), blob.ID()) // fresh metadata cache
 	buf := make([]byte, len(data))
@@ -177,7 +182,7 @@ func TestDegradedReadSurvivesProviderFailure(t *testing.T) {
 
 	// The same client, with the leaf already cached, also fails over
 	// when a second provider dies between its reads (mid-read churn).
-	d.Providers[4].SetDown(true)
+	d.Provider(4).SetDown(true)
 	if _, err := b2.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +211,7 @@ func TestAllReplicasDownIsTypedError(t *testing.T) {
 	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range d.Providers {
+	for _, p := range d.ProviderList() {
 		p.SetDown(true)
 	}
 	b2 := openB(t, d.NewClient(5), blob.ID())
@@ -236,7 +241,7 @@ func TestPageReplicationEndToEndThroughSim(t *testing.T) {
 			t.Fatal(err)
 		}
 		var stored int64
-		for _, p := range d.Providers {
+		for _, p := range d.ProviderList() {
 			stored += p.BytesStored()
 		}
 		if want := int64(1024 * repl); stored != want {

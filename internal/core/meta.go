@@ -165,7 +165,10 @@ func (h history) capBefore(v Version) int64 {
 // borrow returns the identity (blob, version) of the newest node with
 // exactly range r among versions <= v, or (0, 0) if no version ever
 // created it (hole). The blob may differ from the reader's after a
-// clone.
+// clone. Aborted versions are skipped: their writer may have died
+// before the metadata reached the DHT, so linking their nodes would
+// leave a dangling reference; the range falls back to the newest
+// surviving creator, or reads as a hole.
 func (h history) borrow(v Version, r PageRange, pageSize int64) (BlobID, Version) {
 	for w := v; w >= 1; w-- {
 		rec, ok := h.record(w)
@@ -173,6 +176,9 @@ func (h history) borrow(v Version, r PageRange, pageSize int64) (BlobID, Version
 			continue
 		}
 		if creates(rec, h.capBefore(w), r, pageSize) {
+			if rec.Aborted {
+				continue
+			}
 			return rec.Blob, w
 		}
 	}
@@ -311,7 +317,16 @@ type nodeFetcher interface {
 // rootBlob (whose root tree node lives under rootMetaBlob after
 // cloning), issuing one batched DHT get per tree level. Holes are
 // reported with empty provider sets.
-func walkTree(rootMetaBlob BlobID, v Version, capPages int64, lo, hi int64, fetch nodeFetcher) ([]PageLoc, error) {
+//
+// aborted (optional) resolves whether a version was tombstoned. A tree
+// may legitimately link a subtree of a version that later aborted: the
+// linking writer assembled its nodes from a history snapshot that
+// predates the abort, and the aborted writer may have died before its
+// own nodes reached the DHT. Such a missing subtree is a hole (the
+// aborted write was never visible), not corruption — but only the
+// version manager can tell the two apart, so without a probe a missing
+// node stays a hard error.
+func walkTree(rootMetaBlob BlobID, v Version, capPages int64, lo, hi int64, fetch nodeFetcher, aborted func(BlobID, Version) bool) ([]PageLoc, error) {
 	if hi > capPages {
 		hi = capPages
 	}
@@ -338,6 +353,10 @@ func walkTree(rootMetaBlob BlobID, v Version, capPages int64, lo, hi int64, fetc
 		for i, it := range frontier {
 			raw, ok := got[keys[i]]
 			if !ok {
+				if aborted != nil && aborted(it.blob, it.ver) {
+					appendHoles(&leaves, it.r, lo, hi)
+					continue
+				}
 				return nil, fmt.Errorf("core: missing metadata node %s", keys[i])
 			}
 			inner, leaf, isLeaf, err := decodeNode(raw)

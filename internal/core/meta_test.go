@@ -127,7 +127,7 @@ func (m *refModel) apply(rec WriteRecord, ps int64) {
 func checkAgainstRef(t *testing.T, store mapFetcher, ref *refModel, blob BlobID, v Version, h history, ps int64, lo, hi int64) {
 	t.Helper()
 	rec, _ := h.record(v)
-	leaves, err := walkTree(blob, v, rec.CapAfter, lo, hi, store)
+	leaves, err := walkTree(blob, v, rec.CapAfter, lo, hi, store, nil)
 	if err != nil {
 		t.Fatalf("walkTree(v=%d, [%d,%d)): %v", v, lo, hi, err)
 	}
@@ -315,7 +315,7 @@ func TestBorrowPrefersLatestIntersecting(t *testing.T) {
 
 func TestWalkTreeMissingNode(t *testing.T) {
 	store := mapFetcher{} // nothing stored
-	_, err := walkTree(1, 1, 4, 0, 4, store)
+	_, err := walkTree(1, 1, 4, 0, 4, store, nil)
 	if err == nil {
 		t.Fatal("expected error for missing metadata")
 	}

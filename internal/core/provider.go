@@ -1,14 +1,13 @@
 // provider.go implements BlobSeer's storage side: providers, which keep
-// pages in a RAM-first store and persist them asynchronously, and the
-// provider manager, which assigns pages to providers according to a
-// placement strategy. The default strategy is the paper's load-balanced
-// striping; a local-first strategy mimicking HDFS's placement exists
-// for the ablation experiment.
+// pages in a RAM-first store and persist them asynchronously. Which
+// provider holds which page is decided by the placement subsystem
+// (internal/placement): by default every page goes to its ring-
+// preferred owners; the striping and local-first strategies of the
+// ablation experiments live there too.
 package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/cluster"
@@ -207,150 +206,21 @@ func (p *Provider) GetPages(keys []string) ([]PageFetch, error) {
 	return out, nil
 }
 
-// BytesStored returns the cumulative bytes ingested (the provider
+// DeletePage removes a page copy from the provider's store (rebalance:
+// the copy migrated to a preferred owner). Deleting a missing key is
+// not an error; deleting on a down provider is.
+func (p *Provider) DeletePage(key string) error {
+	if p.isDown() {
+		return fmt.Errorf("%w: node %d", ErrProviderDown, p.node)
+	}
+	p.store.Delete(key)
+	return nil
+}
+
+// BytesStored returns the cumulative bytes ingested (the placement
 // manager's load metric).
 func (p *Provider) BytesStored() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.bytesIn
-}
-
-// PlacementStrategy decides which providers hold each page of a write.
-type PlacementStrategy interface {
-	// Place returns, for each of n pages, a replica set of `replication`
-	// distinct provider nodes. client is the writing node.
-	Place(client cluster.NodeID, n int, replication int) [][]cluster.NodeID
-	// Name identifies the strategy in reports.
-	Name() string
-}
-
-// ProviderManager tracks the provider fleet and applies a placement
-// strategy, mirroring BlobSeer's load-balancing page distribution.
-type ProviderManager struct {
-	env      cluster.Env
-	node     cluster.NodeID
-	strategy PlacementStrategy
-
-	mu        sync.Mutex
-	providers []cluster.NodeID
-}
-
-// NewProviderManager creates a manager on node for the given provider
-// fleet; strategy nil means load-balanced round-robin striping.
-func NewProviderManager(env cluster.Env, node cluster.NodeID, providers []cluster.NodeID, strategy PlacementStrategy) *ProviderManager {
-	ps := append([]cluster.NodeID(nil), providers...)
-	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
-	if strategy == nil {
-		strategy = NewRoundRobin(ps)
-	}
-	return &ProviderManager{env: env, node: node, strategy: strategy, providers: ps}
-}
-
-// Node returns the hosting node.
-func (pm *ProviderManager) Node() cluster.NodeID { return pm.node }
-
-// Providers returns the fleet.
-func (pm *ProviderManager) Providers() []cluster.NodeID {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	return append([]cluster.NodeID(nil), pm.providers...)
-}
-
-// Place asks the strategy for the placement of n pages.
-func (pm *ProviderManager) Place(from cluster.NodeID, n, replication int) ([][]cluster.NodeID, error) {
-	pm.env.RTT(from, pm.node)
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	if n <= 0 {
-		return nil, fmt.Errorf("core: placement for %d pages", n)
-	}
-	if replication < 1 {
-		replication = 1
-	}
-	if replication > len(pm.providers) {
-		replication = len(pm.providers)
-	}
-	return pm.strategy.Place(from, n, replication), nil
-}
-
-// RoundRobin is the paper's load-balanced striping: consecutive pages
-// go to consecutive providers off a global cursor, so concurrent
-// writers interleave across the whole fleet and no provider becomes a
-// hotspot.
-type RoundRobin struct {
-	mu        sync.Mutex
-	providers []cluster.NodeID
-	cursor    int
-}
-
-// NewRoundRobin builds the strategy over a provider fleet.
-func NewRoundRobin(providers []cluster.NodeID) *RoundRobin {
-	return &RoundRobin{providers: providers}
-}
-
-// Name implements PlacementStrategy.
-func (r *RoundRobin) Name() string { return "load-balanced" }
-
-// Place implements PlacementStrategy.
-func (r *RoundRobin) Place(_ cluster.NodeID, n, replication int) [][]cluster.NodeID {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([][]cluster.NodeID, n)
-	for i := range out {
-		set := make([]cluster.NodeID, replication)
-		for j := 0; j < replication; j++ {
-			set[j] = r.providers[(r.cursor+j)%len(r.providers)]
-		}
-		r.cursor = (r.cursor + 1) % len(r.providers)
-		out[i] = set
-	}
-	return out
-}
-
-// LocalFirst mimics HDFS's placement inside BlobSeer for the ablation
-// experiment: the primary replica of every page is the writer's own
-// node when it hosts a provider; further replicas follow the ring.
-type LocalFirst struct {
-	mu        sync.Mutex
-	providers []cluster.NodeID
-	isProv    map[cluster.NodeID]bool
-	cursor    int
-}
-
-// NewLocalFirst builds the strategy over a provider fleet.
-func NewLocalFirst(providers []cluster.NodeID) *LocalFirst {
-	m := make(map[cluster.NodeID]bool, len(providers))
-	for _, p := range providers {
-		m[p] = true
-	}
-	return &LocalFirst{providers: providers, isProv: m}
-}
-
-// Name implements PlacementStrategy.
-func (l *LocalFirst) Name() string { return "local-first" }
-
-// Place implements PlacementStrategy.
-func (l *LocalFirst) Place(client cluster.NodeID, n, replication int) [][]cluster.NodeID {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([][]cluster.NodeID, n)
-	for i := range out {
-		set := make([]cluster.NodeID, 0, replication)
-		seen := make(map[cluster.NodeID]bool, replication)
-		if l.isProv[client] {
-			set = append(set, client)
-			seen[client] = true
-		}
-		for j := 0; len(set) < replication && j < len(l.providers); j++ {
-			cand := l.providers[(l.cursor+j)%len(l.providers)]
-			if seen[cand] {
-				continue
-			}
-			seen[cand] = true
-			set = append(set, cand)
-		}
-		l.cursor = (l.cursor + 1) % len(l.providers)
-		out[i] = set
-	}
-	return out
 }

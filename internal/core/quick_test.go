@@ -249,13 +249,13 @@ func TestQuickBorrowAlwaysResolvable(t *testing.T) {
 		// Walk the final version over its whole capacity: every node
 		// reference must resolve (walkTree errors on a missing node).
 		last := h[len(h)-1]
-		if _, err := walkTree(1, last.Version, last.CapAfter, 0, last.CapAfter, store); err != nil {
+		if _, err := walkTree(1, last.Version, last.CapAfter, 0, last.CapAfter, store, nil); err != nil {
 			t.Fatalf("trial %d: unresolvable reference: %v", trial, err)
 		}
 		// And the same for every intermediate version.
 		for v := Version(1); v < last.Version; v++ {
 			rec := h[int(v)-1]
-			if _, err := walkTree(1, v, rec.CapAfter, 0, rec.CapAfter, store); err != nil {
+			if _, err := walkTree(1, v, rec.CapAfter, 0, rec.CapAfter, store, nil); err != nil {
 				t.Fatalf("trial %d v%d: %v", trial, v, err)
 			}
 		}

@@ -1,0 +1,353 @@
+// rebalance.go drives the unified placement loop: the maintenance
+// subsystem that keeps every page where the placement authority says it
+// should be. Its two historical halves — repair (restore the
+// replication factor after a provider death) and rebalance (migrate
+// pages toward the ring's preferred owners after a join or drain) —
+// are two outcomes of the same evaluation: placement.Manager.Evaluate
+// compares a page's current holders against the membership's preferred
+// owners, and the Rebalancer acts on the decision by copying pages onto
+// the nodes that should hold them, rewriting the metadata leaves, and
+// dropping copies that migrated away.
+//
+// Leaf rewrites are the one deliberate exception to the "tree nodes
+// are immutable" rule. They are safe because a leaf rewrite only
+// changes the provider set, never the page contents or the tree
+// shape: a client holding the stale leaf still reads correct bytes
+// through any surviving old replica (a copy dropped by migration just
+// looks like one more failed replica and fails over), and a fresh tree
+// walk sees the new set.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// RepairStats summarizes one placement pass.
+type RepairStats struct {
+	// PagesScanned counts metadata leaves examined (holes excluded).
+	PagesScanned int
+	// PagesDegraded counts pages found below the replication target.
+	PagesDegraded int
+	// PagesLost counts pages with no live replica at all; they cannot
+	// be repaired and stay in the leaf untouched (their replicas may
+	// come back).
+	PagesLost int
+	// PagesMigrated counts pages whose replica set was realigned to
+	// the preferred owners (a reachable copy sat on a wrong node).
+	PagesMigrated int
+	// ReplicasAdded counts new page copies created.
+	ReplicasAdded int
+	// ReplicasDropped counts reachable copies deleted after their page
+	// was fully re-established on its preferred owners.
+	ReplicasDropped int
+	// BytesCopied is the payload moved onto new providers.
+	BytesCopied int64
+}
+
+// Add accumulates another pass's stats.
+func (s *RepairStats) Add(o RepairStats) {
+	s.PagesScanned += o.PagesScanned
+	s.PagesDegraded += o.PagesDegraded
+	s.PagesLost += o.PagesLost
+	s.PagesMigrated += o.PagesMigrated
+	s.ReplicasAdded += o.ReplicasAdded
+	s.ReplicasDropped += o.ReplicasDropped
+	s.BytesCopied += o.BytesCopied
+}
+
+// Rebalancer runs the placement evaluation loop for a deployment. One
+// Rebalancer serves a whole deployment; it is safe for concurrent use.
+type Rebalancer struct {
+	d  *Deployment
+	cl *Client
+
+	// runMu serializes passes (the background sweep and on-demand
+	// RepairBlob calls share one client and would otherwise race to
+	// copy the same pages).
+	runMu sync.Mutex
+
+	mu        sync.Mutex
+	stopped   bool
+	lastSweep RepairStats
+	lastErr   error
+}
+
+// newRebalancer creates the deployment's rebalancer, hosted on node
+// (the version-manager node, where a production deployment would run
+// its maintenance daemon).
+func newRebalancer(d *Deployment, node cluster.NodeID) *Rebalancer {
+	return &Rebalancer{d: d, cl: d.NewClient(node)}
+}
+
+// RepairBlob evaluates every page of version v of a blob
+// (LatestVersion for the newest snapshot) against the current
+// membership and acts on the decisions: degraded pages gain copies on
+// their preferred owners, misplaced pages migrate there, and fully
+// realigned leaves drop the stale holders. A page with no surviving
+// replica is counted in PagesLost, not treated as a fatal error, so
+// one dead page does not stop the rest of the blob from being
+// processed.
+func (r *Rebalancer) RepairBlob(blob BlobID, v Version) (RepairStats, error) {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	var st RepairStats
+	r.mu.Lock()
+	stopped := r.stopped
+	r.mu.Unlock()
+	if stopped {
+		return st, fmt.Errorf("core: rebalancer stopped")
+	}
+	// Evaluate against fresh health: a provider that died since the
+	// last heartbeat must not be chosen as a copy source or target.
+	r.d.Placement.CheckNow()
+	rec, ok, err := r.cl.resolveVersion(blob, v)
+	if err != nil {
+		return st, err
+	}
+	if !ok {
+		return st, nil // empty blob: nothing to evaluate
+	}
+	s := defaultSettings()
+	s.version = rec.Version
+	locs, err := r.cl.locations(s, blob, 0, rec.SizeAfter)
+	if err != nil {
+		return st, err
+	}
+
+	target := r.d.Opts.Replication
+	updates := make(map[string][]byte)
+	for _, loc := range locs {
+		if len(loc.Providers) == 0 {
+			continue // hole: zeros need no replicas
+		}
+		st.PagesScanned++
+		key := loc.Key()
+		dec := r.d.Placement.Evaluate(key, loc.Providers, target)
+		if dec.Lost {
+			st.PagesLost++
+			continue
+		}
+		if dec.Degraded {
+			st.PagesDegraded++
+		}
+		if len(dec.Add) == 0 && !dec.Misplaced {
+			continue // already where it should be
+		}
+
+		added, copied, err := r.copyTo(key, dec.Live, dec.Add)
+		if err != nil {
+			return st, err
+		}
+		st.ReplicasAdded += len(added)
+		st.BytesCopied += copied
+
+		newSet, dropped, changed := r.newLeafSet(loc, dec.Desired, dec.Live, added, target, key)
+		if !changed {
+			continue
+		}
+		if dropped {
+			st.PagesMigrated++
+		}
+		leafKey := NodeKey{Blob: loc.Blob, Version: loc.Version, Range: PageRange{Off: loc.Page, Count: 1}}.String()
+		updates[leafKey] = encodeLeaf(Leaf{Providers: newSet})
+		st.ReplicasDropped += r.dropExtras(key, loc.Providers, newSet)
+	}
+	if len(updates) > 0 {
+		if err := r.cl.meta.BatchPut(updates); err != nil {
+			return st, fmt.Errorf("core: placement pass over blob %d: leaf rewrite: %w", blob, err)
+		}
+	}
+	return st, nil
+}
+
+// newLeafSet decides the rewritten replica set for one page after
+// copies were added. When every desired owner holds a copy and the
+// desired set is at the full configured target, the leaf becomes
+// exactly the preferred owners — stale holders (dead nodes, migrated-
+// away copies) are dropped. Below that, the rule stays conservative:
+// surviving replicas first, new copies appended, and dead holders kept
+// listed while the page is under the full target (their copies may
+// come back; dropping them would turn a transient outage into data
+// loss).
+func (r *Rebalancer) newLeafSet(loc PageLoc, desired, live, added []cluster.NodeID, target int, key string) (newSet []cluster.NodeID, dropped, changed bool) {
+	holds := make(map[cluster.NodeID]bool, len(loc.Providers)+len(added))
+	for _, n := range live {
+		holds[n] = true
+	}
+	for _, n := range added {
+		holds[n] = true
+	}
+	complete := len(desired) == target
+	for _, n := range desired {
+		if !holds[n] {
+			complete = false
+			break
+		}
+	}
+	if complete {
+		for _, n := range loc.Providers {
+			found := false
+			for _, m := range desired {
+				if m == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				dropped = true
+				break
+			}
+		}
+		return desired, dropped, dropped || len(added) > 0
+	}
+	if len(added) == 0 {
+		return nil, false, false // nothing gained: keep the old leaf untouched
+	}
+	newSet = append(append([]cluster.NodeID(nil), live...), added...)
+	if len(newSet) < target {
+		for _, p := range loc.Providers {
+			if pr := r.d.Provider(p); pr == nil || pr.isDown() {
+				newSet = append(newSet, p)
+			}
+		}
+	}
+	return newSet, false, true
+}
+
+// copyTo replicates one page from a surviving holder onto each target
+// node, with failover across the sources. It returns the nodes that
+// received a copy and the bytes moved. Targets that fail between the
+// decision and the put are skipped (the next pass retries).
+func (r *Rebalancer) copyTo(key string, sources, targets []cluster.NodeID) ([]cluster.NodeID, int64, error) {
+	if len(targets) == 0 {
+		return nil, 0, nil
+	}
+	var fetch PageFetch
+	var src cluster.NodeID
+	fetchErr := error(nil)
+	found := false
+	for _, prov := range sources {
+		pr := r.d.Provider(prov)
+		if pr == nil {
+			continue
+		}
+		items, err := pr.GetPages([]string{key})
+		if err != nil {
+			fetchErr = err
+			continue
+		}
+		fetch, src, found = items[0], prov, true
+		break
+	}
+	if !found {
+		if fetchErr == nil {
+			fetchErr = ErrAllReplicasDown
+		}
+		return nil, 0, fmt.Errorf("core: placement copy of page %q: %w", key, fetchErr)
+	}
+
+	var added []cluster.NodeID
+	var copied int64
+	for _, dst := range targets {
+		pr := r.d.Provider(dst)
+		if pr == nil {
+			continue
+		}
+		if err := pr.PutPage(key, fetch.Data, fetch.Size); err != nil {
+			continue // destination died between pick and put: next pass retries
+		}
+		// Charge the provider-to-provider copy.
+		r.d.Env.RTT(src, dst)
+		r.d.Env.Scatter(src, []cluster.NodeID{dst}, fetch.Size)
+		added = append(added, dst)
+		copied += fetch.Size
+	}
+	return added, copied, nil
+}
+
+// dropExtras deletes the page's copies on reachable old holders that
+// are no longer in the new replica set (the migration's second half).
+// Unreachable holders are left alone — their orphaned copies are
+// harmless and the node may never come back anyway.
+func (r *Rebalancer) dropExtras(key string, old, kept []cluster.NodeID) int {
+	inKept := make(map[cluster.NodeID]bool, len(kept))
+	for _, n := range kept {
+		inKept[n] = true
+	}
+	dropped := 0
+	for _, n := range old {
+		if inKept[n] {
+			continue
+		}
+		if pr := r.d.Provider(n); pr != nil && !pr.isDown() {
+			if pr.DeletePage(key) == nil {
+				dropped++
+			}
+		}
+	}
+	return dropped
+}
+
+// sweepLoop periodically evaluates the latest snapshot of every blob.
+// It runs as an environment daemon when Options.PlacementInterval > 0.
+// Each pass's outcome is recorded for LastSweep — a failing background
+// sweep must be observable, not silent.
+func (r *Rebalancer) sweepLoop(interval time.Duration) {
+	for {
+		r.d.Env.Sleep(interval)
+		r.mu.Lock()
+		stopped := r.stopped
+		r.mu.Unlock()
+		if stopped {
+			return
+		}
+		st, err := r.SweepOnce()
+		r.mu.Lock()
+		r.lastSweep, r.lastErr = st, err
+		r.mu.Unlock()
+	}
+}
+
+// LastSweep reports the most recent background sweep's stats and
+// error (zero values before the first sweep completes).
+func (r *Rebalancer) LastSweep() (RepairStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastSweep, r.lastErr
+}
+
+// SweepOnce evaluates the latest snapshot of every blob in the
+// deployment, aggregating the stats. The work list is the version
+// router's merged cross-shard blob enumeration, so a multi-shard tier
+// is swept completely — every shard's blobs, in ascending id order.
+// Per-blob errors abort the sweep; lost pages do not (they are
+// reported in the stats).
+func (r *Rebalancer) SweepOnce() (RepairStats, error) {
+	var st RepairStats
+	for _, blob := range r.d.VM.Blobs(r.cl.node) {
+		s, err := r.RepairBlob(blob, LatestVersion)
+		st.Add(s)
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// stop terminates the background sweep: no new pass starts once the
+// flag is set (RepairBlob checks it under runMu), and the daemon
+// exits at its next tick. stop deliberately does NOT join an
+// in-flight pass: on a simulated Env the closer would block a real
+// mutex on a daemon parked on virtual time — a deadlock the engine
+// cannot break — while letting the pass race teardown is benign
+// (operations against stopping providers return errors, which the
+// sweep records in lastErr, and page puts land harmlessly in RAM).
+func (r *Rebalancer) stop() {
+	r.mu.Lock()
+	r.stopped = true
+	r.mu.Unlock()
+}

@@ -13,7 +13,7 @@ import (
 func liveReplicas(d *Deployment, loc PageLoc) int {
 	n := 0
 	for _, p := range loc.Providers {
-		if pr := d.Providers[p]; pr != nil && !pr.IsDown() {
+		if pr := d.Provider(p); pr != nil && !pr.IsDown() {
 			n++
 		}
 	}
@@ -42,7 +42,7 @@ func TestRepairBlobRestoresReplication(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	d.Providers[2].SetDown(true)
+	d.Provider(2).SetDown(true)
 	st, err := d.RepairBlob(blob.ID(), LatestVersion)
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +76,7 @@ func TestRepairBlobRestoresReplication(t *testing.T) {
 
 	// Full replication means the blob survives losing one more replica
 	// (read through a fresh client: repaired leaves, no stale cache).
-	d.Providers[1].SetDown(true)
+	d.Provider(1).SetDown(true)
 	buf := make([]byte, len(data))
 	if _, err := openB(t, d.NewClient(5), blob.ID()).ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
@@ -123,7 +123,7 @@ func TestRepairClampsToSurvivingFleet(t *testing.T) {
 	}
 
 	// One survivor: target clamps to 1, nothing to copy, no error.
-	d.Providers[2].SetDown(true)
+	d.Provider(2).SetDown(true)
 	st, err := d.RepairBlob(blob.ID(), LatestVersion)
 	if err != nil {
 		t.Fatal(err)
@@ -135,8 +135,8 @@ func TestRepairClampsToSurvivingFleet(t *testing.T) {
 	// The clamped pass must not rewrite leaves: provider 2's copies
 	// are recoverable, and if it comes back while provider 1 dies the
 	// data must still be readable through it.
-	d.Providers[2].SetDown(false)
-	d.Providers[1].SetDown(true)
+	d.Provider(2).SetDown(false)
+	d.Provider(1).SetDown(true)
 	buf := make([]byte, len(data))
 	if _, err := openB(t, d.NewClient(3), blob.ID()).ReadAt(buf, 0); err != nil {
 		t.Fatalf("read through the recovered provider failed: %v", err)
@@ -145,8 +145,8 @@ func TestRepairClampsToSurvivingFleet(t *testing.T) {
 		t.Fatal("content mismatch reading through the recovered provider")
 	}
 	// No survivors: every page is reported lost, still no error.
-	d.Providers[1].SetDown(true)
-	d.Providers[2].SetDown(true)
+	d.Provider(1).SetDown(true)
+	d.Provider(2).SetDown(true)
 	st, err = d.RepairBlob(blob.ID(), LatestVersion)
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +176,7 @@ func TestRepairSweepBackground(t *testing.T) {
 	if _, err := blob.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
-	d.Providers[3].SetDown(true)
+	d.Provider(3).SetDown(true)
 
 	deadline := time.Now().Add(2 * time.Second)
 	for {

@@ -200,7 +200,7 @@ func TestBlobsMergedAcrossShards(t *testing.T) {
 			t.Fatalf("blob %d missing from merged enumeration %v", id, got)
 		}
 	}
-	st, err := d.Repair.SweepOnce()
+	st, err := d.Rebalance.SweepOnce()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -578,6 +578,24 @@ func (vm *VersionManager) applyAbortLocked(b *blobState, blob BlobID, v Version)
 	return nil
 }
 
+// IsAborted reports whether version v of a blob has been tombstoned.
+// Readers use it to distinguish a dangling metadata link left by an
+// aborted writer (a hole) from genuine metadata loss (an error).
+func (vm *VersionManager) IsAborted(from cluster.NodeID, blob BlobID, v Version) (bool, error) {
+	vm.env.RTT(from, vm.node)
+	vm.serve()
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	b, ok := vm.blobs[blob]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoSuchBlob, blob)
+	}
+	if v == 0 || int(v) > len(b.records) {
+		return false, fmt.Errorf("%w: %d@%d", ErrNoSuchVersion, blob, v)
+	}
+	return b.records[int(v)-1].Aborted, nil
+}
+
 // AbortBatch tombstones every still-pending member of one blob's
 // version batch in a single round trip. All members are resolved under
 // one lock acquisition (the serial path locks once; the group-commit

@@ -22,11 +22,18 @@ import (
 // ErrNotFound is returned when no replica holds a key.
 var ErrNotFound = errors.New("dht: key not found")
 
-// Ring is a consistent-hashing ring with virtual nodes.
+// Ring is a consistent-hashing ring with virtual nodes. Membership is
+// mutable: AddNode and RemoveNode insert or delete one node's virtual
+// points, moving only the keys whose clockwise walk crosses the changed
+// points (consistent hashing's minimal-movement property). Every change
+// bumps the ring's epoch so routing layers can detect stale views.
 type Ring struct {
+	mu          sync.RWMutex
 	points      []point
 	replication int
+	vnodes      int
 	nodes       []cluster.NodeID
+	epoch       uint64
 }
 
 type point struct {
@@ -50,39 +57,120 @@ func NewRing(nodes []cluster.NodeID, vnodes, replication int) *Ring {
 	if replication > len(nodes) {
 		replication = len(nodes)
 	}
-	r := &Ring{replication: replication, nodes: append([]cluster.NodeID(nil), nodes...)}
+	r := &Ring{replication: replication, vnodes: vnodes, nodes: append([]cluster.NodeID(nil), nodes...)}
 	for _, n := range nodes {
-		for v := 0; v < vnodes; v++ {
-			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%d|%d", n, v)), node: n})
-		}
+		r.points = append(r.points, pointsFor(n, vnodes)...)
 	}
 	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
 	return r
 }
 
-// Nodes returns the ring's member nodes.
-func (r *Ring) Nodes() []cluster.NodeID { return r.nodes }
+func pointsFor(n cluster.NodeID, vnodes int) []point {
+	pts := make([]point, vnodes)
+	for v := 0; v < vnodes; v++ {
+		pts[v] = point{hash: hash64(fmt.Sprintf("%d|%d", n, v)), node: n}
+	}
+	return pts
+}
+
+// Nodes returns a snapshot of the ring's member nodes.
+func (r *Ring) Nodes() []cluster.NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]cluster.NodeID(nil), r.nodes...)
+}
 
 // Replication returns the replica count.
 func (r *Ring) Replication() int { return r.replication }
 
+// Size returns the current member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Epoch returns the membership epoch; it increments on every AddNode
+// and RemoveNode.
+func (r *Ring) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// AddNode inserts a node's virtual points. Adding an existing member is
+// a no-op; the epoch only advances on a real change.
+func (r *Ring) AddNode(n cluster.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.nodes {
+		if m == n {
+			return
+		}
+	}
+	r.nodes = append(r.nodes, n)
+	r.points = append(r.points, pointsFor(n, r.vnodes)...)
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	r.epoch++
+}
+
+// RemoveNode deletes a node's virtual points. Removing a non-member is
+// a no-op. The last node cannot be removed (a ring is never empty).
+func (r *Ring) RemoveNode(n cluster.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.nodes) == 1 {
+		return
+	}
+	found := false
+	for i, m := range r.nodes {
+		if m == n {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != n {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	r.epoch++
+}
+
 // Lookup returns the replica set for a key: the first `replication`
 // distinct nodes walking clockwise from the key's hash.
 func (r *Ring) Lookup(key string) []cluster.NodeID {
+	return r.LookupN(key, r.replication)
+}
+
+// LookupN is Lookup with an explicit replica count (clamped to the
+// current membership size).
+func (r *Ring) LookupN(key string, n int) []cluster.NodeID {
 	h := hash64(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0
 	}
-	out := make([]cluster.NodeID, 0, r.replication)
+	out := make([]cluster.NodeID, 0, n)
 	// Distinctness via a linear scan of out: replication is tiny (<=3
 	// in practice), so this beats allocating a seen-map on every lookup
 	// — and Lookup runs once per metadata key on the client hot path.
-	for j := 0; len(out) < r.replication && j < len(r.points); j++ {
+	for j := 0; len(out) < n && j < len(r.points); j++ {
 		p := r.points[(i+j)%len(r.points)]
 		dup := false
-		for _, n := range out {
-			if n == p.node {
+		for _, m := range out {
+			if m == p.node {
 				dup = true
 				break
 			}

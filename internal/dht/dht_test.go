@@ -77,6 +77,84 @@ func TestRingStabilityUnderGrowth(t *testing.T) {
 	}
 }
 
+func TestRingAddRemoveNode(t *testing.T) {
+	// A mutated ring must route exactly like a ring built fresh over the
+	// same membership, and each real change must bump the epoch.
+	r := NewRing(nodes(10), 64, 2)
+	if r.Epoch() != 0 {
+		t.Fatalf("fresh ring epoch = %d", r.Epoch())
+	}
+	r.AddNode(cluster.NodeID(10))
+	if r.Epoch() != 1 {
+		t.Fatalf("epoch after AddNode = %d, want 1", r.Epoch())
+	}
+	r.AddNode(cluster.NodeID(10)) // duplicate: no-op
+	if r.Epoch() != 1 {
+		t.Fatal("duplicate AddNode bumped the epoch")
+	}
+	r.RemoveNode(cluster.NodeID(3))
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch after RemoveNode = %d, want 2", r.Epoch())
+	}
+	r.RemoveNode(cluster.NodeID(3)) // absent: no-op
+	if r.Epoch() != 2 {
+		t.Fatal("absent RemoveNode bumped the epoch")
+	}
+
+	want := []cluster.NodeID{0, 1, 2, 4, 5, 6, 7, 8, 9, 10}
+	fresh := NewRing(want, 64, 2)
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		a, b := r.Lookup(k), fresh.Lookup(k)
+		if len(a) != len(b) {
+			t.Fatalf("key %s: %v vs fresh %v", k, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("key %s: mutated ring routes %v, fresh ring %v", k, a, b)
+			}
+		}
+	}
+}
+
+func TestRingAddNodeMinimalMovement(t *testing.T) {
+	// In-place AddNode moves only ~1/n of the keys (consistent hashing).
+	r := NewRing(nodes(10), 64, 1)
+	const keys = 10000
+	before := make([]cluster.NodeID, keys)
+	for i := range before {
+		before[i] = r.Lookup(fmt.Sprintf("key-%d", i))[0]
+	}
+	r.AddNode(cluster.NodeID(10))
+	moved := 0
+	for i := range before {
+		after := r.Lookup(fmt.Sprintf("key-%d", i))[0]
+		if after != before[i] {
+			moved++
+			if after != cluster.NodeID(10) {
+				t.Fatalf("key-%d moved to %d, not the new node", i, after)
+			}
+		}
+	}
+	if moved > keys/4 {
+		t.Fatalf("%d/%d keys moved when adding 1 of 11 nodes", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("new node received no keys")
+	}
+}
+
+func TestRingRemoveNodeKeepsLast(t *testing.T) {
+	r := NewRing(nodes(1), 8, 1)
+	r.RemoveNode(cluster.NodeID(0))
+	if got := r.Lookup("k"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("lookup after removing last node = %v", got)
+	}
+	if r.Epoch() != 0 {
+		t.Fatal("refused removal bumped the epoch")
+	}
+}
+
 func newTestCluster(n, repl int) (*Cluster, *Client) {
 	env := cluster.NewLocal(n, 0)
 	c := NewCluster(nodes(n), 16, repl)

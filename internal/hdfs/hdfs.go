@@ -50,6 +50,12 @@ type Config struct {
 	// written through the local file system before the pipeline acks).
 	// Disabling it is the A4 ablation: RAM-buffered datanodes.
 	WriteThrough bool
+	// Dir, if non-empty, backs each datanode's chunk store with a
+	// write-ahead log under Dir/datanode-<id>: evicted chunks read back
+	// from the log and a reopened deployment recovers its entries —
+	// the same durability the BSFS providers get from core's
+	// ProviderConfig.Dir.
+	Dir string
 	// Seed makes replica placement deterministic.
 	Seed int64
 }
@@ -105,13 +111,29 @@ func NewDeployment(env cluster.Env, cfg Config) (*Deployment, error) {
 		DNs: make(map[cluster.NodeID]*DataNode, len(cfg.DataNodes)),
 	}
 	for _, n := range cfg.DataNodes {
-		d.DNs[n] = &DataNode{
-			env:   env,
-			node:  n,
-			store: pagestore.MustOpen(pagestore.Config{MemCapacity: cfg.MemCapacity}),
+		scfg := pagestore.Config{MemCapacity: cfg.MemCapacity}
+		if cfg.Dir != "" {
+			scfg.Dir = fmt.Sprintf("%s/datanode-%d", cfg.Dir, n)
 		}
+		store, err := pagestore.Open(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("hdfs: datanode on node %d: %w", n, err)
+		}
+		d.DNs[n] = &DataNode{env: env, node: n, store: store}
 	}
 	return d, nil
+}
+
+// Close releases the datanode stores (their write-ahead logs, when
+// Config.Dir is set). In-memory deployments need no Close.
+func (d *Deployment) Close() error {
+	var first error
+	for _, dn := range d.DNs {
+		if err := dn.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // NewFS returns a file-system client bound to a node.

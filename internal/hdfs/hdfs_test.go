@@ -286,3 +286,41 @@ func TestEmptyFile(t *testing.T) {
 		t.Fatalf("empty read: %d, %v", n, err)
 	}
 }
+
+func TestDurableDataNodes(t *testing.T) {
+	// Dir-backed datanodes log chunks to disk; a tight MemCapacity
+	// forces evictions, so reads must come back through the log.
+	d, fs := newTestFS(t, Config{
+		ChunkSize:   256,
+		MemCapacity: 512,
+		Replication: 2,
+		Dir:         t.TempDir(),
+	})
+	defer d.Close()
+	data := make([]byte, 4000)
+	rand.New(rand.NewSource(7)).Read(data)
+	w, err := fs.Create("/durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(data)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var evicted uint64
+	for _, dn := range d.DNs {
+		evicted += dn.store.Stats().Evictions
+	}
+	if evicted == 0 {
+		t.Fatal("no chunk was evicted; MemCapacity too large to exercise the log")
+	}
+	r, err := fs.Open("/durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("durable round trip: %d bytes, %v", len(got), err)
+	}
+}

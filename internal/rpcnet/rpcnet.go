@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/bsfs"
+	"repro/internal/cluster"
 	"repro/internal/fsapi"
 )
 
@@ -302,6 +303,106 @@ func (s *Service) Shards(args *ShardsArgs, reply *ShardsReply) error {
 	return nil
 }
 
+// ProvidersArgs is empty (reserved for future filters).
+type ProvidersArgs struct{}
+
+// ProviderInfo describes one member of the provider fleet.
+type ProviderInfo struct {
+	Node   uint64
+	Health string // "up", "down", or "draining"
+	// Entries and Resident describe the RAM page cache; Dirty is the
+	// bytes not yet persisted to the durable log; Stored is the
+	// cumulative bytes ever ingested.
+	Entries  int
+	Resident int64
+	Dirty    int64
+	Stored   int64
+}
+
+// ProvidersReply lists the provider fleet as of a membership epoch.
+type ProvidersReply struct {
+	Epoch     uint64
+	Providers []ProviderInfo
+}
+
+// Providers reports the provider membership with per-node health and
+// store occupancy — the operator's view of the placement subsystem.
+func (s *Service) Providers(args *ProvidersArgs, reply *ProvidersReply) error {
+	dep := s.fs.Deployment()
+	reply.Epoch = dep.Placement.Epoch()
+	for _, m := range dep.Placement.Members() {
+		info := ProviderInfo{Node: uint64(m.Node), Health: m.Health.String()}
+		if p := dep.Provider(m.Node); p != nil {
+			st := p.Store().Stats()
+			info.Entries = st.Entries
+			info.Resident = st.MemBytes
+			info.Dirty = p.Store().DirtyBytes()
+			info.Stored = p.BytesStored()
+		}
+		reply.Providers = append(reply.Providers, info)
+	}
+	return nil
+}
+
+// NodeArgs names a provider node. For Join, 0 auto-allocates the next
+// unused node id.
+type NodeArgs struct{ Node uint64 }
+
+// NodeReply reports the affected node and the membership epoch after
+// the operation.
+type NodeReply struct {
+	Node  uint64
+	Epoch uint64
+}
+
+// Join starts a new provider and adds it to the placement membership;
+// the background placement loop migrates its ring share onto it.
+func (s *Service) Join(args *NodeArgs, reply *NodeReply) error {
+	dep := s.fs.Deployment()
+	node := cluster.NodeID(args.Node)
+	if node == 0 {
+		// Auto-allocate past every node the deployment knows about.
+		for _, n := range dep.Placement.Fleet() {
+			if n >= node {
+				node = n + 1
+			}
+		}
+		for _, n := range dep.VM.Nodes() {
+			if n >= node {
+				node = n + 1
+			}
+		}
+	}
+	if _, err := dep.AddProvider(node); err != nil {
+		return err
+	}
+	reply.Node, reply.Epoch = uint64(node), dep.Placement.Epoch()
+	return nil
+}
+
+// Leave removes a provider from the membership and stops it. Replicas
+// it held are restored by the placement loop; drain first for a
+// graceful exit that never dips below the replication target.
+func (s *Service) Leave(args *NodeArgs, reply *NodeReply) error {
+	dep := s.fs.Deployment()
+	if err := dep.RemoveProvider(cluster.NodeID(args.Node)); err != nil {
+		return err
+	}
+	reply.Node, reply.Epoch = args.Node, dep.Placement.Epoch()
+	return nil
+}
+
+// Drain marks a provider draining: it keeps serving reads, receives no
+// new placements, and the placement loop migrates its pages away.
+func (s *Service) Drain(args *NodeArgs, reply *NodeReply) error {
+	dep := s.fs.Deployment()
+	if err := dep.DrainProvider(cluster.NodeID(args.Node)); err != nil {
+		return err
+	}
+	reply.Node, reply.Epoch = args.Node, dep.Placement.Epoch()
+	return nil
+}
+
 // Serve accepts connections on l until it is closed.
 func Serve(l net.Listener, svc *Service) error {
 	srv := rpc.NewServer()
@@ -447,4 +548,33 @@ func (c *Client) Shards(path string) (ShardsReply, error) {
 	var sr ShardsReply
 	err := c.rpc.Call("BSFS.Shards", &ShardsArgs{Path: path}, &sr)
 	return sr, err
+}
+
+// Providers lists the provider fleet with health and store occupancy.
+func (c *Client) Providers() (ProvidersReply, error) {
+	var pr ProvidersReply
+	err := c.rpc.Call("BSFS.Providers", &ProvidersArgs{}, &pr)
+	return pr, err
+}
+
+// Join adds a provider on node (0 auto-allocates), returning the node
+// chosen and the new membership epoch.
+func (c *Client) Join(node uint64) (NodeReply, error) {
+	var nr NodeReply
+	err := c.rpc.Call("BSFS.Join", &NodeArgs{Node: node}, &nr)
+	return nr, err
+}
+
+// Leave removes a provider from the fleet.
+func (c *Client) Leave(node uint64) (NodeReply, error) {
+	var nr NodeReply
+	err := c.rpc.Call("BSFS.Leave", &NodeArgs{Node: node}, &nr)
+	return nr, err
+}
+
+// Drain marks a provider draining so its pages migrate away.
+func (c *Client) Drain(node uint64) (NodeReply, error) {
+	var nr NodeReply
+	err := c.rpc.Call("BSFS.Drain", &NodeArgs{Node: node}, &nr)
+	return nr, err
 }

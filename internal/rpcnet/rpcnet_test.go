@@ -208,6 +208,79 @@ func TestShardsOverWire(t *testing.T) {
 	}
 }
 
+// TestMembershipOverWire drives the fleet-management surface: the
+// providers listing reflects health and epoch, join auto-allocates a
+// node, drain and leave walk a provider out of the fleet, and data
+// written before the churn stays readable after it.
+func TestMembershipOverWire(t *testing.T) {
+	c := startServer(t)
+	data := bytes.Repeat([]byte("churn-"), 2000)
+	if err := c.Put("/m/f", data); err != nil {
+		t.Fatal(err)
+	}
+
+	pr, err := c.Providers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Providers) != 3 {
+		t.Fatalf("fleet = %d providers, want 3", len(pr.Providers))
+	}
+	var stored int64
+	for _, p := range pr.Providers {
+		if p.Health != "up" {
+			t.Fatalf("node %d health %q, want up", p.Node, p.Health)
+		}
+		stored += p.Stored
+	}
+	if stored < int64(len(data)) {
+		t.Fatalf("fleet stored %d bytes, want >= %d", stored, len(data))
+	}
+
+	// Join with auto-allocation: the new node lands past the fleet.
+	nr, err := c.Join(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Node != 4 || nr.Epoch != pr.Epoch+1 {
+		t.Fatalf("join = %+v, want node 4 at epoch %d", nr, pr.Epoch+1)
+	}
+	if _, err := c.Join(nr.Node); err == nil {
+		t.Fatal("duplicate join succeeded")
+	}
+
+	// Drain, then leave: the listing tracks each transition.
+	if _, err := c.Drain(nr.Node); err != nil {
+		t.Fatal(err)
+	}
+	pr, err = c.Providers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := map[uint64]string{}
+	for _, p := range pr.Providers {
+		health[p.Node] = p.Health
+	}
+	if health[nr.Node] != "draining" {
+		t.Fatalf("drained node health = %q", health[nr.Node])
+	}
+	if _, err := c.Leave(nr.Node); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Leave(99); err == nil {
+		t.Fatal("leave of a non-member succeeded")
+	}
+	pr, _ = c.Providers()
+	if len(pr.Providers) != 3 {
+		t.Fatalf("fleet = %d providers after leave, want 3", len(pr.Providers))
+	}
+
+	got, err := c.Get("/m/f", 0)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after churn: %d bytes, %v", len(got), err)
+	}
+}
+
 // TestWriteVecBatchedChunks drives the vectored write RPC directly:
 // many chunks land through one round trip and read back in order.
 func TestWriteVecBatchedChunks(t *testing.T) {
