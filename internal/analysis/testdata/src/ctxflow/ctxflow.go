@@ -1,0 +1,77 @@
+// Package ctxflow is the golden corpus for the ctxflow rule: every
+// `// want` comment marks a line the analyzer must flag, and every
+// unannotated line must stay silent.
+package ctxflow
+
+import "repro/internal/cluster"
+
+// store exposes an option-style API with a WithCtx option, the shape
+// the forwarding check keys on.
+type store struct{}
+
+type opSettings struct {
+	ctx *cluster.Ctx
+	n   int
+}
+
+// OpOption configures one store operation.
+type OpOption func(*opSettings)
+
+// WithCtx scopes the operation to ctx.
+func WithCtx(ctx *cluster.Ctx) OpOption {
+	return func(s *opSettings) { s.ctx = ctx }
+}
+
+// WithN sets an unrelated knob.
+func WithN(n int) OpOption {
+	return func(s *opSettings) { s.n = n }
+}
+
+func (s *store) Read(path string, opts ...OpOption) error {
+	var set opSettings
+	for _, o := range opts {
+		o(&set)
+	}
+	return nil
+}
+
+var root = cluster.Background() // want `cluster\.Background\(\) in library code`
+
+func orphan() *cluster.Ctx {
+	return cluster.Background() // want `cluster\.Background\(\) in library code`
+}
+
+func mints(ctx *cluster.Ctx, s *store) error {
+	other := cluster.Background() // want `receives a \*cluster\.Ctx but mints cluster\.Background`
+	_ = other
+	return s.Read("/x", WithCtx(ctx))
+}
+
+func drops(ctx *cluster.Ctx, s *store) error {
+	return s.Read("/x", WithN(3)) // want `calls ctxflow\.Read without ctxflow\.WithCtx\(ctx\)`
+}
+
+// forwards is a non-finding: the received ctx reaches the callee.
+func forwards(ctx *cluster.Ctx, s *store) error {
+	return s.Read("/x", WithN(1), WithCtx(ctx))
+}
+
+// opaque is a non-finding: a spread option slice may already carry a
+// WithCtx, so the check assumes it does.
+func opaque(ctx *cluster.Ctx, s *store, opts []OpOption) error {
+	return s.Read("/x", opts...)
+}
+
+// closureForwards is a non-finding: the literal captures the enclosing
+// function's ctx lexically.
+func closureForwards(ctx *cluster.Ctx, s *store) func() error {
+	return func() error { return s.Read("/x", WithCtx(ctx)) }
+}
+
+// suppressed is a non-finding: the inline allowance silences the rule
+// on the next line.
+func suppressed(s *store) error {
+	//bsfs-vet:allow ctxflow -- corpus demo: a deliberate operation root
+	ctx := cluster.Background()
+	return s.Read("/x", WithCtx(ctx))
+}

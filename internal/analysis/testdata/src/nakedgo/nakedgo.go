@@ -1,0 +1,28 @@
+// Package nakedgo is the golden corpus for the nakedgo rule: every
+// `// want` comment marks a line the analyzer must flag, and every
+// unannotated line must stay silent.
+package nakedgo
+
+import "repro/internal/cluster"
+
+func bad(done chan struct{}) {
+	go close(done) // want `naked go statement`
+}
+
+// tracked is a non-finding: all three engine-visible spawn paths.
+func tracked(env cluster.Env, n int) {
+	wg := env.NewWaitGroup()
+	for i := 0; i < n; i++ {
+		wg.Go(func() {})
+	}
+	wg.Wait()
+	env.Go(func() {})
+	env.Daemon(func() {})
+}
+
+// suppressed is a non-finding: the inline allowance silences the rule
+// on the next line.
+func suppressed(ch chan int) {
+	//bsfs-vet:allow nakedgo -- corpus demo: a bridge to a real goroutine
+	go func() { ch <- 1 }()
+}

@@ -1,0 +1,49 @@
+// Package sentinelcmp is the golden corpus for the sentinelcmp rule:
+// every `// want` comment marks a line the analyzer must flag, and
+// every unannotated line must stay silent.
+package sentinelcmp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrStale is this package's own sentinel.
+var ErrStale = errors.New("corpus: stale")
+
+func bad(err error) bool {
+	if err == io.EOF { // want `== comparison against sentinel error io\.EOF`
+		return true
+	}
+	return err != ErrStale // want `!= comparison against sentinel error sentinelcmp\.ErrStale`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrStale: // want `switch case compares against sentinel error sentinelcmp\.ErrStale`
+		return "stale"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+// good is a non-finding: nil identity checks are legal, and sentinel
+// matching goes through errors.Is.
+func good(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, ErrStale)
+}
+
+// wrap is why identity comparison breaks: callers up-stack see this,
+// not the bare sentinel.
+func wrap(err error) error { return fmt.Errorf("corpus op: %w", err) }
+
+// suppressed is a non-finding: the inline allowance silences the rule
+// on its own line.
+func suppressed(err error) bool {
+	return err == ErrStale //bsfs-vet:allow sentinelcmp -- corpus demo: comparing an unwrapped return verbatim
+}

@@ -1,0 +1,35 @@
+// Package walltime is the golden corpus for the walltime rule: every
+// `// want` comment marks a line the analyzer must flag with a message
+// matching the quoted regexp, and every unannotated line must stay
+// silent.
+package walltime
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep`
+	return time.Now()            // want `wall-clock time\.Now`
+}
+
+func badTimer(fn func()) *time.Timer {
+	return time.AfterFunc(time.Second, fn) // want `wall-clock time\.AfterFunc`
+}
+
+// durations is a non-finding: duration arithmetic, parsing, and the
+// Env's own clock do not observe the host's wall clock.
+func durations(env cluster.Env) time.Duration {
+	d, _ := time.ParseDuration("3ms")
+	env.Sleep(2 * d)
+	return d + env.Now()
+}
+
+// suppressed is a non-finding: the inline allowance silences the rule
+// on the next line.
+func suppressed() time.Time {
+	//bsfs-vet:allow walltime -- corpus demo: a deliberate wall-clock read
+	return time.Now()
+}

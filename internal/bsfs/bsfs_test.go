@@ -195,7 +195,7 @@ func TestSequentialReadToEOF(t *testing.T) {
 	for {
 		n, err := r.Read(buf)
 		got = append(got, buf[:n]...)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

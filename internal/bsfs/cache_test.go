@@ -2,6 +2,7 @@ package bsfs
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"time"
@@ -127,7 +128,7 @@ func TestSequentialReaderReusesPosition(t *testing.T) {
 	if n != 6 || string(c[:n]) != "uvwxyz" {
 		t.Fatalf("tail read: %d %q (%v)", n, c[:n], err)
 	}
-	if _, err := r.Read(c); err != io.EOF {
+	if _, err := r.Read(c); !errors.Is(err, io.EOF) {
 		t.Fatalf("EOF expected, got %v", err)
 	}
 }

@@ -288,7 +288,7 @@ func TestSyntheticReadaheadDoesNotPoisonRealReads(t *testing.T) {
 	// A real read across blocks 1 and 2 must return the actual bytes.
 	buf := make([]byte, 2*128)
 	n, err := r.ReadAt(buf, 128)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if n != len(buf) || !bytes.Equal(buf, data[128:]) {

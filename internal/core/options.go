@@ -19,6 +19,7 @@ type opSettings struct {
 }
 
 func defaultSettings() opSettings {
+	//bsfs-vet:allow ctxflow -- the options default: an op with no WithCtx is deliberately uncancellable
 	return opSettings{ctx: cluster.Background(), version: LatestVersion, await: true}
 }
 
@@ -73,6 +74,7 @@ func WithCtx(ctx *cluster.Ctx) interface {
 } {
 	return bothOption(func(s *opSettings) {
 		if ctx == nil {
+			//bsfs-vet:allow ctxflow -- WithCtx(nil) documents "explicitly uncancellable"
 			ctx = cluster.Background()
 		}
 		s.ctx = ctx

@@ -65,15 +65,58 @@ type Rebalancer struct {
 	d  *Deployment
 	cl *Client
 
-	// runMu serializes passes (the background sweep and on-demand
+	mu sync.Mutex
+	// passBusy serializes passes (the background sweep and on-demand
 	// RepairBlob calls share one client and would otherwise race to
-	// copy the same pages).
-	runMu sync.Mutex
-
-	mu        sync.Mutex
+	// copy the same pages). It is an engine-visible latch, not a
+	// mutex held across the pass: a pass blocks in virtual time
+	// (Env.RTT/Scatter inside copyTo), and a goroutine parked on a
+	// real sync.Mutex still counts as runnable to the sim engine, so
+	// a second RepairBlob waiting on a mutex while the holder sleeps
+	// in virtual time would wedge Engine.Run forever. Contenders
+	// instead park on a Signal (passWait) and are woken by
+	// releasePass — blocking the engine can see and schedule around.
+	passBusy  bool
+	passWait  []cluster.Signal
 	stopped   bool
 	lastSweep RepairStats
 	lastErr   error
+}
+
+// acquirePass claims the single placement-pass slot, parking in
+// virtual time (never on a real mutex) while another pass runs. It
+// fails once the rebalancer is stopped.
+func (r *Rebalancer) acquirePass() error {
+	r.mu.Lock()
+	for {
+		if r.stopped {
+			r.mu.Unlock()
+			return fmt.Errorf("core: rebalancer stopped")
+		}
+		if !r.passBusy {
+			r.passBusy = true
+			r.mu.Unlock()
+			return nil
+		}
+		sig := r.d.Env.NewSignal()
+		r.passWait = append(r.passWait, sig)
+		r.mu.Unlock()
+		sig.Wait()
+		r.mu.Lock()
+	}
+}
+
+// releasePass frees the pass slot and wakes every parked contender;
+// they re-race for the slot under r.mu.
+func (r *Rebalancer) releasePass() {
+	r.mu.Lock()
+	r.passBusy = false
+	waiters := r.passWait
+	r.passWait = nil
+	r.mu.Unlock()
+	for _, w := range waiters {
+		w.Fire()
+	}
 }
 
 // newRebalancer creates the deployment's rebalancer, hosted on node
@@ -92,15 +135,11 @@ func newRebalancer(d *Deployment, node cluster.NodeID) *Rebalancer {
 // one dead page does not stop the rest of the blob from being
 // processed.
 func (r *Rebalancer) RepairBlob(blob BlobID, v Version) (RepairStats, error) {
-	r.runMu.Lock()
-	defer r.runMu.Unlock()
 	var st RepairStats
-	r.mu.Lock()
-	stopped := r.stopped
-	r.mu.Unlock()
-	if stopped {
-		return st, fmt.Errorf("core: rebalancer stopped")
+	if err := r.acquirePass(); err != nil {
+		return st, err
 	}
+	defer r.releasePass()
 	// Evaluate against fresh health: a provider that died since the
 	// last heartbeat must not be chosen as a copy source or target.
 	r.d.Placement.CheckNow()
@@ -339,15 +378,20 @@ func (r *Rebalancer) SweepOnce() (RepairStats, error) {
 }
 
 // stop terminates the background sweep: no new pass starts once the
-// flag is set (RepairBlob checks it under runMu), and the daemon
-// exits at its next tick. stop deliberately does NOT join an
-// in-flight pass: on a simulated Env the closer would block a real
-// mutex on a daemon parked on virtual time — a deadlock the engine
-// cannot break — while letting the pass race teardown is benign
-// (operations against stopping providers return errors, which the
-// sweep records in lastErr, and page puts land harmlessly in RAM).
+// flag is set (acquirePass checks it), parked contenders are woken to
+// observe it, and the daemon exits at its next tick. stop deliberately
+// does NOT join an in-flight pass: on a simulated Env the closer would
+// block a real mutex on a daemon parked on virtual time — a deadlock
+// the engine cannot break — while letting the pass race teardown is
+// benign (operations against stopping providers return errors, which
+// the sweep records in lastErr, and page puts land harmlessly in RAM).
 func (r *Rebalancer) stop() {
 	r.mu.Lock()
 	r.stopped = true
+	waiters := r.passWait
+	r.passWait = nil
 	r.mu.Unlock()
+	for _, w := range waiters {
+		w.Fire()
+	}
 }

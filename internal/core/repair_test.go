@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 // liveReplicas counts how many of a page's recorded providers are
@@ -198,6 +200,75 @@ func TestRepairSweepBackground(t *testing.T) {
 			t.Fatal("background sweep did not restore replication within 2s")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestConcurrentRepairPassesSim: two RepairBlob calls racing in the
+// simulator must serialize without wedging the engine. A pass blocks
+// in virtual time (page copies charge RTT/Scatter), and a goroutine
+// parked on a real sync.Mutex still counts as runnable to the engine;
+// when passes were serialized by a plain mutex, the second caller
+// parked on it while the holder slept in virtual time, so Engine.Run
+// waited for quiescence that never came and the simulation hung. The
+// Signal-based pass latch (acquirePass/releasePass) parks contenders
+// in virtual time instead; the real-time watchdog here catches any
+// regression to the mutex shape.
+func TestConcurrentRepairPassesSim(t *testing.T) {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.Grid5000(12))
+	env := cluster.NewSim(net)
+	provs := make([]cluster.NodeID, 11)
+	for i := range provs {
+		provs[i] = cluster.NodeID(i + 1)
+	}
+	d, err := NewDeployment(env, Options{
+		PageSize:      64 << 10,
+		Replication:   2,
+		ProviderNodes: provs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats [2]RepairStats
+	eng.Go(func() {
+		blob, err := d.NewClient(0).CreateBlob(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := blob.WriteAt(nil, 0, Synthetic(4<<20)); err != nil {
+			t.Error(err)
+			return
+		}
+		d.Provider(3).SetDown(true)
+		wg := env.NewWaitGroup()
+		for i := range stats {
+			wg.Go(func() {
+				st, err := d.RepairBlob(blob.ID(), LatestVersion)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				stats[i] = st
+			})
+		}
+		wg.Wait()
+	})
+	done := make(chan error, 1)
+	go func() { done <- eng.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine wedged: concurrent repair passes deadlocked the simulation")
+	}
+	if stats[0].PagesScanned == 0 && stats[1].PagesScanned == 0 {
+		t.Fatal("neither pass scanned any pages")
+	}
+	if stats[0].ReplicasAdded+stats[1].ReplicasAdded == 0 {
+		t.Fatal("no replicas restored after the provider failure")
 	}
 }
 

@@ -60,6 +60,7 @@ type OpenSettings struct {
 // ApplyOpenOptions resolves opts over the defaults; implementations
 // call it at the top of Create/OpenAt/Append.
 func ApplyOpenOptions(opts []OpenOption) OpenSettings {
+	//bsfs-vet:allow ctxflow -- the options default: an open with no WithCtx is deliberately uncancellable
 	s := OpenSettings{Ctx: cluster.Background()}
 	for _, o := range opts {
 		o(&s)
@@ -79,6 +80,7 @@ func AtVersion(v uint64) OpenOption {
 func WithCtx(ctx *cluster.Ctx) OpenOption {
 	return func(s *OpenSettings) {
 		if ctx == nil {
+			//bsfs-vet:allow ctxflow -- WithCtx(nil) documents "explicitly uncancellable"
 			ctx = cluster.Background()
 		}
 		s.Ctx = ctx

@@ -282,7 +282,7 @@ func TestEmptyFile(t *testing.T) {
 	}
 	defer r.Close()
 	n, err := r.Read(make([]byte, 8))
-	if n != 0 || err != io.EOF {
+	if n != 0 || !errors.Is(err, io.EOF) {
 		t.Fatalf("empty read: %d, %v", n, err)
 	}
 }

@@ -4,6 +4,7 @@ package mapreduce
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -460,7 +461,7 @@ func forEachRecord(r fsapi.Reader, offset, length int64, fn func(off int64, rec 
 	for pos < size {
 		n, readErr := r.ReadAt(buf, pos)
 		if n == 0 {
-			if readErr != nil && readErr != io.EOF {
+			if readErr != nil && !errors.Is(readErr, io.EOF) {
 				return readErr
 			}
 			break

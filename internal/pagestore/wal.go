@@ -112,7 +112,7 @@ func (w *wal) replay(id int) error {
 	var off int64
 	for {
 		rec, key, next, err := readRecord(f, off)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if errors.Is(err, errCorrupt) || errors.Is(err, io.ErrUnexpectedEOF) {

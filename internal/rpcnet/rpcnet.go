@@ -193,7 +193,7 @@ func (s *Service) Read(args *ReadArgs, reply *ReadReply) error {
 	defer r.Close()
 	buf := make([]byte, args.Len)
 	n, err := r.ReadAt(buf, args.Off)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		return err
 	}
 	reply.Data = buf[:n]
@@ -409,12 +409,17 @@ func Serve(l net.Listener, svc *Service) error {
 	if err := srv.RegisterName("BSFS", svc); err != nil {
 		return err
 	}
+	// Connection handlers spawn through the service's Env so the sim
+	// scheduler (and leak hygiene under Local) can see them; they are
+	// daemons because an open client connection must not keep a
+	// simulation alive.
+	env := svc.fs.Deployment().Env
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		go srv.ServeConn(conn)
+		env.Daemon(func() { srv.ServeConn(conn) })
 	}
 }
 
