@@ -39,7 +39,7 @@ commands:
   stat <path>           show file metadata
   versions <path>       list a file's snapshots
   shards [<path>]       show the version-manager tier (and a file's owning shard)
-  providers             show the provider fleet: health, occupancy, epoch
+  providers             show the provider fleet: health, occupancy, backend, epoch
   join [<node>]         add a provider (no node = auto-allocate)
   drain <node>          migrate a provider's pages away (keeps serving reads)
   leave <node>          remove a provider from the fleet
@@ -154,9 +154,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("epoch: %d\n", pr.Epoch)
-		fmt.Printf("%-6s %-9s %8s %14s %14s %14s\n", "node", "health", "pages", "resident", "dirty", "stored")
+		fmt.Printf("%-6s %-9s %8s %14s %14s %14s %10s %s\n", "node", "health", "pages", "resident", "dirty", "stored", "recovered", "backend")
 		for _, p := range pr.Providers {
-			fmt.Printf("%-6d %-9s %8d %14d %14d %14d\n", p.Node, p.Health, p.Entries, p.Resident, p.Dirty, p.Stored)
+			backend := p.Backend
+			if backend == "" {
+				backend = "(ram)"
+			}
+			fmt.Printf("%-6d %-9s %8d %14d %14d %14d %10d %s\n", p.Node, p.Health, p.Entries, p.Resident, p.Dirty, p.Stored, p.Recovered, backend)
 		}
 	case "join", "drain", "leave":
 		var node uint64

@@ -3,18 +3,22 @@
 // namespace manager) and serves the file system to remote clients over
 // TCP. Pair it with cmd/blobctl.
 //
-// With -data, provider pages are persisted to write-ahead logs under
-// the given directory and survive restarts. With -vm-shards N, version
-// management is partitioned per blob across N independent shards
-// (blobctl's `shards` command shows the tier and any file's owner).
-// The provider fleet is dynamic: blobctl's `join`, `drain` and `leave`
-// commands grow and shrink it at runtime (-spares reserves node
-// headroom for joins), and `providers` shows each member's health and
-// store occupancy.
+// With -store, each provider's RAM page cache sits over a persistent
+// backend selected by spec — "disk:/var/lib/bsfsd" persists pages to
+// per-provider write-ahead logs that survive restarts (a restarted
+// bsfsd recovers the full page index from the logs and reports how many
+// pages came back); "mem:" and "null:" are testing backends. -data DIR
+// is the historical alias for -store disk:DIR. With -vm-shards N,
+// version management is partitioned per blob across N independent
+// shards (blobctl's `shards` command shows the tier and any file's
+// owner). The provider fleet is dynamic: blobctl's `join`, `drain` and
+// `leave` commands grow and shrink it at runtime (-spares reserves node
+// headroom for joins), and `providers` shows each member's health,
+// backend and store occupancy.
 //
 // Usage:
 //
-//	bsfsd -listen :7700 -providers 4 -page 262144 -data /var/lib/bsfsd
+//	bsfsd -listen :7700 -providers 4 -page 262144 -store disk:/var/lib/bsfsd
 //	bsfsd -listen :7700 -providers 8 -vm-shards 4
 package main
 
@@ -29,6 +33,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/rpcnet"
+	"repro/internal/store"
 )
 
 func main() {
@@ -38,7 +43,8 @@ func main() {
 		pageSize  = flag.Int64("page", 256<<10, "blob page size in bytes")
 		blockSize = flag.Int64("block", 64<<20, "BSFS block size in bytes")
 		replicas  = flag.Int("replicas", 1, "page replication factor")
-		dataDir   = flag.String("data", "", "directory for durable page logs (empty = in-memory)")
+		storeSpec = flag.String("store", "", "provider backend spec: disk:PATH, mem:, null: (empty = in-memory)")
+		dataDir   = flag.String("data", "", "alias for -store disk:DIR (historical)")
 		inflight  = flag.Int("inflight", 0, "writer commit-pipeline depth in blocks (0 = default, negative = synchronous)")
 		serialPub = flag.Bool("serial-publish", false, "disable version-manager group commit and batched publishes (debug baseline)")
 		vmShards  = flag.Int("vm-shards", 1, "version-manager shard count (blobs partition across shards by id)")
@@ -52,6 +58,9 @@ func main() {
 	}
 	if *spares < 0 {
 		*spares = 0
+	}
+	if err := store.Valid(*storeSpec); err != nil {
+		log.Fatalf("bsfsd: -store: %v", err)
 	}
 
 	// Node 0 hosts the masters (shard 0, placement manager, namespace),
@@ -72,7 +81,7 @@ func main() {
 		Replication:       *replicas,
 		VMNodes:           vmNodes,
 		ProviderNodes:     nodes,
-		Provider:          core.ProviderConfig{Dir: *dataDir},
+		Provider:          core.ProviderConfig{Store: *storeSpec, Dir: *dataDir},
 		SerialPublish:     *serialPub,
 		PlacementInterval: *sweep,
 		HeartbeatInterval: *heartbeat,
@@ -89,6 +98,15 @@ func main() {
 	}
 	fmt.Printf("bsfsd: serving BSFS on %s (%d providers, page %d, block %d, replicas %d, vm shards %d)\n",
 		l.Addr(), *providers, *pageSize, *blockSize, *replicas, *vmShards)
+	// Restart recovery report: with a durable backend, a reopened
+	// deployment replays each provider's page log at startup.
+	var recovered int
+	for _, p := range dep.ProviderList() {
+		recovered += p.Store().Recovered()
+	}
+	if spec := dep.ProviderList()[0].Store().BackendSpec(); spec != "" {
+		fmt.Printf("bsfsd: provider backends %s: %d pages recovered from previous runs\n", spec, recovered)
+	}
 	if err := rpcnet.Serve(l, rpcnet.NewService(svc.NewFS(0))); err != nil {
 		log.Fatalf("bsfsd: %v", err)
 	}

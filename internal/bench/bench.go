@@ -66,6 +66,12 @@ type StorageOpts struct {
 	// 512 MiB — the knob that decides how much of a re-read comes off
 	// disk).
 	MemCapacity int64
+	// Store selects the persistent backend tier beneath each storage
+	// node's RAM cache ("disk:<path>", "mem:", "null:" — see
+	// internal/store), scoped per member. Empty means RAM-only storage
+	// nodes (the default for throughput experiments; the X7 tiered-
+	// recovery experiment sets a disk spec).
+	Store string
 	// LocalFirstPlacement grafts HDFS's placement policy onto BlobSeer
 	// (ablation A1).
 	LocalFirstPlacement bool
@@ -182,7 +188,7 @@ func NewTestbed(spec ClusterSpec, opts StorageOpts) (*Testbed, error) {
 			ProviderNodes: nodes,
 			MetaNodes:     meta,
 			Strategy:      strategy,
-			Provider:      core.ProviderConfig{MemCapacity: opts.MemCapacity},
+			Provider:      core.ProviderConfig{MemCapacity: opts.MemCapacity, Store: opts.Store},
 			SerialIO:      opts.SerialDataPath,
 			SerialPublish: opts.SerialPublish,
 		})
@@ -208,6 +214,7 @@ func NewTestbed(spec ClusterSpec, opts StorageOpts) (*Testbed, error) {
 			ChunkSize:    opts.BlockSize,
 			Replication:  opts.Replication,
 			MemCapacity:  opts.MemCapacity,
+			Store:        opts.Store,
 			WriteThrough: !opts.RAMDatanodes,
 		})
 		if err != nil {
@@ -219,6 +226,37 @@ func NewTestbed(spec ClusterSpec, opts StorageOpts) (*Testbed, error) {
 		return nil, fmt.Errorf("bench: unknown storage kind %q", opts.Kind)
 	}
 	return tb, nil
+}
+
+// Deployment returns the BSFS core deployment (nil for hdfs testbeds):
+// experiments that restart providers or inspect stores reach it here.
+func (tb *Testbed) Deployment() *core.Deployment {
+	if tb.bsfsSvc == nil {
+		return nil
+	}
+	return tb.bsfsSvc.Deployment()
+}
+
+// Close releases the storage-node stores (their backends, when
+// StorageOpts.Store is set). It only touches files — no simulated-time
+// operations — so it is safe to call after the engine has drained.
+// RAM-only testbeds need no Close.
+func (tb *Testbed) Close() error {
+	var first error
+	if tb.bsfsSvc != nil {
+		for _, p := range tb.bsfsSvc.Deployment().ProviderList() {
+			p.Stop()
+			if err := p.Store().Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if tb.hdfsDep != nil {
+		if err := tb.hdfsDep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // clientNodes spreads n clients over the storage nodes (clients are

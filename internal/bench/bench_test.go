@@ -371,3 +371,29 @@ func TestA5ParallelDataPathNotSlower(t *testing.T) {
 		}
 	}
 }
+
+func TestX7TieredRecovery(t *testing.T) {
+	res, err := RunTieredRecovery(TieredOpts{
+		Clients:        2,
+		BytesPerClient: 16 * MB,
+		Dir:            t.TempDir(),
+		Storage:        StorageOpts{Replication: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StoredPages == 0 || res.RecoveredPages != res.StoredPages {
+		t.Fatalf("recovered %d of %d pages", res.RecoveredPages, res.StoredPages)
+	}
+	if res.LogBytes == 0 {
+		t.Fatal("no log bytes on disk")
+	}
+	if res.Warm.AggregateMBps < res.Cold.AggregateMBps {
+		t.Fatalf("warm %.1f MB/s < cold %.1f MB/s", res.Warm.AggregateMBps, res.Cold.AggregateMBps)
+	}
+	// Cold reads must actually touch disks: the restarted stores serve
+	// nothing from RAM.
+	if res.Cold.DiskBytes == 0 {
+		t.Fatal("cold pass charged no disk reads")
+	}
+}

@@ -240,6 +240,41 @@ var Experiments = []Experiment{
 		},
 	},
 	{
+		ID:    "x7",
+		Title: "X7: tiered storage recovery (cold vs warm reads, restart recovery time vs store size)",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			// The sweep axis is the store size: the dataset the provider
+			// fleet must recover after a restart.
+			var all []Point
+			for _, mb := range []int64{64, 256, 1024} {
+				res, err := RunTieredRecovery(TieredOpts{
+					BytesPerClient: mb * MB,
+					Storage:        StorageOpts{MemCapacity: opts.MemCapacity, Replication: opts.Replication},
+				})
+				if err != nil {
+					return fmt.Errorf("bench: x7 size=%dMB: %w", mb, err)
+				}
+				fmt.Fprintf(w, "x7 size=%dMB: %d pages recovered in %s wall / %s sim (%s of logs); cold %.1f MB/s, warm %.1f MB/s (%.1fx)\n",
+					mb, res.RecoveredPages,
+					res.RecoveryWall.Round(timeUnit(res.RecoveryWall)),
+					res.RecoverySim.Round(timeUnit(res.RecoverySim)),
+					size(res.LogBytes),
+					res.Cold.AggregateMBps, res.Warm.AggregateMBps,
+					res.Warm.AggregateMBps/res.Cold.AggregateMBps)
+				recordMetric(w, fmt.Sprintf("recovered_pages_%dmb", mb), "pages", float64(res.RecoveredPages))
+				recordMetric(w, fmt.Sprintf("recovery_wall_%dmb", mb), "ms", float64(res.RecoveryWall.Milliseconds()))
+				recordMetric(w, fmt.Sprintf("recovery_sim_%dmb", mb), "s", res.RecoverySim.Seconds())
+				recordMetric(w, fmt.Sprintf("cold_read_%dmb", mb), "MB/s", res.Cold.AggregateMBps)
+				recordMetric(w, fmt.Sprintf("warm_read_%dmb", mb), "MB/s", res.Warm.AggregateMBps)
+				res.Cold.Experiment = fmt.Sprintf("X7-cold-%dMB", mb)
+				res.Warm.Experiment = fmt.Sprintf("X7-warm-%dMB", mb)
+				all = append(all, res.Cold, res.Warm)
+			}
+			WritePointsTable(w, "X7: tiered recovery (cold vs warm reads by store size)", all)
+			return nil
+		},
+	},
+	{
 		ID:    "a1",
 		Title: "A1 ablation: BlobSeer striping vs HDFS-style local-first placement (read side)",
 		Run: func(opts SweepOpts, w io.Writer) error {

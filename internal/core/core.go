@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dht"
 	"repro/internal/placement"
+	"repro/internal/store"
 )
 
 // Options configures a BlobSeer deployment.
@@ -163,6 +164,10 @@ func NewDeployment(env cluster.Env, opts Options) (*Deployment, error) {
 
 func (d *Deployment) startProvider(n cluster.NodeID) (*Provider, error) {
 	cfg := d.Opts.Provider
+	// Scope the fleet-wide backend spec to this member: each provider
+	// owns its own directory under a disk spec, so a restarted provider
+	// reopens exactly the pages it persisted.
+	cfg.Store = store.SubSpec(cfg.Store, fmt.Sprintf("provider-%d", n))
 	if cfg.Dir != "" {
 		cfg.Dir = fmt.Sprintf("%s/provider-%d", d.Opts.Provider.Dir, n)
 	}
@@ -171,6 +176,38 @@ func (d *Deployment) startProvider(n cluster.NodeID) (*Provider, error) {
 		return nil, fmt.Errorf("core: provider on node %d: %w", n, err)
 	}
 	return p, nil
+}
+
+// RestartProvider stops the provider on node — a clean shutdown: the
+// store flushes and closes — and starts a fresh one over the same
+// backend spec, recovering the page index from the persisted log. It
+// returns the number of recovered pages. With no durable backend the
+// restarted provider comes back empty (and recovered is 0); reads then
+// fail over to replicas until the placement loop re-replicates.
+func (d *Deployment) RestartProvider(node cluster.NodeID) (recovered int, err error) {
+	d.provMu.Lock()
+	old := d.provs[node]
+	if old == nil {
+		d.provMu.Unlock()
+		return 0, fmt.Errorf("core: node %d hosts no provider", node)
+	}
+	old.Stop()
+	if cerr := old.Store().Close(); cerr != nil {
+		d.provMu.Unlock()
+		return 0, fmt.Errorf("core: closing provider on node %d: %w", node, cerr)
+	}
+	p, err := d.startProvider(node)
+	if err != nil {
+		delete(d.provs, node)
+		d.provMu.Unlock()
+		return 0, err
+	}
+	d.provs[node] = p
+	d.provMu.Unlock()
+	// Clients cache the provider table per placement epoch; bump it so
+	// they re-resolve to the new instance instead of the dead handle.
+	d.Placement.BumpEpoch()
+	return p.Store().Recovered(), nil
 }
 
 // probeProvider is the placement manager's health probe: a provider is

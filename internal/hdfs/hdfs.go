@@ -25,6 +25,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fsapi"
 	"repro/internal/pagestore"
+	"repro/internal/store"
 )
 
 // ErrSingleWriter is returned on attempts to reopen a file for writing.
@@ -50,11 +51,15 @@ type Config struct {
 	// written through the local file system before the pipeline acks).
 	// Disabling it is the A4 ablation: RAM-buffered datanodes.
 	WriteThrough bool
-	// Dir, if non-empty, backs each datanode's chunk store with a
-	// write-ahead log under Dir/datanode-<id>: evicted chunks read back
-	// from the log and a reopened deployment recovers its entries —
+	// Store selects the persistent backend tier beneath each datanode's
+	// chunk cache ("disk:<path>", "mem:", "null:" — see internal/store),
+	// scoped per datanode with store.SubSpec: evicted chunks read back
+	// from the backend and a reopened deployment recovers its entries —
 	// the same durability the BSFS providers get from core's
-	// ProviderConfig.Dir.
+	// ProviderConfig.Store. Empty (and no Dir) means RAM-only datanodes.
+	Store string
+	// Dir is the historical alias for Store = "disk:"+Dir. Ignored when
+	// Store is set.
 	Dir string
 	// Seed makes replica placement deterministic.
 	Seed int64
@@ -111,15 +116,18 @@ func NewDeployment(env cluster.Env, cfg Config) (*Deployment, error) {
 		DNs: make(map[cluster.NodeID]*DataNode, len(cfg.DataNodes)),
 	}
 	for _, n := range cfg.DataNodes {
-		scfg := pagestore.Config{MemCapacity: cfg.MemCapacity}
+		scfg := pagestore.Config{
+			MemCapacity: cfg.MemCapacity,
+			Spec:        store.SubSpec(cfg.Store, fmt.Sprintf("datanode-%d", n)),
+		}
 		if cfg.Dir != "" {
 			scfg.Dir = fmt.Sprintf("%s/datanode-%d", cfg.Dir, n)
 		}
-		store, err := pagestore.Open(scfg)
+		st, err := pagestore.Open(scfg)
 		if err != nil {
 			return nil, fmt.Errorf("hdfs: datanode on node %d: %w", n, err)
 		}
-		d.DNs[n] = &DataNode{env: env, node: n, store: store}
+		d.DNs[n] = &DataNode{env: env, node: n, store: st}
 	}
 	return d, nil
 }

@@ -324,3 +324,48 @@ func TestDurableDataNodes(t *testing.T) {
 		t.Fatalf("durable round trip: %d bytes, %v", len(got), err)
 	}
 }
+
+func TestDataNodeStoreSpecRecovery(t *testing.T) {
+	// The backend-spec form of durable datanodes: chunks written under a
+	// disk: spec survive a deployment restart — each datanode recovers
+	// its chunk index from its scoped backend directory.
+	cfg := Config{
+		ChunkSize:   256,
+		Replication: 2,
+		Store:       "disk:" + t.TempDir(),
+	}
+	d, fs := newTestFS(t, cfg)
+	data := make([]byte, 2000)
+	rand.New(rand.NewSource(11)).Read(data)
+	w, err := fs.Create("/persistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(data)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var chunks int
+	for _, dn := range d.DNs {
+		chunks += dn.store.Len()
+	}
+	if chunks == 0 {
+		t.Fatal("no chunks stored")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := NewDeployment(d.Env, d.Cfg) // d.Cfg: with defaults filled
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	var recovered int
+	for _, dn := range d2.DNs {
+		recovered += dn.store.Recovered()
+	}
+	if recovered != chunks {
+		t.Fatalf("recovered %d chunks, stored %d", recovered, chunks)
+	}
+}

@@ -1,19 +1,6 @@
-// Package pagestore implements the storage engine used by BlobSeer
-// providers and HDFS datanodes: a RAM-resident page cache with LRU
-// eviction, dirty-page tracking for asynchronous flushing, and an
-// optional write-ahead log for durability.
-//
-// It stands in for the BerkeleyDB persistence layer of the original
-// BlobSeer implementation (stdlib-only constraint) while preserving the
-// behaviour the paper's evaluation depends on: writes land in RAM and
-// are persisted asynchronously, so the write path is not synchronously
-// disk-bound — unlike an HDFS datanode, which fsyncs chunks in the
-// write pipeline.
-//
-// Entries may be real (carrying bytes) or synthetic (size only). The
-// cluster-scale simulations use synthetic entries so that a 250 GB
-// experiment does not allocate 250 GB; all capacity accounting uses the
-// declared size either way, so cache hits and misses behave the same.
+// pagestore.go implements the cache tier: the RAM-resident LRU with
+// dirty-page tracking, composed over an internal/store Backend. The
+// package contract (aliasing, flush-on-close) lives in doc.go.
 package pagestore
 
 import (
@@ -21,23 +8,45 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/store"
 )
 
 // ErrNotFound is returned when a key is absent.
 var ErrNotFound = errors.New("pagestore: key not found")
 
-// ErrEvicted is returned when a real entry's bytes were evicted and no
-// write-ahead log is attached to recover them from.
-var ErrEvicted = errors.New("pagestore: entry evicted and no log to recover from")
+// ErrEvicted is returned when a real entry's bytes were evicted and the
+// backend (if any) cannot recover them.
+var ErrEvicted = errors.New("pagestore: entry evicted and not recoverable from the backend")
+
+// ErrClosed is returned by operations on a closed store: a closed store
+// behaves like a dead process, even if a stale handle survives.
+var ErrClosed = errors.New("pagestore: store closed")
 
 // Config parameterizes a Store.
 type Config struct {
 	// MemCapacity bounds resident bytes (real or declared synthetic
 	// size). 0 means unlimited.
 	MemCapacity int64
-	// Dir, if non-empty, enables write-ahead logging in that directory;
-	// evicted entries can then be read back, and Open recovers state.
+	// Spec selects the persistent backend tier beneath the cache
+	// ("disk:/var/bsfs", "mem:", "null:" — see internal/store). Empty
+	// (and no Dir) means a pure RAM cache: evicted real entries are
+	// unrecoverable and nothing survives Close.
+	Spec string
+	// Dir is the historical alias for Spec = "disk:"+Dir. Ignored when
+	// Spec is set.
 	Dir string
+}
+
+// spec resolves the backend spec, folding the legacy Dir alias in.
+func (c Config) spec() string {
+	if c.Spec != "" {
+		return c.Spec
+	}
+	if c.Dir != "" {
+		return "disk:" + c.Dir
+	}
+	return ""
 }
 
 // Meta describes an entry without touching its data.
@@ -57,7 +66,7 @@ type entry struct {
 	resident  bool
 	flushing  bool
 	lruElem   *list.Element // non-nil while clean+resident
-	logged    bool          // present in the WAL
+	logged    bool          // present in the backend
 }
 
 // Store is a concurrency-safe page store. The zero value is not usable;
@@ -73,60 +82,123 @@ type Store struct {
 	// dirtyBytes counts entries that are dirty and not yet taken by a
 	// flush batch (O(1) backpressure queries).
 	dirtyBytes int64
-	wal        *wal
+	backend    store.Backend
+	recovered  int
+	closed     bool
 
 	// counters
 	hits, misses, evictions uint64
 }
 
-// Open creates a store; if cfg.Dir is set, existing log segments are
-// replayed to rebuild the index.
+// Open creates a store; with a backend spec (or legacy Dir), the
+// backend's surviving index is replayed to rebuild the page index —
+// restart recovery.
 func Open(cfg Config) (*Store, error) {
 	s := &Store{
 		cfg:   cfg,
 		items: make(map[string]*entry),
 		lru:   list.New(),
 	}
-	if cfg.Dir != "" {
-		w, err := openWAL(cfg.Dir)
+	if spec := cfg.spec(); spec != "" {
+		be, err := store.Open(spec)
 		if err != nil {
 			return nil, err
 		}
-		s.wal = w
-		for key, rec := range w.index {
+		s.backend = be
+		be.Walk(func(key string, m store.Meta) bool {
 			s.items[key] = &entry{
 				key:       key,
-				size:      rec.size,
-				synthetic: rec.synthetic,
+				size:      m.Size,
+				synthetic: m.Synthetic,
 				resident:  false,
 				logged:    true,
 			}
-		}
+			return true
+		})
+		s.recovered = len(s.items)
 	}
 	return s, nil
 }
 
-// MustOpen is Open for configurations that cannot fail (no Dir).
+// MustOpen is Open for configurations that cannot fail (no durable
+// backend; mem: and null: are fine).
 func MustOpen(cfg Config) *Store {
-	if cfg.Dir != "" {
-		panic("pagestore: MustOpen with a Dir; use Open")
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("pagestore: MustOpen(%q): %v — use Open for durable backends", cfg.spec(), err))
 	}
-	s, _ := Open(cfg)
 	return s
 }
 
-// Close releases the log.
+// Close flushes every unflushed entry to the backend — both entries
+// still queued for a flush batch and entries taken by an in-flight
+// batch that never committed — then syncs and releases it. See the
+// flush-on-close contract in doc.go. Close is idempotent.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal != nil {
-		return s.wal.close()
+	if s.closed {
+		return nil
 	}
-	return nil
+	s.closed = true
+	if s.backend == nil {
+		return nil
+	}
+	// Flush in dirty-queue order first (the order the flush daemon
+	// would have used), then any in-flight remainder.
+	var err error
+	flush := func(e *entry) {
+		if !e.dirty {
+			return
+		}
+		if !e.flushing {
+			s.dirtyBytes -= e.size
+		}
+		if perr := s.backend.Put(e.key, e.data, e.size, e.synthetic); perr != nil && err == nil {
+			err = perr
+			return
+		}
+		e.dirty = false
+		e.flushing = false
+		e.logged = true
+	}
+	for _, key := range s.dirtyQ {
+		if e, ok := s.items[key]; ok {
+			flush(e)
+		}
+	}
+	for _, e := range s.items {
+		flush(e)
+	}
+	s.dirtyQ = nil
+	if cerr := s.backend.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Recovered returns the number of entries replayed from the backend at
+// Open — the size of the recovered page index.
+func (s *Store) Recovered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// BackendSpec returns the canonical spec of the backend tier ("" for a
+// pure RAM cache).
+func (s *Store) BackendSpec() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.backend == nil {
+		return ""
+	}
+	return s.backend.Spec()
 }
 
 // Put stores real bytes under key, overwriting any previous entry. The
-// entry starts resident and dirty.
+// entry starts resident and dirty. The store keeps its own copy of
+// data.
 func (s *Store) Put(key string, data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -144,10 +216,18 @@ func (s *Store) PutSynthetic(key string, size int64) error {
 func (s *Store) put(key string, data []byte, size int64, synthetic bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	logged := false
 	if old, ok := s.items[key]; ok {
 		s.dropLocked(old)
+		// The backend still holds the superseded version; remember that,
+		// or a Delete before the next flush would skip the tombstone and
+		// the old value would resurrect on restart.
+		logged = old.logged
 	}
-	e := &entry{key: key, data: data, size: size, synthetic: synthetic, dirty: true, resident: true}
+	e := &entry{key: key, data: data, size: size, synthetic: synthetic, dirty: true, resident: true, logged: logged}
 	s.items[key] = e
 	s.memBytes += size
 	s.dirtyBytes += size
@@ -168,13 +248,17 @@ func (s *Store) Peek(key string) (Meta, bool) {
 	return Meta{Size: e.size, Synthetic: e.synthetic, Resident: e.resident, Dirty: e.dirty}, true
 }
 
-// Get returns the entry's data (nil for synthetic entries) and its
-// metadata as seen *before* the call: callers use Meta.Resident to
-// charge a disk read on a miss. A miss makes the entry resident again
-// (read-through caching), which may evict others.
+// Get returns a copy of the entry's data (nil for synthetic entries)
+// and its metadata as seen *before* the call: callers use Meta.Resident
+// to charge a disk read on a miss. A miss makes the entry resident
+// again (read-through caching), which may evict others. The returned
+// slice is the caller's — mutating it never touches the cache.
 func (s *Store) Get(key string) ([]byte, Meta, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, Meta{}, ErrClosed
+	}
 	e, ok := s.items[key]
 	if !ok {
 		return nil, Meta{}, fmt.Errorf("%w: %q", ErrNotFound, key)
@@ -185,16 +269,19 @@ func (s *Store) Get(key string) ([]byte, Meta, error) {
 		if e.lruElem != nil {
 			s.lru.MoveToFront(e.lruElem)
 		}
-		return e.data, m, nil
+		return cloneBytes(e.data), m, nil
 	}
 	s.misses++
 	// Fault the entry back in.
 	if !e.synthetic {
-		if s.wal == nil || !e.logged {
+		if s.backend == nil || !e.logged {
 			return nil, m, fmt.Errorf("%w: %q", ErrEvicted, key)
 		}
-		data, err := s.wal.read(key)
+		data, err := s.backend.Get(key)
 		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				return nil, m, fmt.Errorf("%w: %q", ErrEvicted, key)
+			}
 			return nil, m, err
 		}
 		e.data = data
@@ -204,8 +291,19 @@ func (s *Store) Get(key string) ([]byte, Meta, error) {
 	if !e.dirty {
 		e.lruElem = s.lru.PushFront(e)
 	}
+	// Snapshot before evictLocked: under memory pressure the entry we
+	// just faulted in can be the first one evicted, which nils its data.
+	out := cloneBytes(e.data)
 	s.evictLocked()
-	return e.data, m, nil
+	return out, m, nil
+}
+
+// cloneBytes copies b (nil stays nil) so callers never alias the cache.
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
 }
 
 // Delete removes an entry. Deleting a missing key is not an error.
@@ -217,8 +315,8 @@ func (s *Store) Delete(key string) {
 		return
 	}
 	s.dropLocked(e)
-	if s.wal != nil && e.logged {
-		s.wal.tombstone(key)
+	if s.backend != nil && e.logged {
+		s.backend.Delete(key)
 	}
 }
 
@@ -287,18 +385,19 @@ func (s *Store) TakeDirty(maxBytes int64) (keys []string, total int64) {
 	return keys, total
 }
 
-// CommitFlush finalizes a flush batch: entries are written to the log
-// (if any), marked clean, and become evictable.
+// CommitFlush finalizes a flush batch: entries are written to the
+// backend (if any), marked clean, and become evictable. After Close has
+// flushed everything itself, a straggling CommitFlush is a no-op.
 func (s *Store) CommitFlush(keys []string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, key := range keys {
 		e, ok := s.items[key]
 		if !ok || !e.flushing {
-			continue // deleted or overwritten while flushing
+			continue // deleted, overwritten while flushing, or closed
 		}
-		if s.wal != nil {
-			if err := s.wal.append(key, e.data, e.size, e.synthetic); err != nil {
+		if s.backend != nil && !s.closed {
+			if err := s.backend.Put(key, e.data, e.size, e.synthetic); err != nil {
 				return err
 			}
 			e.logged = true
@@ -328,6 +427,9 @@ type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// Recovered is the number of entries replayed from the backend at
+	// Open.
+	Recovered int
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -340,6 +442,7 @@ func (s *Store) Stats() Stats {
 		Hits:      s.hits,
 		Misses:    s.misses,
 		Evictions: s.evictions,
+		Recovered: s.recovered,
 	}
 }
 
@@ -350,23 +453,23 @@ func (s *Store) Len() int {
 	return len(s.items)
 }
 
-// Sync flushes the log to stable storage (no-op without a Dir).
+// Sync flushes the backend to stable storage (no-op without one).
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
+	if s.backend == nil || s.closed {
 		return nil
 	}
-	return s.wal.sync()
+	return s.backend.Sync()
 }
 
-// Compact rewrites the log keeping only live records, reclaiming space
-// from overwrites and tombstones. No-op without a Dir.
+// Compact reclaims backend space held by overwrites and tombstones.
+// No-op without a backend.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
+	if s.backend == nil || s.closed {
 		return nil
 	}
-	return s.wal.compact()
+	return s.backend.Compact()
 }

@@ -443,13 +443,49 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
+// segBytes returns the total size of all WAL segments under dir.
+func segBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, seg := range segs {
+		st, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	return total
+}
+
 func TestWALCrashMidAppendRecovery(t *testing.T) {
 	// A crash can tear the final append at any byte: inside the header,
 	// the key, the payload, or the checksum. Whatever the cut point,
 	// Open must recover every complete record and drop only the torn
-	// one — and the store must keep working after recovery.
-	full := encodeRecord(recPut, "torn", 64, bytes.Repeat([]byte{9}, 64))
-	cuts := []int{1, 4, 7, 15, len(full) / 2, len(full) - 4, len(full) - 1}
+	// one — and the store must keep working after recovery. The record
+	// length is measured from the segment file rather than assumed, so
+	// the sweep tracks the wire format.
+	probe := func() int64 {
+		dir := t.TempDir()
+		s, err := Open(Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Put("torn", bytes.Repeat([]byte{9}, 64))
+		keys, _ := s.TakeDirty(0)
+		if err := s.CommitFlush(keys); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return segBytes(t, dir)
+	}
+	full := int(probe())
+	cuts := []int{1, 4, 7, 15, full / 2, full - 4, full - 1}
 	for _, keep := range cuts {
 		t.Run(fmt.Sprintf("keep=%d", keep), func(t *testing.T) {
 			dir := t.TempDir()
@@ -465,7 +501,11 @@ func TestWALCrashMidAppendRecovery(t *testing.T) {
 			if err := s.CommitFlush(keys); err != nil {
 				t.Fatal(err)
 			}
-			seg := filepath.Join(dir, segName(1))
+			segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+			if err != nil || len(segs) != 1 {
+				t.Fatalf("segments: %v, %v", segs, err)
+			}
+			seg := segs[0]
 			st, err := os.Stat(seg)
 			if err != nil {
 				t.Fatal(err)

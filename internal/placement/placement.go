@@ -142,6 +142,16 @@ func (m *Manager) Epoch() uint64 {
 	return m.epoch
 }
 
+// BumpEpoch advances the membership epoch without a membership change,
+// invalidating every cached provider view. Used when the object serving
+// a node is replaced in place — a provider restart — so clients route
+// to the new instance instead of a stale handle.
+func (m *Manager) BumpEpoch() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch++
+}
+
 // StrategyName reports the write-placement policy in effect.
 func (m *Manager) StrategyName() string {
 	if m.cfg.Strategy != nil {

@@ -317,6 +317,10 @@ type ProviderInfo struct {
 	Resident int64
 	Dirty    int64
 	Stored   int64
+	// Backend is the persistent tier's spec ("" for a pure RAM store);
+	// Recovered is the number of pages replayed from it at startup.
+	Backend   string
+	Recovered int
 }
 
 // ProvidersReply lists the provider fleet as of a membership epoch.
@@ -338,6 +342,8 @@ func (s *Service) Providers(args *ProvidersArgs, reply *ProvidersReply) error {
 			info.Resident = st.MemBytes
 			info.Dirty = p.Store().DirtyBytes()
 			info.Stored = p.BytesStored()
+			info.Backend = p.Store().BackendSpec()
+			info.Recovered = st.Recovered
 		}
 		reply.Providers = append(reply.Providers, info)
 	}

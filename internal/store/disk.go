@@ -1,4 +1,4 @@
-package pagestore
+package store
 
 import (
 	"encoding/binary"
@@ -12,8 +12,8 @@ import (
 	"strings"
 )
 
-// The write-ahead log is a sequence of segment files, each a stream of
-// length-prefixed, checksummed records:
+// The disk backend is a segmented write-ahead page log: a sequence of
+// segment files, each a stream of length-prefixed, checksummed records:
 //
 //	[1B kind][4B keyLen][key][8B size][4B dataLen][data][4B crc32]
 //
@@ -21,6 +21,11 @@ import (
 // The crc covers everything before it in the record. Recovery replays
 // segments in order; the last record for a key wins. A torn final
 // record (crash mid-append) is truncated away.
+//
+// Open appends to the newest existing segment while it has room —
+// rolling a fresh segment on every open would leak an empty seg-*.wal
+// per restart — and removes empty segments left behind by older
+// layouts.
 
 const (
 	recPut       = 1
@@ -30,9 +35,18 @@ const (
 	segMaxBytes = 64 << 20
 )
 
-var errCorrupt = errors.New("pagestore: corrupt log record")
+var errCorrupt = errors.New("store: corrupt log record")
 
-type walRec struct {
+// atErr maps a mid-record io.EOF from ReadAt to ErrUnexpectedEOF so the
+// replay loop treats it as a torn tail rather than a clean end.
+func atErr(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+type diskRec struct {
 	seg       int
 	off       int64 // offset of the data payload within the segment
 	dataLen   int64
@@ -40,9 +54,9 @@ type walRec struct {
 	synthetic bool
 }
 
-type wal struct {
+type diskBackend struct {
 	dir      string
-	index    map[string]walRec
+	index    map[string]diskRec
 	segs     []int // sorted segment ids
 	active   *os.File
 	activeID int
@@ -52,11 +66,11 @@ type wal struct {
 
 func segName(id int) string { return fmt.Sprintf("seg-%06d.wal", id) }
 
-func openWAL(dir string) (*wal, error) {
+func openDisk(dir string) (*diskBackend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	w := &wal{dir: dir, index: make(map[string]walRec)}
+	w := &diskBackend{dir: dir, index: make(map[string]diskRec)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -73,17 +87,55 @@ func openWAL(dir string) (*wal, error) {
 			return nil, err
 		}
 	}
-	next := 1
-	if len(w.segs) > 0 {
-		next = w.segs[len(w.segs)-1] + 1
+	// GC empty segments (all but the newest, which is reused below):
+	// older layouts rolled a fresh segment per open, so restart loops
+	// left a trail of zero-byte files.
+	live := w.segs[:0]
+	for i, id := range w.segs {
+		path := filepath.Join(w.dir, segName(id))
+		fi, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		if fi.Size() == 0 && i < len(w.segs)-1 {
+			if err := os.Remove(path); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		live = append(live, id)
 	}
-	if err := w.roll(next); err != nil {
+	w.segs = live
+	// Reuse the newest segment while it has room instead of rolling an
+	// empty one per open.
+	if n := len(w.segs); n > 0 {
+		tail := w.segs[n-1]
+		fi, err := os.Stat(filepath.Join(w.dir, segName(tail)))
+		if err != nil {
+			return nil, err
+		}
+		if fi.Size() < segMaxBytes {
+			f, err := os.OpenFile(filepath.Join(w.dir, segName(tail)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			w.active = f
+			w.activeID = tail
+			w.activeSz = fi.Size()
+			return w, nil
+		}
+		if err := w.roll(tail + 1); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	if err := w.roll(1); err != nil {
 		return nil, err
 	}
 	return w, nil
 }
 
-func (w *wal) roll(id int) error {
+func (w *diskBackend) roll(id int) error {
 	if w.active != nil {
 		if err := w.active.Close(); err != nil {
 			return err
@@ -102,7 +154,7 @@ func (w *wal) roll(id int) error {
 
 // replay scans one segment, updating the index. A torn tail is
 // truncated.
-func (w *wal) replay(id int) error {
+func (w *diskBackend) replay(id int) error {
 	path := filepath.Join(w.dir, segName(id))
 	f, err := os.Open(path)
 	if err != nil {
@@ -137,43 +189,49 @@ func (w *wal) replay(id int) error {
 
 // readRecord parses one record at off; returns the record, key, and the
 // offset of the next record.
-func readRecord(f *os.File, off int64) (walRec, string, int64, error) {
+func readRecord(f *os.File, off int64) (diskRec, string, int64, error) {
+	// ReadAt reports io.EOF on both a clean end (zero bytes at off) and
+	// a partial record at the tail; only n distinguishes them, and only
+	// the first is a healthy stop.
 	var hdr [5]byte
-	if _, err := f.ReadAt(hdr[:], off); err != nil {
-		return walRec{}, "", 0, err
+	if n, err := f.ReadAt(hdr[:], off); err != nil {
+		if errors.Is(err, io.EOF) && n == 0 {
+			return diskRec{}, "", 0, io.EOF
+		}
+		return diskRec{}, "", 0, atErr(err)
 	}
 	kind := hdr[0]
 	keyLen := binary.LittleEndian.Uint32(hdr[1:5])
 	if kind < recPut || kind > recSynthetic || keyLen > 1<<20 {
-		return walRec{}, "", 0, errCorrupt
+		return diskRec{}, "", 0, errCorrupt
 	}
 	buf := make([]byte, int(keyLen)+12)
 	if _, err := f.ReadAt(buf, off+5); err != nil {
-		return walRec{}, "", 0, err
+		return diskRec{}, "", 0, atErr(err)
 	}
 	key := string(buf[:keyLen])
 	size := int64(binary.LittleEndian.Uint64(buf[keyLen : keyLen+8]))
 	dataLen := int64(binary.LittleEndian.Uint32(buf[keyLen+8 : keyLen+12]))
 	if dataLen > 1<<31 {
-		return walRec{}, "", 0, errCorrupt
+		return diskRec{}, "", 0, errCorrupt
 	}
 	dataOff := off + 5 + int64(keyLen) + 12
 	crcBuf := make([]byte, 4)
 	if _, err := f.ReadAt(crcBuf, dataOff+dataLen); err != nil {
-		return walRec{}, "", 0, err
+		return diskRec{}, "", 0, atErr(err)
 	}
 	h := crc32.NewIEEE()
 	h.Write(hdr[:])
 	h.Write(buf)
 	if dataLen > 0 {
 		if _, err := io.Copy(h, io.NewSectionReader(f, dataOff, dataLen)); err != nil {
-			return walRec{}, "", 0, err
+			return diskRec{}, "", 0, err
 		}
 	}
 	if h.Sum32() != binary.LittleEndian.Uint32(crcBuf) {
-		return walRec{}, "", 0, errCorrupt
+		return diskRec{}, "", 0, errCorrupt
 	}
-	rec := walRec{off: dataOff, dataLen: dataLen, size: size, synthetic: kind == recSynthetic}
+	rec := diskRec{off: dataOff, dataLen: dataLen, size: size, synthetic: kind == recSynthetic}
 	if kind == recTombstone {
 		rec.size = -1
 	}
@@ -194,7 +252,12 @@ func encodeRecord(kind byte, key string, size int64, data []byte) []byte {
 	return buf
 }
 
-func (w *wal) append(key string, data []byte, size int64, synthetic bool) error {
+func (w *diskBackend) Spec() string { return "disk:" + w.dir }
+
+func (w *diskBackend) Put(key string, data []byte, size int64, synthetic bool) error {
+	if w.active == nil {
+		return ErrClosed
+	}
 	kind := byte(recPut)
 	if synthetic {
 		kind = recSynthetic
@@ -213,26 +276,31 @@ func (w *wal) append(key string, data []byte, size int64, synthetic bool) error 
 	if old, ok := w.index[key]; ok {
 		w.garbage += old.dataLen + int64(len(key)) + 21
 	}
-	w.index[key] = walRec{seg: w.activeID, off: dataOff, dataLen: int64(len(data)), size: size, synthetic: synthetic}
+	w.index[key] = diskRec{seg: w.activeID, off: dataOff, dataLen: int64(len(data)), size: size, synthetic: synthetic}
 	w.activeSz += int64(len(rec))
 	return nil
 }
 
-func (w *wal) tombstone(key string) error {
+func (w *diskBackend) Delete(key string) error {
+	if w.active == nil {
+		return ErrClosed
+	}
+	old, ok := w.index[key]
+	if !ok {
+		return nil // nothing logged, nothing to tombstone
+	}
 	rec := encodeRecord(recTombstone, key, 0, nil)
 	if _, err := w.active.Write(rec); err != nil {
 		return err
 	}
 	w.activeSz += int64(len(rec))
-	if old, ok := w.index[key]; ok {
-		w.garbage += old.dataLen + int64(len(key)) + 21
-		delete(w.index, key)
-	}
+	w.garbage += old.dataLen + int64(len(key)) + 21
+	delete(w.index, key)
 	return nil
 }
 
-// read fetches the payload bytes of the latest record for key.
-func (w *wal) read(key string) ([]byte, error) {
+// Get fetches the payload bytes of the latest record for key.
+func (w *diskBackend) Get(key string) ([]byte, error) {
 	rec, ok := w.index[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (log)", ErrNotFound, key)
@@ -252,12 +320,38 @@ func (w *wal) read(key string) ([]byte, error) {
 	return buf, nil
 }
 
-// sync flushes the active segment to stable storage.
-func (w *wal) sync() error { return w.active.Sync() }
+func (w *diskBackend) Stat(key string) (Meta, bool) {
+	rec, ok := w.index[key]
+	if !ok {
+		return Meta{}, false
+	}
+	return Meta{Size: rec.size, Synthetic: rec.synthetic}, true
+}
 
-// compact rewrites live records into fresh segments and deletes the old
+func (w *diskBackend) Len() int { return len(w.index) }
+
+func (w *diskBackend) Walk(fn func(key string, m Meta) bool) {
+	for k, rec := range w.index {
+		if !fn(k, Meta{Size: rec.size, Synthetic: rec.synthetic}) {
+			return
+		}
+	}
+}
+
+// Sync flushes the active segment to stable storage.
+func (w *diskBackend) Sync() error {
+	if w.active == nil {
+		return ErrClosed
+	}
+	return w.active.Sync()
+}
+
+// Compact rewrites live records into fresh segments and deletes the old
 // ones.
-func (w *wal) compact() error {
+func (w *diskBackend) Compact() error {
+	if w.active == nil {
+		return ErrClosed
+	}
 	oldSegs := append([]int(nil), w.segs...)
 	keys := make([]string, 0, len(w.index))
 	for k := range w.index {
@@ -274,7 +368,7 @@ func (w *wal) compact() error {
 	records := make([]live, 0, len(keys))
 	for _, k := range keys {
 		rec := w.index[k]
-		data, err := w.read(k)
+		data, err := w.Get(k)
 		if err != nil {
 			return err
 		}
@@ -285,14 +379,14 @@ func (w *wal) compact() error {
 	if err := w.roll(next); err != nil {
 		return err
 	}
-	w.index = make(map[string]walRec, len(records))
+	w.index = make(map[string]diskRec, len(records))
 	w.garbage = 0
 	for _, r := range records {
-		if err := w.append(r.key, r.data, r.size, r.synthetic); err != nil {
+		if err := w.Put(r.key, r.data, r.size, r.synthetic); err != nil {
 			return err
 		}
 	}
-	if err := w.sync(); err != nil {
+	if err := w.Sync(); err != nil {
 		return err
 	}
 	for _, id := range oldSegs {
@@ -303,7 +397,7 @@ func (w *wal) compact() error {
 	return nil
 }
 
-func (w *wal) close() error {
+func (w *diskBackend) Close() error {
 	if w.active == nil {
 		return nil
 	}

@@ -1,0 +1,29 @@
+// Package store implements the pluggable provider-backend subsystem:
+// the persistent tier beneath internal/pagestore's RAM cache, selected
+// by a spec string through one factory.
+//
+//	be, err := store.Open("disk:/var/bsfs")   // segmented WAL on disk
+//	be, err := store.Open("mem:")             // RAM-resident (tests)
+//	be, err := store.Open("null:")            // discard writes (benchmarks)
+//
+// It stands in for the BerkeleyDB persistence layer of the original
+// BlobSeer implementation: the cache tier above absorbs writes in RAM
+// and flushes them to a Backend asynchronously, so the write path is
+// never synchronously disk-bound, while evicted pages and restarted
+// processes read back from the backend.
+//
+// # Durability contract
+//
+// A disk backend recovers, at the next Open of the same spec, every
+// entry whose Put returned before Close — Close syncs the active
+// segment — and every synced entry even without Close (crash). A torn
+// final record is truncated away at recovery; completed records are
+// never lost. Tombstones (Delete) are recovered the same way: a deleted
+// key stays deleted across restarts. The mem and null backends make no
+// durability promise: mem survives cache eviction but not restart,
+// null survives nothing.
+//
+// Fleet deployments derive one backend per member with SubSpec, which
+// scopes disk specs to a per-member directory and leaves location-free
+// specs alone.
+package store

@@ -1,0 +1,84 @@
+package store
+
+// memBackend is a RAM-resident backend: entries survive cache eviction
+// (the tier above can always fault them back in) but not process
+// restart. It doubles flushed bytes — the cache holds one copy, the
+// backend another — so it is a testing and single-run tool, not a
+// deployment default.
+type memBackend struct {
+	items  map[string]memEntry
+	closed bool
+}
+
+type memEntry struct {
+	data      []byte
+	size      int64
+	synthetic bool
+}
+
+func newMem() *memBackend {
+	return &memBackend{items: make(map[string]memEntry)}
+}
+
+func (m *memBackend) Spec() string { return "mem:" }
+
+func (m *memBackend) Put(key string, data []byte, size int64, synthetic bool) error {
+	if m.closed {
+		return ErrClosed
+	}
+	e := memEntry{size: size, synthetic: synthetic}
+	if !synthetic {
+		e.data = append([]byte(nil), data...)
+	}
+	m.items[key] = e
+	return nil
+}
+
+func (m *memBackend) Get(key string) ([]byte, error) {
+	if m.closed {
+		return nil, ErrClosed
+	}
+	e, ok := m.items[key]
+	if !ok {
+		return nil, errKey(key)
+	}
+	if e.synthetic {
+		return nil, nil
+	}
+	return append([]byte(nil), e.data...), nil
+}
+
+func (m *memBackend) Stat(key string) (Meta, bool) {
+	e, ok := m.items[key]
+	if !ok {
+		return Meta{}, false
+	}
+	return Meta{Size: e.size, Synthetic: e.synthetic}, true
+}
+
+func (m *memBackend) Delete(key string) error {
+	if m.closed {
+		return ErrClosed
+	}
+	delete(m.items, key)
+	return nil
+}
+
+func (m *memBackend) Len() int { return len(m.items) }
+
+func (m *memBackend) Walk(fn func(key string, meta Meta) bool) {
+	for k, e := range m.items {
+		if !fn(k, Meta{Size: e.size, Synthetic: e.synthetic}) {
+			return
+		}
+	}
+}
+
+func (m *memBackend) Sync() error    { return nil }
+func (m *memBackend) Compact() error { return nil }
+
+func (m *memBackend) Close() error {
+	m.closed = true
+	m.items = nil
+	return nil
+}

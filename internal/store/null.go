@@ -1,0 +1,26 @@
+package store
+
+import "fmt"
+
+// nullBackend accepts and discards every write; reads always miss.
+// Flushes "succeed" instantly, so the cache tier above behaves exactly
+// as with a real backend on the write path — the write-path benchmark
+// arm that isolates log-append cost from everything else. Evicted real
+// entries are unrecoverable, like a cache with no backend at all.
+type nullBackend struct{}
+
+func newNull() *nullBackend { return &nullBackend{} }
+
+func (nullBackend) Spec() string                          { return "null:" }
+func (nullBackend) Put(string, []byte, int64, bool) error { return nil }
+func (nullBackend) Get(key string) ([]byte, error)        { return nil, errKey(key) }
+func (nullBackend) Stat(string) (Meta, bool)              { return Meta{}, false }
+func (nullBackend) Delete(string) error                   { return nil }
+func (nullBackend) Len() int                              { return 0 }
+func (nullBackend) Walk(func(key string, m Meta) bool)    {}
+func (nullBackend) Sync() error                           { return nil }
+func (nullBackend) Compact() error                        { return nil }
+func (nullBackend) Close() error                          { return nil }
+
+// errKey wraps ErrNotFound with the missing key.
+func errKey(key string) error { return fmt.Errorf("%w: %q", ErrNotFound, key) }
