@@ -102,6 +102,14 @@ type StorageOpts struct {
 	// on its processor). 0 disables; the X5/A7 shard experiments set it
 	// to make the version-manager tier the measured bottleneck.
 	VMServiceTime time.Duration
+	// MetaCacheShards is the client metadata-cache lock-stripe count
+	// (0 = the core default of 16; 1 = the historical single-mutex
+	// cache, the A8 baseline).
+	MetaCacheShards int
+	// UnpooledBuffers disables the client data path's page-buffer
+	// pooling (ablation A8): every page assembly and gather staging
+	// buffer is freshly allocated.
+	UnpooledBuffers bool
 }
 
 func (o *StorageOpts) fillDefaults() {
@@ -180,17 +188,19 @@ func NewTestbed(spec ClusterSpec, opts StorageOpts) (*Testbed, error) {
 			vmNodes = append(vmNodes, nodes[(i*len(nodes))/shards])
 		}
 		dep, err := core.NewDeployment(env, core.Options{
-			PageSize:      opts.PageSize,
-			Replication:   opts.Replication,
-			VMNode:        0,
-			VMNodes:       vmNodes,
-			VMServiceTime: opts.VMServiceTime,
-			ProviderNodes: nodes,
-			MetaNodes:     meta,
-			Strategy:      strategy,
-			Provider:      core.ProviderConfig{MemCapacity: opts.MemCapacity, Store: opts.Store},
-			SerialIO:      opts.SerialDataPath,
-			SerialPublish: opts.SerialPublish,
+			PageSize:        opts.PageSize,
+			Replication:     opts.Replication,
+			VMNode:          0,
+			VMNodes:         vmNodes,
+			VMServiceTime:   opts.VMServiceTime,
+			ProviderNodes:   nodes,
+			MetaNodes:       meta,
+			Strategy:        strategy,
+			Provider:        core.ProviderConfig{MemCapacity: opts.MemCapacity, Store: opts.Store},
+			SerialIO:        opts.SerialDataPath,
+			SerialPublish:   opts.SerialPublish,
+			MetaCacheShards: opts.MetaCacheShards,
+			UnpooledBuffers: opts.UnpooledBuffers,
 		})
 		if err != nil {
 			return nil, err

@@ -1,4 +1,4 @@
-// sweep.go defines the named experiments (E1..E5, X1..X5, A1..A7) as
+// sweep.go defines the named experiments (E1..E5, X1..X5, A1..A8) as
 // parameter sweeps over both storage systems — the figures and
 // tables of the paper's evaluation, regenerated, plus the extension
 // and ablation studies this repository adds.
@@ -438,6 +438,34 @@ var Experiments = []Experiment{
 				all = append(all, sharded.Point, single.Point)
 			}
 			WritePointsTable(w, "A7: sharding ablation (multi-blob publish)", all)
+			return nil
+		},
+	},
+	{
+		ID:    "a8",
+		Title: "A8 ablation: sharded metadata cache + pooled buffers vs single mutex + fresh allocations",
+		Run: func(opts SweepOpts, w io.Writer) error {
+			res, err := RunAllocAblation(AllocOpts{})
+			if err != nil {
+				// Includes the assertions: the sharded cache must not
+				// read slower than the single mutex under concurrent
+				// readers, and the pooled client path must not allocate
+				// more than the unpooled baseline.
+				return err
+			}
+			fmt.Fprintf(w, "a8 cache (16 readers): sharded %.2fM reads/s, single-mutex %.2fM reads/s (%.2fx)\n",
+				res.ShardedReadsPerSec/1e6, res.SingleReadsPerSec/1e6,
+				res.ShardedReadsPerSec/res.SingleReadsPerSec)
+			fmt.Fprintf(w, "a8 client path (append+read): pooled %.1f allocs/op %.0f B/op, unpooled %.1f allocs/op %.0f B/op (%.2fx fewer allocs)\n",
+				res.PooledAllocsPerOp, res.PooledBytesPerOp,
+				res.UnpooledAllocsPerOp, res.UnpooledBytesPerOp,
+				res.UnpooledAllocsPerOp/res.PooledAllocsPerOp)
+			recordMetric(w, "cache_read_speedup_r16", "x", res.ShardedReadsPerSec/res.SingleReadsPerSec)
+			recordMetric(w, "pooled_allocs_per_op", "allocs/op", res.PooledAllocsPerOp)
+			recordMetric(w, "pooled_bytes_per_op", "B/op", res.PooledBytesPerOp)
+			recordMetric(w, "unpooled_allocs_per_op", "allocs/op", res.UnpooledAllocsPerOp)
+			recordMetric(w, "unpooled_bytes_per_op", "B/op", res.UnpooledBytesPerOp)
+			recordMetric(w, "alloc_reduction", "x", res.UnpooledAllocsPerOp/res.PooledAllocsPerOp)
 			return nil
 		},
 	},

@@ -28,9 +28,9 @@ func BenchmarkBuildNodesSequentialAppend(b *testing.B) {
 	}
 	h = append(h, rec)
 	lo, hi := pageSpan(rec.Offset, rec.Length, ps)
-	placement := make(map[int64][]cluster.NodeID, hi-lo)
+	placement := pagePlacement{lo: lo, sets: make([][]cluster.NodeID, hi-lo)}
 	for p := lo; p < hi; p++ {
-		placement[p] = []cluster.NodeID{cluster.NodeID(p % 200)}
+		placement.sets[p-lo] = []cluster.NodeID{cluster.NodeID(p % 200)}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -97,6 +97,113 @@ func BenchmarkLocalWriteRead(b *testing.B) {
 		}
 		if _, err := blob.ReadAt(buf, 0); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchDeployment builds a small Local-env deployment with the
+// serial data path (fan-outs run in the calling goroutine), the
+// configuration the allocation benchmarks and assertions (alloc_test.go)
+// measure.
+func newBenchDeployment(tb testing.TB, opts Options) (*Deployment, *Client) {
+	tb.Helper()
+	env := cluster.NewLocal(4, 2)
+	if len(opts.ProviderNodes) == 0 {
+		opts.ProviderNodes = []cluster.NodeID{1, 2, 3}
+	}
+	opts.SerialIO = true
+	d, err := NewDeployment(env, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { d.Close() })
+	return d, d.NewClient(0)
+}
+
+// BenchmarkAppendSynthetic measures the full append protocol per block
+// (ticket, placement, scatter accounting, metadata build+put, publish)
+// without payload bytes — the hot path of every sim experiment.
+func BenchmarkAppendSynthetic(b *testing.B) {
+	_, c := newBenchDeployment(b, Options{PageSize: 256 << 10})
+	blob, err := c.CreateBlob(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := SyntheticBlocks(1 << 20) // 4 pages per version
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := blob.Append(blocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendReal measures the append protocol with real payload
+// bytes — page assembly and the scatter data path included.
+func BenchmarkAppendReal(b *testing.B) {
+	_, c := newBenchDeployment(b, Options{PageSize: 64 << 10})
+	blob, err := c.CreateBlob(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256<<10) // 4 pages per version
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := blob.Append(Blocks(payload)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedReadSynthetic measures the read protocol against a hot
+// metadata cache (tree walk all cache hits, synthetic pages, no data
+// movement) — the per-op cost E1/E2-scale runs pay millions of times.
+func BenchmarkCachedReadSynthetic(b *testing.B) {
+	_, c := newBenchDeployment(b, Options{PageSize: 256 << 10})
+	blob, err := c.CreateBlob(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs, _, err := blob.Append(SyntheticBlocks(64 << 20)) // 256 pages
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := vs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := blob.ReadAt(nil, 0, Synthetic(16<<20), AtVersion(v))
+		if err != nil || n != 16<<20 {
+			b.Fatalf("read %d, %v", n, err)
+		}
+	}
+}
+
+// BenchmarkCachedReadReal is BenchmarkCachedReadSynthetic with real
+// bytes: the gather staging and copy-out included.
+func BenchmarkCachedReadReal(b *testing.B) {
+	_, c := newBenchDeployment(b, Options{PageSize: 64 << 10})
+	blob, err := c.CreateBlob(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1<<20)
+	vs, _, err := blob.Append(Blocks(payload))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := vs[0]
+	buf := make([]byte, 1<<20)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := blob.ReadAt(buf, 0, AtVersion(v))
+		if err != nil || n != 1<<20 {
+			b.Fatalf("read %d, %v", n, err)
 		}
 	}
 }

@@ -9,14 +9,14 @@
 package core
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/dht"
+	"repro/internal/stripecache"
 )
 
 // ErrSynthetic is returned when a caller asks for real bytes from a
@@ -79,56 +79,51 @@ func (c *Client) providerView() map[cluster.NodeID]*Provider {
 }
 
 // cachedMeta caches metadata tree nodes client-side with LRU
-// eviction. Tree nodes are immutable once written (a version's tree is
-// never modified), so the cache needs no invalidation — the original
-// BlobSeer client caches metadata the same way. The one exception is
-// the placement loop: the Rebalancer rewrites leaves it re-replicates
-// or migrates, writing through its own cache; other clients' stale
-// leaves still name surviving replicas, so reads keep working via
-// failover.
+// eviction, sharded across lock stripes (internal/stripecache) so
+// concurrent readers and writers on different keys never serialize on
+// one mutex. Tree nodes are immutable once written (a version's tree
+// is never modified), so the cache needs no invalidation — the
+// original BlobSeer client caches metadata the same way. The one
+// exception is the placement loop: the Rebalancer rewrites leaves it
+// re-replicates or migrates, writing through its own cache; other
+// clients' stale leaves still name surviving replicas, so reads keep
+// working via failover. One shard reproduces the historical
+// single-mutex cache (Options.MetaCacheShards = 1).
 type cachedMeta struct {
-	cl  *dht.Client
-	mu  sync.Mutex
-	m   map[string]*list.Element
-	lru *list.List // front = most recently used
-	cap int
+	cl    *dht.Client
+	cache *stripecache.Cache
 }
 
-type metaEntry struct {
-	key string
-	val []byte
+func newCachedMeta(cl *dht.Client, shards, capacity int) *cachedMeta {
+	return &cachedMeta{cl: cl, cache: stripecache.New(shards, capacity)}
 }
 
-func newCachedMeta(cl *dht.Client, capacity int) *cachedMeta {
-	return &cachedMeta{cl: cl, m: make(map[string]*list.Element), lru: list.New(), cap: capacity}
+// getNode implements the tree walk's nodeGetter fast path: a cache hit
+// by byte-rendered key, with no key string or result map materialized.
+func (c *cachedMeta) getNode(key []byte) ([]byte, bool) {
+	return c.cache.GetBytes(key)
 }
 
 // BatchGet serves hits locally and fetches only the misses.
 func (c *cachedMeta) BatchGet(keys []string) (map[string][]byte, error) {
 	out := make(map[string][]byte, len(keys))
 	var missing []string
-	c.mu.Lock()
 	for _, k := range keys {
-		if el, ok := c.m[k]; ok {
-			out[k] = el.Value.(*metaEntry).val
-			c.lru.MoveToFront(el)
+		if v, ok := c.cache.Get(k); ok {
+			out[k] = v
 		} else {
 			missing = append(missing, k)
 		}
 	}
-	c.mu.Unlock()
 	if len(missing) > 0 {
 		got, err := c.cl.BatchGet(missing)
 		if err != nil {
 			return nil, err
 		}
-		c.mu.Lock()
 		for k, v := range got {
 			out[k] = v
-			c.insertLocked(k, v)
+			c.cache.Put(k, v)
 		}
-		c.trimLocked()
-		c.mu.Unlock()
 	}
 	return out, nil
 }
@@ -138,33 +133,10 @@ func (c *cachedMeta) BatchPut(kvs map[string][]byte) error {
 	if err := c.cl.BatchPut(kvs); err != nil {
 		return err
 	}
-	c.mu.Lock()
 	for k, v := range kvs {
-		c.insertLocked(k, v)
+		c.cache.Put(k, v)
 	}
-	c.trimLocked()
-	c.mu.Unlock()
 	return nil
-}
-
-func (c *cachedMeta) insertLocked(k string, v []byte) {
-	if el, ok := c.m[k]; ok {
-		el.Value.(*metaEntry).val = v
-		c.lru.MoveToFront(el)
-		return
-	}
-	c.m[k] = c.lru.PushFront(&metaEntry{key: k, val: v})
-}
-
-// trimLocked bounds the cache by evicting least-recently-used entries,
-// so nodes inserted or touched by the current operation (e.g. a hot
-// tree root) always survive the trim.
-func (c *cachedMeta) trimLocked() {
-	for c.lru.Len() > c.cap {
-		el := c.lru.Back()
-		delete(c.m, el.Value.(*metaEntry).key)
-		c.lru.Remove(el)
-	}
 }
 
 type blobInfo struct {
@@ -323,12 +295,17 @@ func (c *Client) write(s opSettings, blob BlobID, off, length int64, data []byte
 	// write). For concurrent writers this waits for the predecessor's
 	// publication, so interleaved sub-page appends never lose bytes.
 	lo, hi := pageSpan(off, length, ps)
-	var pages map[int64][]byte
+	var pages [][]byte // page lo+i's full contents; nil for synthetic
 	if data != nil {
-		pages, err = c.assemblePages(s, blob, rec, hist, data, ps)
+		var bufs []*pageBuf
+		pages, bufs, err = c.assemblePages(s, blob, rec, hist, data, ps)
 		if err != nil {
 			return 0, 0, abort(err)
 		}
+		// The scatter joins every in-flight put (and the store copies on
+		// ingest) before write returns, so the buffers recycle safely on
+		// every exit path.
+		defer c.putBufs(bufs)
 	}
 
 	// 3. Placement: each page key hashes to its preferred owners under
@@ -341,10 +318,7 @@ func (c *Client) write(s opSettings, blob BlobID, off, length int64, data []byte
 	if err != nil {
 		return 0, 0, abort(err)
 	}
-	placeMap := make(map[int64][]cluster.NodeID, hi-lo)
-	for i := int64(0); i < hi-lo; i++ {
-		placeMap[lo+i] = sets[i]
-	}
+	placement := pagePlacement{lo: lo, sets: sets}
 
 	// 4. Scatter pages to providers (one logical transfer; the store
 	// operations carry the real or synthetic contents).
@@ -355,11 +329,12 @@ func (c *Client) write(s opSettings, blob BlobID, off, length int64, data []byte
 		var content []byte
 		size := pageExtent(p, ps, rec.SizeAfter)
 		if data != nil {
-			content = pages[p]
+			content = pages[p-lo]
 			size = int64(len(content))
 		}
-		total += size * int64(len(placeMap[p]))
-		for _, prov := range placeMap[p] {
+		provs := sets[p-lo]
+		total += size * int64(len(provs))
+		for _, prov := range provs {
 			perProv[prov] = append(perProv[prov], pagePut{key: key, data: content, size: size})
 		}
 	}
@@ -371,7 +346,7 @@ func (c *Client) write(s opSettings, blob BlobID, off, length int64, data []byte
 	if err := s.ctx.Err(); err != nil {
 		return 0, 0, abort(canceled("write", err))
 	}
-	nodes := buildNodes(rec, hist, ps, placeMap)
+	nodes := buildNodes(rec, hist, ps, placement)
 	if err := c.meta.BatchPut(nodes); err != nil {
 		return 0, 0, abort(err)
 	}
@@ -534,7 +509,12 @@ func (c *Client) appendBlocks(s opSettings, blob BlobID, blocks []AppendBlock) (
 		for _, b := range blocks {
 			total += int64(len(b.Data))
 		}
-		ext = make([]byte, (base-alignedStart)+total)
+		// Pooled (zeroed — the merged prefix's holes must read as
+		// zeros); the scatter joins before this function returns, so the
+		// deferred recycle is safe on every path.
+		extBuf := c.getBuf((base - alignedStart) + total)
+		defer c.putBuf(extBuf)
+		ext = extBuf.b
 		if base > alignedStart {
 			if err := c.mergeFragment(s.ctx, blob, recs[0].Version, hist, alignedStart, alignedStart, base, ps, ext[:base-alignedStart]); err != nil {
 				return nil, 0, abortAll(err)
@@ -596,12 +576,9 @@ func (c *Client) appendBlocks(s opSettings, blob BlobID, blocks []AppendBlock) (
 	slot = 0
 	for _, rec := range recs {
 		lo, hi := pageSpan(rec.Offset, rec.Length, ps)
-		placeMap := make(map[int64][]cluster.NodeID, hi-lo)
-		for p := lo; p < hi; p++ {
-			placeMap[p] = sets[slot]
-			slot++
-		}
-		for k, v := range buildNodes(rec, hist, ps, placeMap) {
+		placement := pagePlacement{lo: lo, sets: sets[slot : slot+int(hi-lo)]}
+		slot += int(hi - lo)
+		for k, v := range buildNodes(rec, hist, ps, placement) {
 			nodes[k] = v
 		}
 	}
@@ -788,14 +765,25 @@ func pageExtent(p, ps, size int64) int64 {
 // buffers, merging unaligned boundary pages with the latest version
 // whose span covers the uncovered fragment — per the ticket history,
 // not the racing "latest" — waiting for its publication first.
-func (c *Client) assemblePages(s opSettings, blob BlobID, rec WriteRecord, hist history, data []byte, ps int64) (map[int64][]byte, error) {
+//
+// pages[i] holds page lo+i. The buffers are pooled: the caller owns
+// bufs and must recycle them (putBufs) once the pages have been copied
+// into the providers' stores; on error everything is recycled here.
+func (c *Client) assemblePages(s opSettings, blob BlobID, rec WriteRecord, hist history, data []byte, ps int64) (pages [][]byte, bufs []*pageBuf, err error) {
 	off, length := rec.Offset, int64(len(data))
 	lo, hi := pageSpan(off, length, ps)
-	pages := make(map[int64][]byte, hi-lo)
+	pages = make([][]byte, hi-lo)
+	bufs = make([]*pageBuf, 0, hi-lo)
+	fail := func(err error) ([][]byte, []*pageBuf, error) {
+		c.putBufs(bufs)
+		return nil, nil, err
+	}
 	for p := lo; p < hi; p++ {
 		pStart := p * ps
 		extent := pageExtent(p, ps, rec.SizeAfter)
-		buf := make([]byte, extent)
+		pb := c.getBuf(extent) // zeroed: uncovered fragments are holes
+		bufs = append(bufs, pb)
+		buf := pb.b
 		// Overlap with existing data if the write does not fully cover
 		// the page's extent.
 		covFrom, covTo := off-pStart, off+length-pStart
@@ -807,19 +795,19 @@ func (c *Client) assemblePages(s opSettings, blob BlobID, rec WriteRecord, hist 
 		}
 		if covFrom > 0 {
 			if err := c.mergeFragment(s.ctx, blob, rec.Version, hist, pStart, pStart, pStart+covFrom, ps, buf[:covFrom]); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 		if covTo < extent {
 			if err := c.mergeFragment(s.ctx, blob, rec.Version, hist, pStart, pStart+covTo, pStart+extent, ps, buf[covTo:]); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 		srcFrom := pStart + covFrom - off
 		copy(buf[covFrom:covTo], data[srcFrom:])
-		pages[p] = buf
+		pages[p-lo] = buf
 	}
-	return pages, nil
+	return pages, bufs, nil
 }
 
 // mergeFragment fills dst with bytes [from, to) of page pStart as of
@@ -901,7 +889,11 @@ func (c *Client) readCommon(s opSettings, blob BlobID, off, length int64, dst []
 		return 0, err
 	}
 
-	fetched, err := c.gatherPages(s.ctx, leaves)
+	// Gather staging lives in pooled buffers; they recycle after the
+	// copy-out below (nothing retains the staged bytes past this call).
+	arena := bufArena{c: c}
+	defer arena.release()
+	fetched, err := c.gatherPages(s.ctx, leaves, lo, hi, &arena)
 	if err != nil {
 		return 0, err
 	}
@@ -928,7 +920,7 @@ func (c *Client) readCommon(s opSettings, blob BlobID, off, length int64, dst []
 				}
 				continue
 			}
-			it := fetched[leaf.Page]
+			it := fetched[leaf.Page-lo]
 			if it.Data == nil {
 				return 0, fmt.Errorf("%w: page %d", ErrSynthetic, leaf.Page)
 			}
@@ -968,26 +960,40 @@ func (c *Client) fanOut(nodes []cluster.NodeID, fn func(cluster.NodeID)) {
 // Cancellation is honored between rounds and before each provider
 // batch: a canceled gather stops issuing fetches, joins its in-flight
 // workers, and returns an error matching ErrCanceled.
-func (c *Client) gatherPages(ctx *cluster.Ctx, leaves []PageLoc) (map[int64]PageFetch, error) {
+//
+// Leaves cover the page span [lo, hi); the result is indexed by
+// page-lo (holes stay zero entries). Real page bytes are staged in
+// arena's pooled buffers — the caller releases the arena once done
+// with the fetched data.
+func (c *Client) gatherPages(ctx *cluster.Ctx, leaves []PageLoc, lo, hi int64, arena *bufArena) ([]PageFetch, error) {
 	type pendingPage struct {
 		loc     PageLoc
 		tried   map[cluster.NodeID]bool // replicas that already failed
 		lastErr error                   // most recent fetch failure
 	}
-	var pending []*pendingPage
+	// Pages are tracked by value and rounds pass index slices around, so
+	// the per-page bookkeeping of a clean single-round gather (the hot
+	// path) is three slice allocations, not one per page.
+	pending := make([]pendingPage, 0, len(leaves))
 	for _, leaf := range leaves {
 		if len(leaf.Providers) == 0 {
 			continue // hole: zeros
 		}
-		pending = append(pending, &pendingPage{loc: leaf})
+		pending = append(pending, pendingPage{loc: leaf})
 	}
-	fetched := make(map[int64]PageFetch, len(pending)) // page index -> fetch
-	for len(pending) > 0 {
+	active := make([]int, 0, len(pending)) // indices into pending this round
+	for i := range pending {
+		active = append(active, i)
+	}
+	next := make([]int, 0, len(active))
+	fetched := make([]PageFetch, hi-lo) // index: page - lo
+	for len(active) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, canceled("gather", err)
 		}
-		perProv := make(map[cluster.NodeID][]*pendingPage)
-		for _, pp := range pending {
+		perProv := make(map[cluster.NodeID][]int)
+		for _, idx := range active {
+			pp := &pending[idx]
 			prov, err := c.pickReplica(pp.loc.Providers, pp.tried)
 			if err != nil {
 				// Keep the underlying fetch error: "all replicas down"
@@ -998,53 +1004,63 @@ func (c *Client) gatherPages(ctx *cluster.Ctx, leaves []PageLoc) (map[int64]Page
 				}
 				return nil, fmt.Errorf("%w: page %d of blob %d@%d", err, pp.loc.Page, pp.loc.Blob, pp.loc.Version)
 			}
-			perProv[prov] = append(perProv[prov], pp)
+			perProv[prov] = append(perProv[prov], idx)
 		}
 		srcs := sortedNodes(perProv)
 
-		var next []*pendingPage
+		next = next[:0]
 		var total, fromDisk int64
-		var gmu sync.Mutex // guards next, total, fromDisk, fetched
+		var gmu sync.Mutex // guards next, total, fromDisk, pending[i].tried/lastErr
 		c.fanOut(srcs, func(prov cluster.NodeID) {
 			if ctx.Done() {
 				return // canceled: the round check below surfaces it
 			}
 			batch := perProv[prov]
 			pr := c.provider(prov)
-			keys := make([]string, len(batch))
-			for i, pp := range batch {
-				keys[i] = pp.loc.Key()
-			}
-			items, err := []PageFetch(nil), error(nil)
+			var err error
+			var localTotal, localFromDisk int64
 			if pr == nil {
 				err = fmt.Errorf("core: no provider on node %d", prov)
 			} else {
-				items, err = pr.GetPages(keys)
+				// Keys render into a stack buffer per page; each page
+				// belongs to exactly one provider batch per round, so
+				// writing its fetched slot needs no lock.
+				var kb [48]byte
+				for _, idx := range batch {
+					loc := pending[idx].loc
+					it, gerr := pr.getPageInto(appendPageKey(kb[:0], loc.Blob, loc.Version, loc.Page), arena.alloc)
+					if gerr != nil {
+						err = gerr
+						break
+					}
+					fetched[loc.Page-lo] = it
+					localTotal += it.Size
+					if it.FromDisk {
+						localFromDisk += it.Size
+					}
+				}
 			}
 			gmu.Lock()
 			defer gmu.Unlock()
 			if err != nil {
-				// Provider failed mid-read: requeue its pages onto their
-				// remaining replicas. Each page belongs to exactly one
-				// provider batch per round, so tried/lastErr are only
-				// touched by this worker.
-				for _, pp := range batch {
+				// Provider failed mid-read: requeue the whole batch onto
+				// the pages' remaining replicas (pages it fetched before
+				// failing are refetched — their staged data is not
+				// charged). Nothing already committed lies past a failed
+				// batch, so the accounting below only counts clean ones.
+				for _, idx := range batch {
+					pp := &pending[idx]
 					if pp.tried == nil {
 						pp.tried = make(map[cluster.NodeID]bool)
 					}
 					pp.tried[prov] = true
 					pp.lastErr = err
-					next = append(next, pp)
+					next = append(next, idx)
 				}
 				return
 			}
-			for i, it := range items {
-				fetched[batch[i].loc.Page] = it
-				total += it.Size
-				if it.FromDisk {
-					fromDisk += it.Size
-				}
-			}
+			total += localTotal
+			fromDisk += localFromDisk
 		})
 		// One round-trip charge per failover round; contacting a dead
 		// provider still costs its RTT.
@@ -1057,7 +1073,7 @@ func (c *Client) gatherPages(ctx *cluster.Ctx, leaves []PageLoc) (map[int64]Page
 		if err := ctx.Err(); err != nil {
 			return nil, canceled("gather", err)
 		}
-		pending = next
+		active, next = next, active
 	}
 	return fetched, nil
 }
@@ -1141,7 +1157,7 @@ func sortedNodes[V any](m map[cluster.NodeID]V) []cluster.NodeID {
 	for n := range m {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -78,6 +78,15 @@ type Options struct {
 	// Publish round trip, and the manager applies each call in its own
 	// lock acquisition and frontier pass.
 	SerialPublish bool
+	// MetaCacheShards is the lock-stripe count of each client's
+	// metadata cache (rounded up to a power of two; default 16). 1
+	// reproduces the historical single-mutex cache — the A8 ablation
+	// baseline.
+	MetaCacheShards int
+	// UnpooledBuffers disables the data path's page-buffer pooling
+	// (every page assembly, batched-append extension and gather staging
+	// allocates fresh) — the A8 ablation baseline.
+	UnpooledBuffers bool
 }
 
 func (o *Options) fillDefaults() {
@@ -101,6 +110,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.PlacementInterval <= 0 {
 		o.PlacementInterval = o.RepairInterval
+	}
+	if o.MetaCacheShards < 1 {
+		o.MetaCacheShards = 16
 	}
 }
 
@@ -319,7 +331,7 @@ func (d *Deployment) NewClient(node cluster.NodeID) *Client {
 	return &Client{
 		d:     d,
 		node:  node,
-		meta:  newCachedMeta(d.Meta.NewClient(d.Env, node), 1<<16),
+		meta:  newCachedMeta(d.Meta.NewClient(d.Env, node), d.Opts.MetaCacheShards, 1<<16),
 		blobs: make(map[BlobID]*blobInfo),
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"strconv"
 
 	"repro/internal/cluster"
 )
@@ -87,14 +88,44 @@ type NodeKey struct {
 	Range   PageRange
 }
 
+// appendTo appends the DHT key rendering ("m/blob/version/off/count")
+// to dst. The format is pinned by TestKeyFormatsPinned: node keys are
+// durable DHT content, so changing it orphans every stored tree.
+func (k NodeKey) appendTo(dst []byte) []byte {
+	dst = append(dst, 'm', '/')
+	dst = strconv.AppendUint(dst, uint64(k.Blob), 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendUint(dst, uint64(k.Version), 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, k.Range.Off, 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, k.Range.Count, 10)
+	return dst
+}
+
 // String renders the DHT key.
 func (k NodeKey) String() string {
-	return fmt.Sprintf("m/%d/%d/%d/%d", k.Blob, k.Version, k.Range.Off, k.Range.Count)
+	var buf [64]byte
+	return string(k.appendTo(buf[:0]))
+}
+
+// appendPageKey appends the provider-store key rendering
+// ("p/blob/version/page") to dst. Pinned like NodeKey.appendTo: page
+// keys name durable provider-store entries.
+func appendPageKey(dst []byte, blob BlobID, v Version, page int64) []byte {
+	dst = append(dst, 'p', '/')
+	dst = strconv.AppendUint(dst, uint64(blob), 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendUint(dst, uint64(v), 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, page, 10)
+	return dst
 }
 
 // pageKey renders the provider-store key of one page of one version.
 func pageKey(blob BlobID, v Version, page int64) string {
-	return fmt.Sprintf("p/%d/%d/%d", blob, v, page)
+	var buf [48]byte
+	return string(appendPageKey(buf[:0], blob, v, page))
 }
 
 // Leaf is the payload of a leaf node: where one page's data lives.
@@ -240,15 +271,35 @@ func decodeNode(b []byte) (inner Inner, leaf Leaf, isLeaf bool, err error) {
 	}
 }
 
+// pagePlacement is the replica-set view buildNodes consumes: sets[i]
+// holds the replicas of page lo+i of a contiguous written span. It is
+// a plain slice window so the write path can hand the placement
+// manager's output straight through without building a per-page map.
+type pagePlacement struct {
+	lo   int64
+	sets [][]cluster.NodeID
+}
+
+func (pl pagePlacement) at(page int64) []cluster.NodeID {
+	i := page - pl.lo
+	if i < 0 || i >= int64(len(pl.sets)) {
+		return nil
+	}
+	return pl.sets[i]
+}
+
 // buildNodes produces every metadata node a write must publish, as DHT
 // key -> encoded value. rec is the write's own record (its Blob names
 // the key space the new nodes live in), h the history of all versions
 // < rec.Version (h may also contain rec itself; only earlier entries
 // are consulted), and placement maps each written page index to its
 // replica set.
-func buildNodes(rec WriteRecord, h history, pageSize int64, placement map[int64][]cluster.NodeID) map[string][]byte {
-	out := make(map[string][]byte)
+func buildNodes(rec WriteRecord, h history, pageSize int64, placement pagePlacement) map[string][]byte {
 	lo, hi := pageSpan(rec.Offset, rec.Length, pageSize)
+	// A span of n pages creates about 2n nodes (leaves plus intersecting
+	// inners) and up to a log-factor spine; presize so hot appends never
+	// regrow the map.
+	out := make(map[string][]byte, 2*(hi-lo)+8)
 	v := rec.Version
 	blob := rec.Blob
 	capBefore := h.capBefore(v)
@@ -257,11 +308,11 @@ func buildNodes(rec WriteRecord, h history, pageSize int64, placement map[int64]
 	build = func(r PageRange) {
 		key := NodeKey{Blob: blob, Version: v, Range: r}.String()
 		if r.leaf() {
-			out[key] = encodeLeaf(Leaf{Providers: placement[r.Off]})
+			out[key] = encodeLeaf(Leaf{Providers: placement.at(r.Off)})
 			return
 		}
 		var inner Inner
-		for _, half := range []PageRange{r.left(), r.right()} {
+		for _, half := range [2]PageRange{r.left(), r.right()} {
 			var childBlob BlobID
 			var childVer Version
 			if creates(rec, capBefore, half, pageSize) {
@@ -313,6 +364,14 @@ type nodeFetcher interface {
 	BatchGet(keys []string) (map[string][]byte, error)
 }
 
+// nodeGetter is the walk's optional fast path: a fetcher that can
+// answer single-node lookups from a local cache with byte-rendered
+// keys pays no key-string or result-map allocations on a hit. Misses
+// fall back to BatchGet.
+type nodeGetter interface {
+	getNode(key []byte) ([]byte, bool)
+}
+
 // walkTree resolves the leaves covering pages [lo, hi) of version v of
 // rootBlob (whose root tree node lives under rootMetaBlob after
 // cloning), issuing one batched DHT get per tree level. Holes are
@@ -339,35 +398,67 @@ func walkTree(rootMetaBlob BlobID, v Version, capPages int64, lo, hi int64, fetc
 		r    PageRange
 	}
 	frontier := []item{{blob: rootMetaBlob, ver: v, r: PageRange{Off: 0, Count: capPages}}}
-	var leaves []PageLoc
+	getter, _ := fetch.(nodeGetter)
+	// The frontier at most doubles per level and is bounded by the page
+	// span; reuse the level buffers across the walk instead of
+	// reallocating them per level. A hot walk (every node a getter hit)
+	// renders keys into keyBuf and allocates nothing per node; only
+	// misses materialize key strings for the BatchGet fallback.
+	next := make([]item, 0, len(frontier))
+	vals := make([][]byte, 0, hi-lo)
+	var keyBuf []byte
+	var missKeys []string
+	var missIdx []int
+	leaves := make([]PageLoc, 0, hi-lo)
 	for len(frontier) > 0 {
-		keys := make([]string, len(frontier))
+		vals = vals[:0]
+		missKeys = missKeys[:0]
+		missIdx = missIdx[:0]
 		for i, it := range frontier {
-			keys[i] = NodeKey{Blob: it.blob, Version: it.ver, Range: it.r}.String()
+			nk := NodeKey{Blob: it.blob, Version: it.ver, Range: it.r}
+			if getter != nil {
+				keyBuf = nk.appendTo(keyBuf[:0])
+				if raw, ok := getter.getNode(keyBuf); ok {
+					vals = append(vals, raw)
+					continue
+				}
+			}
+			vals = append(vals, nil)
+			missKeys = append(missKeys, nk.String())
+			missIdx = append(missIdx, i)
 		}
-		got, err := fetch.BatchGet(keys)
-		if err != nil {
-			return nil, err
+		if len(missKeys) > 0 {
+			got, err := fetch.BatchGet(missKeys)
+			if err != nil {
+				return nil, err
+			}
+			for j, k := range missKeys {
+				if raw, ok := got[k]; ok {
+					vals[missIdx[j]] = raw
+				}
+			}
 		}
-		var next []item
+		next = next[:0]
 		for i, it := range frontier {
-			raw, ok := got[keys[i]]
-			if !ok {
+			raw := vals[i]
+			if raw == nil {
+				// Cold path: the node is genuinely absent from the DHT
+				// (nodes are non-empty by encoding, so nil means missing).
 				if aborted != nil && aborted(it.blob, it.ver) {
 					appendHoles(&leaves, it.r, lo, hi)
 					continue
 				}
-				return nil, fmt.Errorf("core: missing metadata node %s", keys[i])
+				return nil, fmt.Errorf("core: missing metadata node %s", NodeKey{Blob: it.blob, Version: it.ver, Range: it.r})
 			}
 			inner, leaf, isLeaf, err := decodeNode(raw)
 			if err != nil {
-				return nil, fmt.Errorf("core: node %s: %w", keys[i], err)
+				return nil, fmt.Errorf("core: node %s: %w", NodeKey{Blob: it.blob, Version: it.ver, Range: it.r}, err)
 			}
 			if isLeaf {
 				leaves = append(leaves, PageLoc{Page: it.r.Off, Blob: it.blob, Version: it.ver, Providers: leaf.Providers})
 				continue
 			}
-			for _, half := range []PageRange{it.r.left(), it.r.right()} {
+			for _, half := range [2]PageRange{it.r.left(), it.r.right()} {
 				if !half.intersects(lo, hi) {
 					continue
 				}
@@ -382,7 +473,7 @@ func walkTree(rootMetaBlob BlobID, v Version, capPages int64, lo, hi int64, fetc
 				next = append(next, item{blob: childBlob, ver: childVer, r: half})
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
 	return leaves, nil
 }

@@ -98,9 +98,9 @@ func applyWrite(store mapFetcher, blob BlobID, rec WriteRecord, h history, ps in
 		}
 	}
 	lo, hi := pageSpan(rec.Offset, rec.Length, ps)
-	placement := make(map[int64][]cluster.NodeID)
+	placement := pagePlacement{lo: lo, sets: make([][]cluster.NodeID, hi-lo)}
 	for p := lo; p < hi; p++ {
-		placement[p] = []cluster.NodeID{cluster.NodeID(p % 7)}
+		placement.sets[p-lo] = []cluster.NodeID{cluster.NodeID(p % 7)}
 	}
 	for k, v := range buildNodes(rec, h, ps, placement) {
 		store[k] = v
@@ -344,7 +344,7 @@ func TestCreatedNodeCountIsLogarithmic(t *testing.T) {
 	h = append(h, WriteRecord{Version: 1, Offset: 0, Length: size, SizeAfter: size, CapAfter: capacityPages(size, ps)})
 	rec := WriteRecord{Version: 2, Offset: size, Length: ps, SizeAfter: size + ps, CapAfter: capacityPages(size+ps, ps)}
 	h = append(h, rec)
-	placement := map[int64][]cluster.NodeID{1 << 20: {0}}
+	placement := pagePlacement{lo: 1 << 20, sets: [][]cluster.NodeID{{0}}}
 	rec.Blob = 1
 	nodes := buildNodes(rec, h, ps, placement)
 	if len(nodes) > 64 {
@@ -356,4 +356,46 @@ func TestCreatedNodeCountIsLogarithmic(t *testing.T) {
 		}
 	}
 	_ = fmt.Sprintf("%d", len(nodes))
+}
+
+// TestKeyFormatsPinned pins the byte-exact rendering of node and page
+// keys against the historical fmt.Sprintf formats. Both name durable
+// content — node keys address DHT trees, page keys address provider
+// stores — so a rendering change silently orphans everything stored
+// under the old format.
+func TestKeyFormatsPinned(t *testing.T) {
+	nodeKeys := []NodeKey{
+		{},
+		{Blob: 1, Version: 1, Range: PageRange{Off: 0, Count: 1}},
+		{Blob: 7, Version: 42, Range: PageRange{Off: 512, Count: 128}},
+		{Blob: 1<<63 + 9, Version: 1<<64 - 1, Range: PageRange{Off: 1 << 40, Count: 1 << 20}},
+	}
+	for _, k := range nodeKeys {
+		want := fmt.Sprintf("m/%d/%d/%d/%d", uint64(k.Blob), uint64(k.Version), k.Range.Off, k.Range.Count)
+		if got := k.String(); got != want {
+			t.Errorf("NodeKey%+v.String() = %q, want %q", k, got, want)
+		}
+		// appendTo must extend dst, preserving any existing prefix.
+		pre := []byte("x")
+		if got := string(k.appendTo(pre)); got != "x"+want {
+			t.Errorf("appendTo prefix broken: %q", got)
+		}
+	}
+	type pk struct {
+		blob BlobID
+		v    Version
+		page int64
+	}
+	pageKeys := []pk{
+		{0, 0, 0},
+		{1, 1, 0},
+		{7, 42, 513},
+		{1<<63 + 9, 1<<64 - 1, 1 << 50},
+	}
+	for _, c := range pageKeys {
+		want := fmt.Sprintf("p/%d/%d/%d", uint64(c.blob), uint64(c.v), c.page)
+		if got := pageKey(c.blob, c.v, c.page); got != want {
+			t.Errorf("pageKey(%d, %d, %d) = %q, want %q", c.blob, c.v, c.page, got, want)
+		}
+	}
 }

@@ -1,0 +1,79 @@
+// pool.go pools the page-sized scratch buffers of the client data
+// path: assemblePages' per-page buffers, the batched append's extended
+// buffer, and the read gather's staging. Buffers cycle strictly within
+// one operation — taken at the start, handed to provider/store calls
+// that copy out of them (pagestore.Put copies on ingest; gather staging
+// is copied into the caller's destination), and returned before the
+// operation completes — so nothing long-lived ever aliases a pooled
+// buffer. Options.UnpooledBuffers disables reuse (fresh allocations,
+// returns dropped) as the A8 ablation baseline.
+package core
+
+import "sync"
+
+// pageBuf wraps a pooled byte slice. The pointer wrapper (not the
+// slice itself) goes through the sync.Pool, so Put costs no
+// interface-boxing allocation and the capacity survives recycling.
+type pageBuf struct {
+	b []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return new(pageBuf) }}
+
+// getBuf returns a zeroed buffer of length n. Zeroing is part of the
+// contract: page assembly and the extended append buffer rely on
+// untouched bytes reading as zeros (holes).
+func (c *Client) getBuf(n int64) *pageBuf {
+	if c.d.Opts.UnpooledBuffers {
+		return &pageBuf{b: make([]byte, n)}
+	}
+	pb := bufPool.Get().(*pageBuf)
+	if int64(cap(pb.b)) < n {
+		pb.b = make([]byte, n)
+	} else {
+		pb.b = pb.b[:n]
+		clear(pb.b)
+	}
+	return pb
+}
+
+// putBuf recycles a buffer. The caller must not touch pb.b afterwards.
+func (c *Client) putBuf(pb *pageBuf) {
+	if pb == nil || c.d.Opts.UnpooledBuffers {
+		return
+	}
+	bufPool.Put(pb)
+}
+
+func (c *Client) putBufs(pbs []*pageBuf) {
+	for _, pb := range pbs {
+		c.putBuf(pb)
+	}
+}
+
+// bufArena hands out pooled buffers to concurrent borrowers (the
+// gather fan-out's per-provider workers) and releases them all at
+// once when the operation is done with the staged bytes.
+type bufArena struct {
+	c    *Client
+	mu   sync.Mutex
+	bufs []*pageBuf
+}
+
+// alloc is the staging allocator handed to Provider.GetPagesInto. Safe
+// for concurrent use.
+func (a *bufArena) alloc(n int64) []byte {
+	pb := a.c.getBuf(n)
+	a.mu.Lock()
+	a.bufs = append(a.bufs, pb)
+	a.mu.Unlock()
+	return pb.b
+}
+
+// release recycles every buffer handed out so far.
+func (a *bufArena) release() {
+	for _, pb := range a.bufs {
+		a.c.putBuf(pb)
+	}
+	a.bufs = nil
+}

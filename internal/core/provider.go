@@ -116,6 +116,18 @@ func (p *Provider) flushLoop() {
 		keys, total := p.store.TakeDirty(p.flushBatch)
 		if len(keys) == 0 {
 			sig.Wait()
+			// Re-arm: the signal just consumed is burnt (Fire is
+			// idempotent), so the next idle wait needs a fresh one.
+			// Re-arming here instead of on every wake keeps the signal
+			// allocation off the per-put hot path: writers only ever
+			// Fire. A put racing the swap either reads the old signal
+			// (its page is already in the store, so the next TakeDirty
+			// sees it) or the new one (which wakes the next wait).
+			p.mu.Lock()
+			if !p.stopped && p.flushSig == sig {
+				p.flushSig = p.env.NewSignal()
+			}
+			p.mu.Unlock()
 			continue
 		}
 		p.env.DiskWrite(p.node, total)
@@ -125,11 +137,12 @@ func (p *Provider) flushLoop() {
 	}
 }
 
-// wakeFlusher re-arms and fires the flush signal.
+// wakeFlusher fires the flush signal. Firing is idempotent, so the
+// per-put cost is one lock + one no-op after the first wake; the flush
+// loop re-arms a fresh signal when it next goes idle.
 func (p *Provider) wakeFlusher() {
 	p.mu.Lock()
 	sig := p.flushSig
-	p.flushSig = p.env.NewSignal()
 	p.mu.Unlock()
 	sig.Fire()
 }
@@ -197,18 +210,41 @@ type PageFetch struct {
 // GetPages reads a batch of pages, reporting per-page residency so the
 // caller can charge disk time for the misses.
 func (p *Provider) GetPages(keys []string) ([]PageFetch, error) {
+	return p.GetPagesInto(keys, nil)
+}
+
+// GetPagesInto is GetPages with caller-controlled staging: each page's
+// bytes are copied into alloc(size)'s buffer instead of a fresh heap
+// slice (see pagestore.GetInto). alloc must be safe for whatever
+// concurrency the caller uses across providers; a nil alloc behaves
+// like GetPages.
+func (p *Provider) GetPagesInto(keys []string, alloc func(int64) []byte) ([]PageFetch, error) {
 	if p.isDown() {
 		return nil, fmt.Errorf("%w: node %d", ErrProviderDown, p.node)
 	}
 	out := make([]PageFetch, 0, len(keys))
 	for _, k := range keys {
-		data, meta, err := p.store.Get(k)
+		data, meta, err := p.store.GetInto(k, alloc)
 		if err != nil {
 			return nil, fmt.Errorf("provider %d: %w", p.node, err)
 		}
 		out = append(out, PageFetch{Key: k, Data: data, Size: meta.Size, FromDisk: !meta.Resident})
 	}
 	return out, nil
+}
+
+// getPageInto fetches one page by its byte-rendered key — the gather
+// hot path: no key string, no batch slices. The result's Key field is
+// left empty (no caller reads it back).
+func (p *Provider) getPageInto(key []byte, alloc func(int64) []byte) (PageFetch, error) {
+	if p.isDown() {
+		return PageFetch{}, fmt.Errorf("%w: node %d", ErrProviderDown, p.node)
+	}
+	data, meta, err := p.store.GetBytesInto(key, alloc)
+	if err != nil {
+		return PageFetch{}, fmt.Errorf("provider %d: %w", p.node, err)
+	}
+	return PageFetch{Data: data, Size: meta.Size, FromDisk: !meta.Resident}, nil
 }
 
 // DeletePage removes a page copy from the provider's store (rebalance:

@@ -40,3 +40,44 @@ func BenchmarkBatchPutGet(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRingLookupMissHeavy stresses the duplicate-skip walk: few
+// nodes with many vnodes and full replication force LookupN to scan
+// (and wrap) past many points whose node is already in the result
+// before it finds the next distinct one.
+func BenchmarkRingLookupMissHeavy(b *testing.B) {
+	r := NewRing(nodes(4), 128, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := r.LookupN(fmt.Sprintf("p/1/%d/7", i), 4)
+		if len(out) != 4 {
+			b.Fatal("short lookup")
+		}
+	}
+}
+
+// BenchmarkRingLookupAppend is the zero-alloc variant of the hot
+// routing path (shared scratch, byte keys).
+func BenchmarkRingLookupAppend(b *testing.B) {
+	r := NewRing(nodes(24), 32, 3)
+	var scratch []cluster.NodeID
+	var key []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key = append(key[:0], 'p', '/')
+		key = appendInt(key, i)
+		scratch = r.LookupBytesAppend(scratch[:0], key, 3)
+		if len(scratch) != 3 {
+			b.Fatal("short lookup")
+		}
+	}
+}
+
+func appendInt(dst []byte, i int) []byte {
+	if i >= 10 {
+		dst = appendInt(dst, i/10)
+	}
+	return append(dst, byte('0'+i%10))
+}

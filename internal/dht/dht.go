@@ -12,8 +12,9 @@ package dht
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
+	"slices"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/cluster"
@@ -67,8 +68,16 @@ func NewRing(nodes []cluster.NodeID, vnodes, replication int) *Ring {
 
 func pointsFor(n cluster.NodeID, vnodes int) []point {
 	pts := make([]point, vnodes)
+	// The hash input must stay byte-identical to the historical
+	// fmt.Sprintf("%d|%d", n, v) rendering: these hashes ARE the ring
+	// layout, and moving a point moves keys between nodes. Pinned by
+	// TestPointsForFormatPinned.
+	var buf [48]byte
 	for v := 0; v < vnodes; v++ {
-		pts[v] = point{hash: hash64(fmt.Sprintf("%d|%d", n, v)), node: n}
+		b := strconv.AppendInt(buf[:0], int64(n), 10)
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(v), 10)
+		pts[v] = point{hash: hash64Bytes(b), node: n}
 	}
 	return pts
 }
@@ -152,7 +161,25 @@ func (r *Ring) Lookup(key string) []cluster.NodeID {
 // LookupN is Lookup with an explicit replica count (clamped to the
 // current membership size).
 func (r *Ring) LookupN(key string, n int) []cluster.NodeID {
-	h := hash64(key)
+	return r.LookupAppend(make([]cluster.NodeID, 0, n), key, n)
+}
+
+// LookupAppend appends the replica set for key to dst and returns the
+// extended slice. It is LookupN without the per-call allocation:
+// callers looping over many keys pass the same backing slice (or a
+// slice re-sliced to length 0) and reuse its capacity.
+func (r *Ring) LookupAppend(dst []cluster.NodeID, key string, n int) []cluster.NodeID {
+	return r.lookupAppend(dst, hash64(key), n)
+}
+
+// LookupBytesAppend is LookupAppend for keys rendered into byte
+// buffers (strconv.Append* style), so routing an appended key costs no
+// intermediate string.
+func (r *Ring) LookupBytesAppend(dst []cluster.NodeID, key []byte, n int) []cluster.NodeID {
+	return r.lookupAppend(dst, hash64Bytes(key), n)
+}
+
+func (r *Ring) lookupAppend(dst []cluster.NodeID, h uint64, n int) []cluster.NodeID {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if n > len(r.nodes) {
@@ -162,32 +189,63 @@ func (r *Ring) LookupN(key string, n int) []cluster.NodeID {
 	if i == len(r.points) {
 		i = 0
 	}
-	out := make([]cluster.NodeID, 0, n)
-	// Distinctness via a linear scan of out: replication is tiny (<=3
-	// in practice), so this beats allocating a seen-map on every lookup
-	// — and Lookup runs once per metadata key on the client hot path.
-	for j := 0; len(out) < n && j < len(r.points); j++ {
-		p := r.points[(i+j)%len(r.points)]
+	base := len(dst)
+	// Distinctness via a linear scan of the appended prefix: replication
+	// is tiny (<=3 in practice), so this beats allocating a seen-map on
+	// every lookup — and Lookup runs once per metadata key on the client
+	// hot path. The walk index wraps with one compare instead of a mod
+	// per iteration.
+	for j := 0; len(dst)-base < n && j < len(r.points); j++ {
+		p := r.points[i]
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
 		dup := false
-		for _, m := range out {
+		for _, m := range dst[base:] {
 			if m == p.node {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, p.node)
+			dst = append(dst, p.node)
 		}
 	}
-	return out
+	return dst
 }
 
+// FNV-1a constants (matching hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hash64 hashes a string key: an inlined FNV-1a pass (hash/fnv's
+// hasher costs a heap allocation per call; this costs none) plus a
+// splitmix64 finalizer — FNV clusters on short, similar keys, and the
+// finalizer scrambles the output so ring points spread uniformly.
 func hash64(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	// FNV clusters on short, similar keys; a splitmix64 finalizer
-	// scrambles the output so ring points spread uniformly.
-	x := h.Sum64()
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return mix64(h)
+}
+
+// hash64Bytes is hash64 for appended byte keys; it must produce the
+// same hash as hash64 on the equivalent string.
+func hash64Bytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return mix64(h)
+}
+
+func mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
@@ -308,11 +366,13 @@ func (c *Client) BatchPut(kvs map[string][]byte) error {
 	if len(kvs) == 0 {
 		return nil
 	}
-	groups := make(map[cluster.NodeID]map[string][]byte)
+	groups := make(map[cluster.NodeID]map[string][]byte, c.dht.Ring.Replication())
 	var total int64
+	var replicas []cluster.NodeID // reused across keys
 	for k, v := range kvs {
 		total += int64(len(k) + len(v))
-		for _, n := range c.dht.Ring.Lookup(k) {
+		replicas = c.dht.Ring.LookupAppend(replicas[:0], k, c.dht.Ring.Replication())
+		for _, n := range replicas {
 			g := groups[n]
 			if g == nil {
 				g = make(map[string][]byte)
@@ -325,7 +385,7 @@ func (c *Client) BatchPut(kvs map[string][]byte) error {
 	for n := range groups {
 		dests = append(dests, n)
 	}
-	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	slices.Sort(dests)
 	// One round trip (requests go out in parallel) plus the payload.
 	c.env.RTT(c.from, farthest(c.env, c.from, dests))
 	c.env.Scatter(c.from, dests, total*int64(c.dht.Ring.Replication()))
@@ -361,8 +421,10 @@ func (c *Client) BatchGet(keys []string) (map[string][]byte, error) {
 		return map[string][]byte{}, nil
 	}
 	groups := make(map[cluster.NodeID][]string)
+	var replicas []cluster.NodeID // reused across keys
 	for _, k := range keys {
-		n := c.primaryUp(k)
+		replicas = c.dht.Ring.LookupAppend(replicas[:0], k, c.dht.Ring.Replication())
+		n := c.firstUp(replicas)
 		groups[n] = append(groups[n], k)
 	}
 	srcs := make([]cluster.NodeID, 0, len(groups))
@@ -387,10 +449,9 @@ func (c *Client) BatchGet(keys []string) (map[string][]byte, error) {
 	return out, nil
 }
 
-// primaryUp returns the first live replica node for a key (or the
-// primary if all are down; the read will then fail per key).
-func (c *Client) primaryUp(key string) cluster.NodeID {
-	replicas := c.dht.Ring.Lookup(key)
+// firstUp returns the first live node of a replica set (or the primary
+// if all are down; the read will then fail per key).
+func (c *Client) firstUp(replicas []cluster.NodeID) cluster.NodeID {
 	for _, n := range replicas {
 		s := c.dht.servers[n]
 		s.mu.Lock()

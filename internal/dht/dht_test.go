@@ -2,6 +2,7 @@ package dht
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -299,5 +300,68 @@ func TestQuickPutGetProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPointsForFormatPinned pins pointsFor's hash input to the
+// historical fmt.Sprintf("%d|%d", node, vnode) rendering through the
+// fnv.New64a + splitmix64 pipeline. The vnode point hashes ARE the
+// ring layout: if this test fails, every deployed placement moves.
+func TestPointsForFormatPinned(t *testing.T) {
+	for _, n := range []cluster.NodeID{0, 1, 7, 199, 65536, -3} {
+		for _, pts := range [][]point{pointsFor(n, 5)} {
+			for v, pt := range pts {
+				ref := fnv.New64a()
+				fmt.Fprintf(ref, "%d|%d", n, v)
+				want := mix64(ref.Sum64())
+				if pt.hash != want {
+					t.Fatalf("pointsFor(%d)[%d].hash = %#x, want %#x (fmt/fnv reference)", n, v, pt.hash, want)
+				}
+				if pt.node != n {
+					t.Fatalf("pointsFor(%d)[%d].node = %d", n, v, pt.node)
+				}
+			}
+		}
+	}
+}
+
+// TestHash64BytesMatchesString: the byte-key lookup path must route
+// exactly like the string path.
+func TestHash64BytesMatchesString(t *testing.T) {
+	for _, s := range []string{"", "p/1/2/3", "m/9/42/128/8", "x"} {
+		if hb, hs := hash64Bytes([]byte(s)), hash64(s); hb != hs {
+			t.Fatalf("hash64Bytes(%q) = %#x, hash64 = %#x", s, hb, hs)
+		}
+	}
+	r := NewRing(nodes(8), 16, 3)
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("p/1/%d/%d", i%7, i)
+		want := r.LookupN(k, 3)
+		got := r.LookupBytesAppend(nil, []byte(k), 3)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("LookupBytesAppend(%q) = %v, LookupN = %v", k, got, want)
+		}
+	}
+}
+
+// TestLookupAppendReusesBuffer: LookupAppend appends after the given
+// prefix and reuses capacity.
+func TestLookupAppendReusesBuffer(t *testing.T) {
+	r := NewRing(nodes(8), 16, 3)
+	buf := make([]cluster.NodeID, 0, 8)
+	first := append([]cluster.NodeID(nil), r.LookupAppend(buf, "a", 3)...)
+	buf = r.LookupAppend(buf[:0], "a", 3)
+	if fmt.Sprint(buf) != fmt.Sprint(first) {
+		t.Fatalf("reused buffer lookup %v != %v", buf, first)
+	}
+	if got, want := fmt.Sprint(buf), fmt.Sprint(r.LookupN("a", 3)); got != want {
+		t.Fatalf("LookupAppend = %s, LookupN = %s", got, want)
+	}
+	// Appending after a non-empty prefix keeps the prefix intact and
+	// dedups only within the appended portion.
+	pre := []cluster.NodeID{buf[0]}
+	out := r.LookupAppend(pre, "a", 3)
+	if out[0] != pre[0] || fmt.Sprint(out[1:]) != fmt.Sprint(first) {
+		t.Fatalf("prefixed append = %v (first=%v)", out, first)
 	}
 }

@@ -254,6 +254,16 @@ func (s *Store) Peek(key string) (Meta, bool) {
 // again (read-through caching), which may evict others. The returned
 // slice is the caller's — mutating it never touches the cache.
 func (s *Store) Get(key string) ([]byte, Meta, error) {
+	return s.GetInto(key, nil)
+}
+
+// GetInto is Get with caller-controlled destination allocation: the
+// entry's bytes are copied into alloc(size)'s result (which must be at
+// least size bytes long) instead of a fresh heap slice, letting callers
+// stage reads in pooled buffers. alloc runs under the store lock and
+// must not call back into the store; it is never called for synthetic
+// entries (their data is nil). A nil alloc behaves exactly like Get.
+func (s *Store) GetInto(key string, alloc func(size int64) []byte) ([]byte, Meta, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -263,24 +273,44 @@ func (s *Store) Get(key string) ([]byte, Meta, error) {
 	if !ok {
 		return nil, Meta{}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
+	return s.getLocked(e, alloc)
+}
+
+// GetBytesInto is GetInto for keys rendered into byte buffers: the
+// index lookup goes through map[string(key)] (which the compiler keeps
+// allocation-free), so a hot read pays no key-string materialization.
+func (s *Store) GetBytesInto(key []byte, alloc func(size int64) []byte) ([]byte, Meta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, Meta{}, ErrClosed
+	}
+	e, ok := s.items[string(key)]
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return s.getLocked(e, alloc)
+}
+
+func (s *Store) getLocked(e *entry, alloc func(size int64) []byte) ([]byte, Meta, error) {
 	m := Meta{Size: e.size, Synthetic: e.synthetic, Resident: e.resident, Dirty: e.dirty}
 	if e.resident {
 		s.hits++
 		if e.lruElem != nil {
 			s.lru.MoveToFront(e.lruElem)
 		}
-		return cloneBytes(e.data), m, nil
+		return copyOut(e.data, alloc), m, nil
 	}
 	s.misses++
 	// Fault the entry back in.
 	if !e.synthetic {
 		if s.backend == nil || !e.logged {
-			return nil, m, fmt.Errorf("%w: %q", ErrEvicted, key)
+			return nil, m, fmt.Errorf("%w: %q", ErrEvicted, e.key)
 		}
-		data, err := s.backend.Get(key)
+		data, err := s.backend.Get(e.key)
 		if err != nil {
 			if errors.Is(err, store.ErrNotFound) {
-				return nil, m, fmt.Errorf("%w: %q", ErrEvicted, key)
+				return nil, m, fmt.Errorf("%w: %q", ErrEvicted, e.key)
 			}
 			return nil, m, err
 		}
@@ -293,17 +323,23 @@ func (s *Store) Get(key string) ([]byte, Meta, error) {
 	}
 	// Snapshot before evictLocked: under memory pressure the entry we
 	// just faulted in can be the first one evicted, which nils its data.
-	out := cloneBytes(e.data)
+	out := copyOut(e.data, alloc)
 	s.evictLocked()
 	return out, m, nil
 }
 
-// cloneBytes copies b (nil stays nil) so callers never alias the cache.
-func cloneBytes(b []byte) []byte {
+// copyOut copies b (nil stays nil) so callers never alias the cache,
+// into alloc's buffer when one is provided.
+func copyOut(b []byte, alloc func(int64) []byte) []byte {
 	if b == nil {
 		return nil
 	}
-	return append([]byte(nil), b...)
+	if alloc == nil {
+		return append([]byte(nil), b...)
+	}
+	dst := alloc(int64(len(b)))[:len(b)]
+	copy(dst, b)
+	return dst
 }
 
 // Delete removes an entry. Deleting a missing key is not an error.

@@ -198,6 +198,20 @@ func (m *Manager) Live() []cluster.NodeID {
 	return out
 }
 
+// liveCount counts Up members without materializing the sorted
+// snapshot Live builds — Place consults it on every write batch.
+func (m *Manager) liveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, st := range m.members {
+		if st.health == Up {
+			n++
+		}
+	}
+	return n
+}
+
 // Health reports a member's state; ok is false for non-members.
 func (m *Manager) Health(n cluster.NodeID) (Health, bool) {
 	m.mu.Lock()
@@ -392,12 +406,12 @@ func (m *Manager) Place(from cluster.NodeID, keys []string, replication int) ([]
 	if replication < 1 {
 		replication = 1
 	}
-	live := m.Live()
-	if len(live) == 0 {
+	nLive := m.liveCount()
+	if nLive == 0 {
 		return nil, fmt.Errorf("placement: no live providers")
 	}
-	if replication > len(live) {
-		replication = len(live)
+	if replication > nLive {
+		replication = nLive
 	}
 	if m.cfg.Strategy != nil {
 		return m.cfg.Strategy.Place(from, keys, replication), nil
