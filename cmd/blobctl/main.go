@@ -13,6 +13,8 @@
 //	blobctl shards                           # version-manager tier topology
 //	blobctl shards /data/input               # which shard owns this file
 //	blobctl providers                        # provider fleet: health + occupancy
+//	blobctl tenants                          # per-tenant admission counters
+//	blobctl -tenant team-a put /data/input < local.txt
 //	blobctl join                             # grow the fleet (auto-picks a node)
 //	blobctl drain 3                          # migrate node 3's pages away
 //	blobctl leave 3                          # remove node 3 from the fleet
@@ -40,6 +42,7 @@ commands:
   versions <path>       list a file's snapshots
   shards [<path>]       show the version-manager tier (and a file's owning shard)
   providers             show the provider fleet: health, occupancy, backend, epoch
+  tenants               show per-tenant admission counters (admitted/rejected/inflight)
   join [<node>]         add a provider (no node = auto-allocate)
   drain <node>          migrate a provider's pages away (keeps serving reads)
   leave <node>          remove a provider from the fleet
@@ -51,6 +54,7 @@ commands:
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "bsfsd address")
+	tenant := flag.String("tenant", "", "admission tenant to attribute data operations to (empty = unlimited)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -63,6 +67,7 @@ func main() {
 		fatal(err)
 	}
 	defer c.Close()
+	c.Tenant = *tenant
 
 	cmd, args := args[0], args[1:]
 	switch cmd {
@@ -161,6 +166,23 @@ func main() {
 				backend = "(ram)"
 			}
 			fmt.Printf("%-6d %-9s %8d %14d %14d %14d %10d %s\n", p.Node, p.Health, p.Entries, p.Resident, p.Dirty, p.Stored, p.Recovered, backend)
+		}
+	case "tenants":
+		if len(args) != 0 {
+			usage()
+		}
+		tr, err := c.Tenants()
+		if err != nil {
+			fatal(err)
+		}
+		if !tr.Enabled {
+			fmt.Println("admission: disabled (start bsfsd with -tenant-rate)")
+			return
+		}
+		fmt.Printf("admission: %.1f ops/s per tenant, burst %.1f\n", tr.Rate, tr.Burst)
+		fmt.Printf("%-20s %10s %10s %9s\n", "tenant", "admitted", "rejected", "inflight")
+		for _, t := range tr.Tenants {
+			fmt.Printf("%-20s %10d %10d %9d\n", t.Tenant, t.Admitted, t.Rejected, t.Inflight)
 		}
 	case "join", "drain", "leave":
 		var node uint64

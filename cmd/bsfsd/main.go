@@ -38,20 +38,22 @@ import (
 
 func main() {
 	var (
-		listen     = flag.String("listen", ":7700", "TCP listen address")
-		providers  = flag.Int("providers", 4, "number of page providers")
-		pageSize   = flag.Int64("page", 256<<10, "blob page size in bytes")
-		blockSize  = flag.Int64("block", 64<<20, "BSFS block size in bytes")
-		replicas   = flag.Int("replicas", 1, "page replication factor")
-		storeSpec  = flag.String("store", "", "provider backend spec: disk:PATH, mem:, null: (empty = in-memory)")
-		dataDir    = flag.String("data", "", "alias for -store disk:DIR (historical)")
-		inflight   = flag.Int("inflight", 0, "writer commit-pipeline depth in blocks (0 = default, negative = synchronous)")
-		serialPub  = flag.Bool("serial-publish", false, "disable version-manager group commit and batched publishes (debug baseline)")
-		vmShards   = flag.Int("vm-shards", 1, "version-manager shard count (blobs partition across shards by id)")
-		metaShards = flag.Int("meta-cache-shards", 0, "client metadata-cache lock-stripe count (0 = default 16, 1 = historical single-mutex cache)")
-		spares     = flag.Int("spares", 32, "node headroom reserved for providers joining at runtime")
-		sweep      = flag.Duration("placement-interval", 10*time.Second, "background placement sweep interval: repair + rebalance (0 disables)")
-		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "provider health-check interval (0 = probe only during sweeps)")
+		listen      = flag.String("listen", ":7700", "TCP listen address")
+		providers   = flag.Int("providers", 4, "number of page providers")
+		pageSize    = flag.Int64("page", 256<<10, "blob page size in bytes")
+		blockSize   = flag.Int64("block", 64<<20, "BSFS block size in bytes")
+		replicas    = flag.Int("replicas", 1, "page replication factor")
+		storeSpec   = flag.String("store", "", "provider backend spec: disk:PATH, mem:, null: (empty = in-memory)")
+		dataDir     = flag.String("data", "", "alias for -store disk:DIR (historical)")
+		inflight    = flag.Int("inflight", 0, "writer commit-pipeline depth in blocks (0 = default, negative = synchronous)")
+		serialPub   = flag.Bool("serial-publish", false, "disable version-manager group commit and batched publishes (debug baseline)")
+		vmShards    = flag.Int("vm-shards", 1, "version-manager shard count (blobs partition across shards by id)")
+		metaShards  = flag.Int("meta-cache-shards", 0, "client metadata-cache lock-stripe count (0 = default 16, 1 = historical single-mutex cache)")
+		spares      = flag.Int("spares", 32, "node headroom reserved for providers joining at runtime")
+		sweep       = flag.Duration("placement-interval", 10*time.Second, "background placement sweep interval: repair + rebalance (0 disables)")
+		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "provider health-check interval (0 = probe only during sweeps)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant admitted ops/sec; over-rate tenants are rejected with a retry-after hint (0 disables admission)")
+		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant token-bucket depth (0 = max(rate, 1))")
 	)
 	flag.Parse()
 	if *vmShards < 1 {
@@ -87,6 +89,8 @@ func main() {
 		MetaCacheShards:   *metaShards,
 		PlacementInterval: *sweep,
 		HeartbeatInterval: *heartbeat,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
 	})
 	if err != nil {
 		log.Fatalf("bsfsd: %v", err)

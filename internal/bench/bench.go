@@ -18,6 +18,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/traffic"
 )
 
 // Byte units re-exported for workload sizing.
@@ -312,6 +313,12 @@ type Point struct {
 	// bytes).
 	NetBytes  int64
 	DiskBytes int64
+	// P50/P90/P99 are quantiles of the per-client (or per-op, for
+	// latency-oriented experiments like X8) completion-time
+	// distribution — the tail the throughput means hide.
+	P50 time.Duration
+	P90 time.Duration
+	P99 time.Duration
 }
 
 // resourceSnapshot sums the simnet counters.
@@ -350,5 +357,6 @@ func summarize(exp, kind string, perClient int64, durations []time.Duration, mak
 	}
 	p.PerClientMBps = sum / float64(len(durations))
 	p.AggregateMBps = mbps(perClient*int64(len(durations)), makespan)
+	p.P50, p.P90, p.P99 = traffic.Quantiles(durations)
 	return p
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"testing"
+	"time"
 )
 
 // Reduced-scale versions of the paper's experiments: 60 nodes, 128 MB
@@ -395,5 +396,43 @@ func TestX7TieredRecovery(t *testing.T) {
 	// nothing from RAM.
 	if res.Cold.DiskBytes == 0 {
 		t.Fatal("cold pass charged no disk reads")
+	}
+}
+
+// smokeServeOpts is the reduced-scale X8 configuration: a small tenant
+// population and a slow version manager, so 10x offered load is well
+// past saturation inside a short virtual window.
+func smokeServeOpts() ServeOpts {
+	return ServeOpts{
+		Tenants:       50,
+		BaseRate:      200,
+		Duration:      4 * time.Second,
+		VMServiceTime: 500 * time.Microsecond,
+		Nodes:         12,
+	}
+}
+
+func TestX8GracefulDegradationUnderOverload(t *testing.T) {
+	open, admitted, err := RunServeSweep(smokeServeOpts(), []float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []float64{1, 10} {
+		o, a := open[i], admitted[i]
+		t.Logf("x8 %2.0fx open : offered %d completed %d goodput %.0f/s p99 %s inflight<=%d",
+			m, o.Report.Offered, o.Report.Completed, o.GoodputPerSec, o.Report.P99, o.Report.MaxInflight)
+		t.Logf("x8 %2.0fx admit: offered %d completed %d rejected %d goodput %.0f/s p99 %s inflight<=%d",
+			m, a.Report.Offered, a.Report.Completed, a.Report.Rejected, a.GoodputPerSec, a.Report.P99, a.Report.MaxInflight)
+	}
+	// The sweep itself asserts goodput and the admitted tail; the
+	// smoke adds the queue-growth claim: at 10x the open run's
+	// in-flight high-water mark must dwarf the admitted run's.
+	o10, a10 := open[1], admitted[1]
+	if a10.Report.Rejected == 0 {
+		t.Fatal("admission at 10x rejected nothing")
+	}
+	if o10.Report.MaxInflight < 2*a10.Report.MaxInflight {
+		t.Fatalf("open-loop backlog %d not meaningfully above admitted %d",
+			o10.Report.MaxInflight, a10.Report.MaxInflight)
 	}
 }

@@ -131,6 +131,9 @@ func NewExperimentResult(e Experiment, r *Recorder) ExperimentResult {
 			MakespanSec:   p.Duration.Seconds(),
 			NetBytes:      p.NetBytes,
 			DiskBytes:     p.DiskBytes,
+			P50Ms:         ms(p.P50),
+			P90Ms:         ms(p.P90),
+			P99Ms:         ms(p.P99),
 		})
 	}
 	return res
@@ -149,6 +152,17 @@ type pointJSON struct {
 	MakespanSec   float64 `json:"makespan_s"`
 	NetBytes      int64   `json:"net_bytes"`
 	DiskBytes     int64   `json:"disk_bytes"`
+	// Latency-distribution quantiles of the per-client (or per-op)
+	// completion times, in milliseconds; omitted when the experiment
+	// recorded no distribution.
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P90Ms float64 `json:"p90_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
+}
+
+// ms renders a duration as fractional milliseconds for the JSON schema.
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 // resultsFile is the top-level document written by bsfs-bench -json:

@@ -44,6 +44,11 @@ func (b *Blob) Latest(opts ...ReadOption) (Version, int64, error) {
 // synthetically.
 func (b *Blob) ReadAt(p []byte, off int64, opts ...ReadOption) (int64, error) {
 	s := resolveReadOpts(opts)
+	release, err := b.c.admit(s)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 	if s.synthLen > 0 {
 		if p != nil {
 			return 0, fmt.Errorf("%w: Synthetic read with a non-nil buffer", ErrBadWrite)
@@ -59,6 +64,14 @@ func (b *Blob) ReadAt(p []byte, off int64, opts ...ReadOption) (int64, error) {
 // nil and a size-only write of n bytes is recorded.
 func (b *Blob) WriteAt(p []byte, off int64, opts ...WriteOption) (Version, error) {
 	s := resolveWriteOpts(opts)
+	// Admission runs before the version ticket is requested: a
+	// rejected write never holds a ticket, so the publication frontier
+	// cannot wedge on rejected work.
+	release, err := b.c.admit(s)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 	length := int64(len(p))
 	if s.synthLen > 0 {
 		if p != nil {
@@ -81,6 +94,11 @@ func (b *Blob) WriteAt(p []byte, off int64, opts ...WriteOption) (Version, error
 // alongside the error (see the batch semantics in client.go).
 func (b *Blob) Append(blocks []AppendBlock, opts ...WriteOption) ([]Version, int64, error) {
 	s := resolveWriteOpts(opts)
+	release, err := b.c.admit(s)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer release()
 	return b.c.appendBlocks(s, b.id, blocks)
 }
 

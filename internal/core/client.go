@@ -263,10 +263,11 @@ func (c *Client) write(s opSettings, blob BlobID, off, length int64, data []byte
 	c.mu.Lock()
 	since := Version(len(bi.history))
 	c.mu.Unlock()
-	t, err := c.vm(blob).RequestTicket(c.node, blob, reqOff, length, since)
+	ts, err := c.vm(blob).RequestTickets(c.node, blob, []WriteIntent{{Off: reqOff, Length: length, Tenant: s.tenant}}, since)
 	if err != nil {
 		return 0, 0, err
 	}
+	t := ts[0]
 	c.mu.Lock()
 	bi.history = appendHistory(bi.history, t.History)
 	// Records are append-only and never mutated, so a capped slice
@@ -449,7 +450,7 @@ func (c *Client) appendBlocks(s opSettings, blob BlobID, blocks []AppendBlock) (
 	// 1. One ticket round trip for the whole batch.
 	intents := make([]WriteIntent, len(blocks))
 	for i, b := range blocks {
-		intents[i] = WriteIntent{Off: -1, Length: b.length()}
+		intents[i] = WriteIntent{Off: -1, Length: b.length(), Tenant: s.tenant}
 	}
 	c.mu.Lock()
 	since := Version(len(bi.history))
@@ -655,6 +656,13 @@ func (c *Client) AppendMany(reqs []BlobAppend, opts ...WriteOption) ([][]Version
 	if len(reqs) == 0 {
 		return out, nil
 	}
+	// One admission charge per call, before any ticket: a rejected
+	// cross-blob append leaves no state on any shard.
+	release, err := c.admit(s)
+	if err != nil {
+		return out, err
+	}
+	defer release()
 	groups := make(map[int][]int) // shard index -> indices into reqs
 	for i, req := range reqs {
 		sh := c.d.VM.ShardIndex(req.Blob)

@@ -125,14 +125,18 @@ type publishedVersion struct {
 }
 
 // runConsistencySeed drives one seeded run and checks every invariant.
-func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish, withCancels bool) {
+func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish, withCancels, overloaded bool) {
 	t.Helper()
 	const (
 		writers = 5
 		opsPer  = 8
 		ps      = int64(128)
+		// tenantRate is deliberately tight when the overload mix is on:
+		// writers issue ops back-to-back, so a low per-tenant rate makes
+		// a real share of them bounce off admission mid-run.
+		tenantRate = 50.0
 	)
-	tolerant := withAborts || withCancels
+	tolerant := withAborts || withCancels || overloaded
 	rng := rand.New(rand.NewSource(seed))
 	plans := genConsistOps(rng, writers, opsPer, withAborts, withCancels, ps)
 	totalTickets := 0
@@ -156,13 +160,19 @@ func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish, wit
 	for i := range provs {
 		provs[i] = cluster.NodeID(i + 1)
 	}
-	d, err := NewDeployment(env, Options{PageSize: ps, ProviderNodes: provs, SerialPublish: serialPublish})
+	depOpts := Options{PageSize: ps, ProviderNodes: provs, SerialPublish: serialPublish}
+	if overloaded {
+		depOpts.TenantRate = tenantRate
+		depOpts.TenantBurst = 2
+	}
+	d, err := NewDeployment(env, depOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	results := make([][]publishedVersion, writers) // written only by writer w
 	failures := make([]int, writers)
+	rejectedTickets := make([]int, writers) // tickets never taken: ops bounced at admission
 	var writersDone atomic.Bool
 	var blob BlobID
 	eng.Go(func() {
@@ -188,6 +198,9 @@ func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish, wit
 					// sibling process cancels after a deterministic
 					// virtual-time delay.
 					opts := []WriteOption{}
+					if overloaded {
+						opts = append(opts, WithTenant(fmt.Sprintf("w%d", w)))
+					}
 					if op.cancelAfter > 0 {
 						ctx, cancel := cluster.WithCancel(env)
 						delay := op.cancelAfter
@@ -212,12 +225,26 @@ func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish, wit
 						}
 					case opWrite, opAppend:
 						data := consistData(seed, w, i, 0, op.length)
-						var v Version
-						var err error
-						if op.kind == opWrite {
-							v, err = bh.WriteAt(data, op.off, opts...)
-						} else {
-							v, _, err = first(bh.Append(Blocks(data), opts...))
+						attempt := func() (Version, error) {
+							if op.kind == opWrite {
+								return bh.WriteAt(data, op.off, opts...)
+							}
+							v, _, err := first(bh.Append(Blocks(data), opts...))
+							return v, err
+						}
+						v, err := attempt()
+						if overloaded && errors.Is(err, ErrOverloaded) {
+							// Honor the typed backpressure once: sleep
+							// the retry-after hint and retry.
+							env.Sleep(RetryAfter(err))
+							v, err = attempt()
+						}
+						if errors.Is(err, ErrOverloaded) {
+							// Rejected at admission: no ticket was taken,
+							// nothing to clean up.
+							rejectedTickets[w]++
+							failures[w]++
+							continue
 						}
 						if err != nil {
 							// Only abort fallout (a boundary merge that
@@ -241,6 +268,17 @@ func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish, wit
 							blocks[j] = AppendBlock{Data: consistData(seed, w, i, j, sz)}
 						}
 						vs, _, err := bh.Append(blocks, opts...)
+						if overloaded && errors.Is(err, ErrOverloaded) {
+							env.Sleep(RetryAfter(err))
+							vs, _, err = bh.Append(blocks, opts...)
+						}
+						if errors.Is(err, ErrOverloaded) {
+							// The whole batch bounced at admission —
+							// one charge per call, zero tickets taken.
+							rejectedTickets[w] += len(blocks)
+							failures[w] += len(blocks)
+							continue
+						}
 						for j, v := range vs {
 							results[w] = append(results[w], publishedVersion{v: v, data: blocks[j].Data})
 						}
@@ -302,7 +340,56 @@ func runConsistencySeed(t *testing.T, seed int64, withAborts, serialPublish, wit
 			t.Errorf("%d writes failed in an abort-free run", total)
 		}
 		if total > 0 {
-			t.Logf("seed %d: %d writes failed as abort/cancel fallout", seed, total)
+			t.Logf("seed %d: %d writes failed as abort/cancel/overload fallout", seed, total)
+		}
+		if overloaded {
+			// The typed-backpressure invariants: rejections actually
+			// happened (the mix is meaningful), every rejected op left
+			// zero tickets behind, and the publication frontier covers
+			// every ticket that WAS taken — no wedge on rejected work.
+			rejected := 0
+			for _, r := range rejectedTickets {
+				rejected += r
+			}
+			if rejected == 0 {
+				t.Errorf("seed %d: overload mix rejected nothing; tighten tenantRate", seed)
+			}
+			recs, err := d.VM.Records(0, blob)
+			if err != nil {
+				t.Error(err)
+			} else if !withCancels && len(recs) != totalTickets-rejected {
+				// Exact ticket accounting: admission rejections are the
+				// only way a planned op takes no ticket. (A cancel racing
+				// the ticket request can also suppress one, so with
+				// cancels in the mix the count is only an upper bound.)
+				t.Errorf("rejected ops leaked tickets: %d records, want %d (%d planned - %d rejected)",
+					len(recs), totalTickets-rejected, totalTickets, rejected)
+			} else if withCancels && len(recs) > totalTickets-rejected {
+				t.Errorf("rejected ops leaked tickets: %d records, want <= %d (%d planned - %d rejected)",
+					len(recs), totalTickets-rejected, totalTickets, rejected)
+			}
+			pub, err := d.VM.Published(0, blob)
+			if err != nil {
+				t.Error(err)
+			} else if int(pub) != len(recs) {
+				t.Errorf("frontier wedged at %d with %d records", pub, len(recs))
+			}
+			lim := d.Admission
+			if lim == nil {
+				t.Error("overloaded deployment has no admission limiter")
+			} else {
+				var admitted, rej uint64
+				for _, st := range lim.Stats() {
+					admitted += st.Admitted
+					rej += st.Rejected
+					if st.Inflight != 0 {
+						t.Errorf("tenant %s still has %d in-flight after drain", st.Tenant, st.Inflight)
+					}
+				}
+				if rej == 0 || admitted == 0 {
+					t.Errorf("limiter counters implausible: admitted %d rejected %d", admitted, rej)
+				}
+			}
 		}
 		verifyConsistency(t, d, blob, totalTickets, results, tolerant)
 	})
@@ -467,7 +554,7 @@ func firstDiff(a, b []byte) int {
 func TestConsistencyRandomConcurrentWriters(t *testing.T) {
 	for _, seed := range consistencySeeds {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runConsistencySeed(t, seed, false, false, false)
+			runConsistencySeed(t, seed, false, false, false, false)
 		})
 	}
 }
@@ -478,7 +565,7 @@ func TestConsistencyRandomConcurrentWriters(t *testing.T) {
 func TestConsistencyRandomAbortingWriters(t *testing.T) {
 	for _, seed := range consistencySeeds {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runConsistencySeed(t, seed, true, false, false)
+			runConsistencySeed(t, seed, true, false, false, false)
 		})
 	}
 }
@@ -490,8 +577,8 @@ func TestConsistencyRandomAbortingWriters(t *testing.T) {
 func TestConsistencySerialPublishMode(t *testing.T) {
 	for _, seed := range consistencySeeds[:2] {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runConsistencySeed(t, seed, false, true, false)
-			runConsistencySeed(t, seed, true, true, false)
+			runConsistencySeed(t, seed, false, true, false, false)
+			runConsistencySeed(t, seed, true, true, false, false)
 		})
 	}
 }
@@ -715,7 +802,7 @@ func TestConsistencyMultiShardWide(t *testing.T) {
 func TestConsistencyCancellingWriters(t *testing.T) {
 	for _, seed := range consistencySeeds {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runConsistencySeed(t, seed, false, false, true)
+			runConsistencySeed(t, seed, false, false, true, false)
 		})
 	}
 }
@@ -726,8 +813,33 @@ func TestConsistencyCancellingWriters(t *testing.T) {
 func TestConsistencyCancellingAndAbortingWriters(t *testing.T) {
 	for _, seed := range consistencySeeds[:2] {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runConsistencySeed(t, seed, true, false, true)
-			runConsistencySeed(t, seed, true, true, true)
+			runConsistencySeed(t, seed, true, false, true, false)
+			runConsistencySeed(t, seed, true, true, true, false)
+		})
+	}
+}
+
+// TestConsistencyOverloadedWriters runs the harness with per-tenant
+// admission enabled and a rate tight enough that writers bounce off
+// ErrOverloaded mid-batch. Rejected ops must leave zero version
+// tickets behind (the publication frontier never waits on rejected
+// work), honored retry-after hints must eventually admit, and the
+// surviving history upholds all four invariants.
+func TestConsistencyOverloadedWriters(t *testing.T) {
+	for _, seed := range consistencySeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runConsistencySeed(t, seed, false, false, false, true)
+		})
+	}
+}
+
+// TestConsistencyOverloadedAndCancellingWriters layers the overload
+// mix on the cancel mix: admission rejections, honored retry hints and
+// mid-flight cancellations interleave, and the invariants still hold.
+func TestConsistencyOverloadedAndCancellingWriters(t *testing.T) {
+	for _, seed := range consistencySeeds[:2] {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runConsistencySeed(t, seed, false, false, true, true)
 		})
 	}
 }

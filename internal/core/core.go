@@ -14,6 +14,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/placement"
 	"repro/internal/store"
+	"repro/internal/traffic"
 )
 
 // Options configures a BlobSeer deployment.
@@ -78,6 +79,29 @@ type Options struct {
 	// Publish round trip, and the manager applies each call in its own
 	// lock acquisition and frontier pass.
 	SerialPublish bool
+	// TenantRate enables per-tenant token-bucket admission at the
+	// client edge: operations tagged with WithTenant are admitted at
+	// this many ops/sec per tenant (bucket depth TenantBurst) and
+	// rejected with ErrOverloaded beyond it — fail-fast backpressure
+	// instead of unbounded queueing. 0 (the default) disables
+	// admission; untenanted operations always bypass it.
+	TenantRate float64
+	// TenantBurst is the admission bucket depth in operations
+	// (default max(TenantRate, 1)).
+	TenantBurst float64
+	// PublishApplyTime models the group-commit drainer's per-request
+	// apply occupancy in the simulated environment: each drained
+	// publish/abort holds the shard's commit processor for this long
+	// of virtual time. 0 — the default, and the only sensible value in
+	// the Local env — disables the model. The fairness experiments set
+	// it to make the publish queue a measurable bottleneck.
+	PublishApplyTime time.Duration
+	// PublishDrainBatch caps how many queued requests one drainer pass
+	// assembles; passes are built round-robin across tenants, so with
+	// a bounded pass a quiet tenant waits at most one pass behind a
+	// hot tenant's backlog. 0 (the default) drains everything queued
+	// in one pass — the historical behavior.
+	PublishDrainBatch int
 	// MetaCacheShards is the lock-stripe count of each client's
 	// metadata cache (rounded up to a power of two; default 16). 1
 	// reproduces the historical single-mutex cache — the A8 ablation
@@ -129,6 +153,11 @@ type Deployment struct {
 	Meta      *dht.Cluster
 	// Rebalance drives the unified repair/rebalance loop.
 	Rebalance *Rebalancer
+	// Admission is the per-tenant token-bucket limiter guarding the
+	// client edge (nil when Opts.TenantRate is 0). rpcnet shares it,
+	// so client-library and RPC ingress draw from the same buckets,
+	// and the BSFS.Tenants RPC serves its counters.
+	Admission *traffic.Limiter
 
 	provMu sync.RWMutex
 	provs  map[cluster.NodeID]*Provider
@@ -143,12 +172,17 @@ func NewDeployment(env cluster.Env, opts Options) (*Deployment, error) {
 	vm := NewVersionRouter(env, opts.VMNodes)
 	vm.SetSerialPublish(opts.SerialPublish)
 	vm.SetServiceTime(opts.VMServiceTime)
+	vm.SetApplyTime(opts.PublishApplyTime)
+	vm.SetDrainBatch(opts.PublishDrainBatch)
 	d := &Deployment{
 		Env:   env,
 		Opts:  opts,
 		VM:    vm,
 		Meta:  dht.NewCluster(opts.MetaNodes, opts.MetaVNodes, opts.MetaReplication),
 		provs: make(map[cluster.NodeID]*Provider, len(opts.ProviderNodes)),
+	}
+	if opts.TenantRate > 0 {
+		d.Admission = traffic.NewLimiter(env, traffic.Config{Rate: opts.TenantRate, Burst: opts.TenantBurst})
 	}
 	for _, n := range opts.ProviderNodes {
 		p, err := d.startProvider(n)

@@ -16,6 +16,7 @@ type opSettings struct {
 	version  Version // reads: snapshot to address (LatestVersion default)
 	synthLen int64   // > 0: synthetic (size-only) operation of this length
 	await    bool    // writes: block until the new version is visible
+	tenant   string  // admission tenant ("" = untenanted: bypasses admission)
 }
 
 func defaultSettings() opSettings {
@@ -79,6 +80,23 @@ func WithCtx(ctx *cluster.Ctx) interface {
 		}
 		s.ctx = ctx
 	})
+}
+
+// WithTenant attributes the operation to an admission tenant. When the
+// deployment runs with admission enabled (Options.TenantRate), a
+// tenant-tagged data operation (ReadAt, WriteAt, Append, AppendMany)
+// is charged against the tenant's token bucket at op entry — before
+// any version ticket is taken — and rejected with an error matching
+// ErrOverloaded when the tenant is over rate, so rejected work leaves
+// no state behind. The tenant also rides write tickets into the
+// version manager's write records, where the group-commit drainer uses
+// it to assemble fair batches across tenants. The empty id (the
+// default) bypasses admission.
+func WithTenant(id string) interface {
+	ReadOption
+	WriteOption
+} {
+	return bothOption(func(s *opSettings) { s.tenant = id })
 }
 
 // AtVersion pins a read-side operation to a published snapshot instead

@@ -90,6 +90,22 @@ func (r *VersionRouter) SetServiceTime(d time.Duration) {
 	}
 }
 
+// SetApplyTime forwards the modeled group-commit apply occupancy to
+// every shard. Call before concurrent use.
+func (r *VersionRouter) SetApplyTime(d time.Duration) {
+	for _, s := range r.shards {
+		s.SetApplyTime(d)
+	}
+}
+
+// SetDrainBatch forwards the drainer's per-pass budget to every
+// shard. Call before concurrent use.
+func (r *VersionRouter) SetDrainBatch(n int) {
+	for _, s := range r.shards {
+		s.SetDrainBatch(n)
+	}
+}
+
 // CreateBlob registers a new blob on the next shard of the round-robin
 // rotation and returns its id (which encodes the shard).
 func (r *VersionRouter) CreateBlob(from cluster.NodeID, pageSize int64) (BlobID, error) {

@@ -56,9 +56,13 @@ type Ticket struct {
 
 // WriteIntent describes one write of a batched ticket request: a byte
 // span at Off (negative requests an append at the current end).
+// Tenant attributes the write to an admission tenant (WithTenant); it
+// rides the ticket into the WriteRecord so the group-commit drainer
+// can assemble its batches fairly across tenants.
 type WriteIntent struct {
 	Off    int64
 	Length int64
+	Tenant string
 }
 
 // VersionManager runs on one node and serializes version assignment
@@ -90,10 +94,33 @@ type VersionManager struct {
 	// Group-commit state: Publish/Abort requests queue here and a
 	// single drainer daemon applies them batch-wise. serial disables
 	// the queue (ablation A6) and restores per-call processing.
+	//
+	// The queue is fair across tenants: each enqueue call's requests
+	// form one atomic group filed under the tenant that ticketed them
+	// (per-tenant FIFO), and the drainer assembles every pass
+	// round-robin across the tenants in order — so a hot tenant's
+	// backlog delays a quiet tenant by at most one pass, never by the
+	// backlog's length. Groups are never split across passes: the
+	// batch-abort contiguous-prefix guarantee (see AbortBatch) needs a
+	// whole client batch to resolve under one lock hold.
 	serial   bool
-	queue    []*pubReq
+	queue    map[string][]pubGroup // per-tenant FIFO of enqueue groups
+	order    []string              // round-robin rotation of tenants with queued work
 	draining bool
+
+	// applyTime > 0 models the drainer's per-request apply occupancy:
+	// each pass holds the shard's commit processor for applyTime per
+	// request of virtual time before applying. drainBatch caps how
+	// many requests one pass assembles (0 = drain everything queued) —
+	// the knob that makes drains incremental and tenant fairness
+	// measurable. Both are set before concurrent use, like svcTime.
+	applyTime  time.Duration
+	drainBatch int
 }
+
+// pubGroup is one enqueue call's requests: applied in the same drainer
+// pass, always.
+type pubGroup []*pubReq
 
 // pubReq is one Publish or Abort routed through the group-commit
 // queue. The drainer fills err/wait/p and fires done; the enqueuer
@@ -156,6 +183,7 @@ func NewVersionManagerShard(env cluster.Env, node cluster.NodeID, shard, stride 
 		stride: BlobID(stride),
 		nextID: first,
 		blobs:  make(map[BlobID]*blobState),
+		queue:  make(map[string][]pubGroup),
 	}
 }
 
@@ -195,6 +223,16 @@ func (vm *VersionManager) serve() {
 // own lock acquisition and frontier pass — the A6 ablation baseline.
 // Call before concurrent use.
 func (vm *VersionManager) SetSerialPublish(serial bool) { vm.serial = serial }
+
+// SetApplyTime sets the modeled per-request apply occupancy of the
+// group-commit drainer (see the applyTime field). Call before
+// concurrent use; 0 disables.
+func (vm *VersionManager) SetApplyTime(d time.Duration) { vm.applyTime = d }
+
+// SetDrainBatch caps how many queued requests one drainer pass
+// assembles (see the drainBatch field). Call before concurrent use;
+// 0 restores unbounded passes.
+func (vm *VersionManager) SetDrainBatch(n int) { vm.drainBatch = n }
 
 // CreateBlob registers a new blob with the given page size and returns
 // its id — the next id of this shard's stride sequence, so the id
@@ -266,7 +304,7 @@ func (vm *VersionManager) RequestTickets(from cluster.NodeID, blob BlobID, inten
 	}
 	out := make([]Ticket, len(intents))
 	for i, in := range intents {
-		out[i] = Ticket{Record: vm.assignLocked(b, blob, in.Off, in.Length)}
+		out[i] = Ticket{Record: vm.assignLocked(b, blob, in.Off, in.Length, in.Tenant)}
 	}
 	// One shared history copy: records are dense (every version has a
 	// record), so ticket i's delta (sinceVersion, v_i) is a prefix of
@@ -287,7 +325,7 @@ func (vm *VersionManager) RequestTickets(from cluster.NodeID, blob BlobID, inten
 }
 
 // assignLocked appends the next version's record and pending entry.
-func (vm *VersionManager) assignLocked(b *blobState, blob BlobID, off, length int64) WriteRecord {
+func (vm *VersionManager) assignLocked(b *blobState, blob BlobID, off, length int64, tenant string) WriteRecord {
 	prevSize := int64(0)
 	if n := len(b.records); n > 0 {
 		prevSize = b.records[n-1].SizeAfter
@@ -306,6 +344,7 @@ func (vm *VersionManager) assignLocked(b *blobState, blob BlobID, off, length in
 		Length:    length,
 		SizeAfter: size,
 		CapAfter:  capacityPages(size, b.pageSize),
+		Tenant:    tenant,
 	}
 	b.records = append(b.records, rec)
 	b.pending[rec.Version] = &pendingWrite{done: vm.env.NewSignal()}
@@ -648,12 +687,17 @@ func (vm *VersionManager) AbortBatch(from cluster.NodeID, blob BlobID, vs []Vers
 	return first
 }
 
-// enqueue adds requests to the group-commit queue and ensures a
-// drainer is running. The requests enter the queue together, so one
-// drainer pass applies the whole batch.
+// enqueue adds one call's requests to the group-commit queue as a
+// single atomic group — filed under the tenant whose ticket produced
+// them — and ensures a drainer is running. The group enters the queue
+// together and is applied in one drainer pass, whole.
 func (vm *VersionManager) enqueue(reqs []*pubReq) {
 	vm.mu.Lock()
-	vm.queue = append(vm.queue, reqs...)
+	t := vm.tenantOfLocked(reqs[0])
+	if _, ok := vm.queue[t]; !ok {
+		vm.order = append(vm.order, t)
+	}
+	vm.queue[t] = append(vm.queue[t], pubGroup(reqs))
 	start := !vm.draining
 	if start {
 		vm.draining = true
@@ -664,21 +708,67 @@ func (vm *VersionManager) enqueue(reqs []*pubReq) {
 	}
 }
 
-// drainLoop is the group-commit drainer: it repeatedly swaps out the
-// whole queue and applies it under a single lock acquisition — every
+// tenantOfLocked resolves the tenant a request's version was ticketed
+// under (one enqueue group is always one client call on one blob, so
+// the first request speaks for the group). Unknown blobs or versions
+// file under the untenanted bucket.
+func (vm *VersionManager) tenantOfLocked(req *pubReq) string {
+	b, ok := vm.blobs[req.blob]
+	if !ok || req.v == 0 || int(req.v) > len(b.records) {
+		return ""
+	}
+	return b.records[int(req.v)-1].Tenant
+}
+
+// takeBatchLocked assembles the next drainer pass: tenants are visited
+// round-robin (rotating through vm.order), each contributing its
+// oldest queued group per turn, until the queue empties or the pass
+// budget (drainBatch) is met. Groups are never split, so a pass may
+// exceed the budget by at most one group's length.
+func (vm *VersionManager) takeBatchLocked() []*pubReq {
+	var batch []*pubReq
+	for len(vm.order) > 0 {
+		t := vm.order[0]
+		vm.order = vm.order[1:]
+		groups := vm.queue[t]
+		g := groups[0]
+		if len(groups) == 1 {
+			delete(vm.queue, t)
+		} else {
+			vm.queue[t] = groups[1:]
+			vm.order = append(vm.order, t)
+		}
+		batch = append(batch, g...)
+		if vm.drainBatch > 0 && len(batch) >= vm.drainBatch {
+			break
+		}
+	}
+	return batch
+}
+
+// drainLoop is the group-commit drainer: it repeatedly assembles a
+// fair batch (takeBatchLocked), charges the modeled apply occupancy,
+// and applies the batch under a single lock acquisition — every
 // publish marked ready, every abort tombstoned, then one frontier
 // advance (and thus one waiter wake-up sweep) per touched blob. It
 // exits when the queue empties; the next enqueue restarts it.
 func (vm *VersionManager) drainLoop() {
 	for {
 		vm.mu.Lock()
-		if len(vm.queue) == 0 {
+		batch := vm.takeBatchLocked()
+		if len(batch) == 0 {
 			vm.draining = false
 			vm.mu.Unlock()
 			return
 		}
-		batch := vm.queue
-		vm.queue = nil
+		vm.mu.Unlock()
+		if vm.applyTime > 0 {
+			// The commit processor is busy for applyTime per request;
+			// slept outside the lock so ticket requests and reads on
+			// this shard proceed while a batch commits.
+			vm.env.Sleep(vm.applyTime * time.Duration(len(batch)))
+		}
+		vm.mu.Lock()
 		touched := make(map[BlobID]*blobState)
 		for _, req := range batch {
 			b, ok := vm.blobs[req.blob]

@@ -14,11 +14,13 @@ import (
 	"io"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
 
 	"repro/internal/bsfs"
 	"repro/internal/cluster"
 	"repro/internal/fsapi"
+	"repro/internal/traffic"
 )
 
 // MaxChunk bounds a single read or write payload on the wire.
@@ -31,18 +33,52 @@ type Service struct {
 
 	mu      sync.Mutex
 	nextID  uint64
-	writers map[uint64]fsapi.Writer
+	writers map[uint64]*wireWriter
+}
+
+// wireWriter is one open write handle plus the tenant it was opened
+// under: every Write/WriteVec through the handle is admitted against
+// that tenant's bucket.
+type wireWriter struct {
+	w      fsapi.Writer
+	tenant string
 }
 
 // NewService wraps a BSFS client (typically node 0 of a Local env).
 func NewService(fs *bsfs.FS) *Service {
-	return &Service{fs: fs, writers: make(map[uint64]fsapi.Writer)}
+	return &Service{fs: fs, writers: make(map[uint64]*wireWriter)}
 }
 
-// OpenArgs opens a file for writing.
+// admit charges one RPC to the deployment's per-tenant admission
+// limiter (the rpcnet ingress edge; rejections fail fast with the
+// typed overload error — net/rpc flattens it to its message on the
+// wire, which IsOverloaded recognizes client-side). Untenanted calls
+// and servers without admission pass through.
+func (s *Service) admit(tenant string) (func(), error) {
+	lim := s.fs.Deployment().Admission
+	if lim == nil || tenant == "" {
+		return func() {}, nil
+	}
+	return lim.Admit(tenant)
+}
+
+// IsOverloaded reports whether err is an admission rejection — typed
+// (server side) or flattened to its message by net/rpc (client side).
+// Callers should back off and retry rather than tighten their loop.
+func IsOverloaded(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, traffic.ErrOverloaded) || strings.Contains(err.Error(), "over admission rate")
+}
+
+// OpenArgs opens a file for writing. Tenant attributes the open and
+// every write through the returned handle to an admission tenant
+// (empty bypasses admission).
 type OpenArgs struct {
 	Path   string
 	Append bool
+	Tenant string
 }
 
 // OpenReply returns the write handle.
@@ -50,8 +86,12 @@ type OpenReply struct{ Handle uint64 }
 
 // Open creates or opens a file for (appending) writes.
 func (s *Service) Open(args *OpenArgs, reply *OpenReply) error {
+	release, err := s.admit(args.Tenant)
+	if err != nil {
+		return err
+	}
+	defer release()
 	var w fsapi.Writer
-	var err error
 	if args.Append {
 		w, err = s.fs.Append(args.Path)
 	} else {
@@ -63,7 +103,7 @@ func (s *Service) Open(args *OpenArgs, reply *OpenReply) error {
 	s.mu.Lock()
 	s.nextID++
 	id := s.nextID
-	s.writers[id] = w
+	s.writers[id] = &wireWriter{w: w, tenant: args.Tenant}
 	s.mu.Unlock()
 	reply.Handle = id
 	return nil
@@ -87,7 +127,12 @@ func (s *Service) Write(args *WriteArgs, reply *WriteReply) error {
 	if err != nil {
 		return err
 	}
-	n, err := w.Write(args.Data)
+	release, err := s.admit(w.tenant)
+	if err != nil {
+		return err
+	}
+	defer release()
+	n, err := w.w.Write(args.Data)
 	reply.N = n
 	return err
 }
@@ -126,8 +171,15 @@ func (s *Service) WriteVec(args *WriteVecArgs, reply *WriteVecReply) error {
 	if err != nil {
 		return err
 	}
+	// One admission charge per vectored call: the batch is the unit of
+	// work the client offered, and a rejected batch writes nothing.
+	release, err := s.admit(w.tenant)
+	if err != nil {
+		return err
+	}
+	defer release()
 	for _, c := range args.Chunks {
-		n, err := w.Write(c)
+		n, err := w.w.Write(c)
 		reply.N += int64(n)
 		if err != nil {
 			return err
@@ -151,10 +203,10 @@ func (s *Service) Close(args *CloseArgs, reply *CloseReply) error {
 	if !ok {
 		return errors.New("rpcnet: unknown handle")
 	}
-	return w.Close()
+	return w.w.Close()
 }
 
-func (s *Service) writer(id uint64) (fsapi.Writer, error) {
+func (s *Service) writer(id uint64) (*wireWriter, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	w, ok := s.writers[id]
@@ -165,11 +217,14 @@ func (s *Service) writer(id uint64) (fsapi.Writer, error) {
 }
 
 // ReadArgs reads a byte range of a file (Version 0 = latest snapshot).
+// Tenant attributes the read to an admission tenant (empty bypasses
+// admission).
 type ReadArgs struct {
 	Path    string
 	Version uint64
 	Off     int64
 	Len     int64
+	Tenant  string
 }
 
 // ReadReply carries the bytes (short at EOF).
@@ -180,8 +235,12 @@ func (s *Service) Read(args *ReadArgs, reply *ReadReply) error {
 	if args.Len > MaxChunk {
 		return fmt.Errorf("rpcnet: read %d exceeds max %d", args.Len, MaxChunk)
 	}
+	release, err := s.admit(args.Tenant)
+	if err != nil {
+		return err
+	}
+	defer release()
 	var r fsapi.Reader
-	var err error
 	if args.Version == 0 {
 		r, err = s.fs.OpenAt(args.Path)
 	} else {
@@ -350,6 +409,48 @@ func (s *Service) Providers(args *ProvidersArgs, reply *ProvidersReply) error {
 	return nil
 }
 
+// TenantsArgs is empty (reserved for future filters).
+type TenantsArgs struct{}
+
+// TenantInfo is one tenant's admission counters.
+type TenantInfo struct {
+	Tenant   string
+	Admitted uint64
+	Rejected uint64
+	Inflight int
+}
+
+// TenantsReply describes the server's admission configuration and
+// every tenant the limiter has seen.
+type TenantsReply struct {
+	// Enabled is false when the server runs without admission
+	// (-tenant-rate 0); Rate/Burst and Tenants are then empty.
+	Enabled bool
+	Rate    float64 // admitted ops/sec per tenant
+	Burst   float64 // bucket depth
+	Tenants []TenantInfo
+}
+
+// Tenants reports per-tenant admitted/rejected/inflight counters from
+// the admission layer — the operator's view of who is over rate.
+func (s *Service) Tenants(args *TenantsArgs, reply *TenantsReply) error {
+	lim := s.fs.Deployment().Admission
+	if lim == nil {
+		return nil
+	}
+	reply.Enabled = true
+	reply.Rate, reply.Burst = lim.Rate(), lim.Burst()
+	for _, st := range lim.Stats() {
+		reply.Tenants = append(reply.Tenants, TenantInfo{
+			Tenant:   st.Tenant,
+			Admitted: st.Admitted,
+			Rejected: st.Rejected,
+			Inflight: st.Inflight,
+		})
+	}
+	return nil
+}
+
 // NodeArgs names a provider node. For Join, 0 auto-allocates the next
 // unused node id.
 type NodeArgs struct{ Node uint64 }
@@ -430,8 +531,12 @@ func Serve(l net.Listener, svc *Service) error {
 }
 
 // Client is a convenience wrapper over the raw RPC connection.
+// Tenant, when set, attributes every subsequent data operation (Put,
+// Append, Get, ReadRange) to that admission tenant; over-rate calls
+// fail with an error IsOverloaded recognizes.
 type Client struct {
-	rpc *rpc.Client
+	rpc    *rpc.Client
+	Tenant string
 }
 
 // Dial connects to a bsfsd server.
@@ -458,7 +563,7 @@ func (c *Client) Append(path string, data []byte) error {
 
 func (c *Client) stream(path string, app bool, data []byte) error {
 	var open OpenReply
-	if err := c.rpc.Call("BSFS.Open", &OpenArgs{Path: path, Append: app}, &open); err != nil {
+	if err := c.rpc.Call("BSFS.Open", &OpenArgs{Path: path, Append: app, Tenant: c.Tenant}, &open); err != nil {
 		return err
 	}
 	// Batch up to MaxVecChunks chunks per vectored call, amortizing the
@@ -496,7 +601,7 @@ func (c *Client) Get(path string, version uint64) ([]byte, error) {
 			l = st.Size - off
 		}
 		var rr ReadReply
-		if err := c.rpc.Call("BSFS.Read", &ReadArgs{Path: path, Version: version, Off: off, Len: l}, &rr); err != nil {
+		if err := c.rpc.Call("BSFS.Read", &ReadArgs{Path: path, Version: version, Off: off, Len: l, Tenant: c.Tenant}, &rr); err != nil {
 			return nil, err
 		}
 		out = append(out, rr.Data...)
@@ -510,7 +615,7 @@ func (c *Client) Get(path string, version uint64) ([]byte, error) {
 // ReadRange reads length bytes at off.
 func (c *Client) ReadRange(path string, version uint64, off, length int64) ([]byte, error) {
 	var rr ReadReply
-	err := c.rpc.Call("BSFS.Read", &ReadArgs{Path: path, Version: version, Off: off, Len: length}, &rr)
+	err := c.rpc.Call("BSFS.Read", &ReadArgs{Path: path, Version: version, Off: off, Len: length, Tenant: c.Tenant}, &rr)
 	return rr.Data, err
 }
 
@@ -566,6 +671,13 @@ func (c *Client) Providers() (ProvidersReply, error) {
 	var pr ProvidersReply
 	err := c.rpc.Call("BSFS.Providers", &ProvidersArgs{}, &pr)
 	return pr, err
+}
+
+// Tenants lists per-tenant admission counters.
+func (c *Client) Tenants() (TenantsReply, error) {
+	var tr TenantsReply
+	err := c.rpc.Call("BSFS.Tenants", &TenantsArgs{}, &tr)
+	return tr, err
 }
 
 // Join adds a provider on node (0 auto-allocates), returning the node

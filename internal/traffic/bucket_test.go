@@ -1,0 +1,243 @@
+// bucket_test.go property-tests the token bucket and the limiter on
+// virtual time: refill correctness against a closed-form model, the
+// burst cap, the never-negative invariant, retry-after honesty, and
+// deterministic admission on the Sim environment.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// TestBucketProperties drives seeded random take/advance schedules
+// against a closed-form float model of the bucket and checks, at every
+// step: tokens match the model, never exceed burst, never go negative,
+// and take succeeds exactly when the model holds a full token.
+func TestBucketProperties(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			rate := 0.5 + rng.Float64()*20
+			burst := 1 + rng.Float64()*10
+			now := time.Duration(rng.Intn(1000)) * time.Millisecond
+			b := newBucket(rate, burst, now)
+			model := burst
+			for step := 0; step < 2000; step++ {
+				if rng.Intn(3) > 0 { // advance the clock 2/3 of the time
+					adv := time.Duration(rng.Intn(500)) * time.Millisecond
+					now += adv
+					model = math.Min(burst, model+rate*adv.Seconds())
+				}
+				ok, retry := b.take(now)
+				wantOK := model >= 1
+				if ok != wantOK {
+					t.Fatalf("step %d: take = %v, model holds %.4f tokens", step, ok, model)
+				}
+				if ok {
+					model--
+				} else if retry <= 0 {
+					t.Fatalf("step %d: rejected with non-positive retry-after %s", step, retry)
+				}
+				if b.tokens < 0 {
+					t.Fatalf("step %d: tokens went negative: %f", step, b.tokens)
+				}
+				if b.tokens > burst+1e-9 {
+					t.Fatalf("step %d: tokens %f exceed burst %f", step, b.tokens, burst)
+				}
+				if math.Abs(b.tokens-model) > 1e-6 {
+					t.Fatalf("step %d: tokens %f diverged from model %f", step, b.tokens, model)
+				}
+			}
+		})
+	}
+}
+
+// TestBucketRetryAfterHonest: after a rejection, waiting exactly the
+// advertised retry-after must make the next take succeed — and waiting
+// any less must not.
+func TestBucketRetryAfterHonest(t *testing.T) {
+	b := newBucket(4, 2, 0) // 4 tokens/s, burst 2
+	now := time.Duration(0)
+	for i := 0; i < 2; i++ { // drain the burst
+		if ok, _ := b.take(now); !ok {
+			t.Fatalf("burst take %d rejected", i)
+		}
+	}
+	ok, retry := b.take(now)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if got, want := retry, 250*time.Millisecond; got != want {
+		t.Fatalf("retry-after = %s, want %s (1 token at 4/s)", got, want)
+	}
+	if ok, _ := b.take(now + retry - time.Millisecond); ok {
+		t.Fatal("take succeeded before the advertised retry-after")
+	}
+	// The early failed take refilled the bucket up to its own instant,
+	// so the original deadline still holds.
+	if ok, _ := b.take(now + retry); !ok {
+		t.Fatal("take failed at the advertised retry-after")
+	}
+}
+
+// TestBucketClockNeverRewinds: a stale timestamp must not drain or
+// grow the bucket.
+func TestBucketClockNeverRewinds(t *testing.T) {
+	b := newBucket(1, 5, time.Second)
+	b.refill(500 * time.Millisecond) // rewind: no-op
+	if b.tokens != 5 {
+		t.Fatalf("rewound refill changed tokens: %f", b.tokens)
+	}
+	if b.last != time.Second {
+		t.Fatalf("rewound refill moved the clock: %s", b.last)
+	}
+}
+
+// TestLimiterOnVirtualTime runs the limiter inside the Sim environment:
+// the burst admits immediately, the next op is rejected with an honest
+// retry-after, sleeping that hint (virtual time) admits again, and the
+// counters account for every outcome. The run is repeated and must be
+// byte-for-byte deterministic.
+func TestLimiterOnVirtualTime(t *testing.T) {
+	run := func() []TenantStats {
+		eng := sim.NewEngine()
+		env := cluster.NewSim(simnet.New(eng, simnet.Grid5000(2)))
+		lim := NewLimiter(env, Config{Rate: 2, Burst: 2})
+		eng.Go(func() {
+			for i := 0; i < 2; i++ {
+				release, err := lim.Admit("a")
+				if err != nil {
+					t.Errorf("burst admit %d: %v", i, err)
+					return
+				}
+				release()
+				release() // double release must not double-decrement
+			}
+			_, err := lim.Admit("a")
+			var oe *OverloadedError
+			if !errors.As(err, &oe) || !errors.Is(err, ErrOverloaded) {
+				t.Errorf("over-burst admit: got %v, want OverloadedError", err)
+				return
+			}
+			env.Sleep(oe.RetryAfter)
+			if _, err := lim.Admit("a"); err != nil {
+				t.Errorf("admit after retry-after: %v", err)
+				return
+			}
+			// The release is deliberately never called: the in-flight
+			// gauge must still show the op when stats are read.
+			// A second tenant has its own untouched bucket.
+			if _, err := lim.Admit("b"); err != nil {
+				t.Errorf("fresh tenant rejected: %v", err)
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return lim.Stats()
+	}
+	first, second := run(), run()
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("limiter runs diverged:\n%v\n%v", first, second)
+	}
+	if len(first) != 2 {
+		t.Fatalf("stats cover %d tenants, want 2", len(first))
+	}
+	a := first[0]
+	if a.Tenant != "a" || a.Admitted != 3 || a.Rejected != 1 || a.Inflight != 1 {
+		t.Fatalf("tenant a stats = %+v, want admitted 3 rejected 1 inflight 1", a)
+	}
+	b := first[1]
+	if b.Tenant != "b" || b.Admitted != 1 || b.Inflight != 1 {
+		t.Fatalf("tenant b stats = %+v, want admitted 1 inflight 1", b)
+	}
+}
+
+// TestUntenantedBypass: the empty tenant is never rejected and never
+// counted.
+func TestUntenantedBypass(t *testing.T) {
+	eng := sim.NewEngine()
+	env := cluster.NewSim(simnet.New(eng, simnet.Grid5000(2)))
+	lim := NewLimiter(env, Config{Rate: 0.001, Burst: 1})
+	eng.Go(func() {
+		for i := 0; i < 100; i++ {
+			release, err := lim.Admit("")
+			if err != nil {
+				t.Errorf("untenanted op %d rejected: %v", i, err)
+				return
+			}
+			release()
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(lim.Stats()); n != 0 {
+		t.Fatalf("untenanted traffic created %d tenant entries", n)
+	}
+}
+
+// TestGeneratorOpenLoop: the arrival schedule is a pure function of
+// the seed — the offered count and op mix must not change when the
+// dispatch function stalls. That is the open-loop property: slow
+// completions grow the in-flight count, never the schedule.
+func TestGeneratorOpenLoop(t *testing.T) {
+	cfg := GenConfig{Tenants: 10, Rate: 100, Duration: time.Second, ReadFraction: 0.5, SharedFraction: 0.3, Seed: 7}
+	run := func(stall time.Duration) *Report {
+		eng := sim.NewEngine()
+		env := cluster.NewSim(simnet.New(eng, simnet.Grid5000(2)))
+		var rep *Report
+		eng.Go(func() {
+			rep = Run(env, cfg, func(Op) error {
+				if stall > 0 {
+					env.Sleep(stall)
+				}
+				return nil
+			})
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	fast, slow := run(0), run(10*time.Second)
+	if fast.Offered == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if fast.Offered != slow.Offered {
+		t.Fatalf("stalled dispatch changed the arrival schedule: %d vs %d offered", slow.Offered, fast.Offered)
+	}
+	if slow.Completed != slow.Offered {
+		t.Fatalf("drain lost ops: %d completed of %d", slow.Completed, slow.Offered)
+	}
+	// Every op stalled 10s past a 1s window: they all overlap.
+	if slow.MaxInflight != slow.Offered {
+		t.Fatalf("in-flight high-water %d, want all %d ops overlapping", slow.MaxInflight, slow.Offered)
+	}
+	if slow.P50 < 10*time.Second {
+		t.Fatalf("latency %s does not include the dispatch stall", slow.P50)
+	}
+}
+
+// TestQuantiles: nearest-rank on a known distribution.
+func TestQuantiles(t *testing.T) {
+	var samples []time.Duration
+	for i := 100; i >= 1; i-- { // shuffled-ish: descending input must sort
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	p50, p90, p99 := Quantiles(samples)
+	if p50 != 50*time.Millisecond || p90 != 90*time.Millisecond || p99 != 99*time.Millisecond {
+		t.Fatalf("quantiles = %s/%s/%s, want 50ms/90ms/99ms", p50, p90, p99)
+	}
+	if a, b, c := Quantiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty quantiles not zero")
+	}
+}
